@@ -1,0 +1,25 @@
+"""repro — a simulation-based reproduction of "Restricted Slow-Start for TCP".
+
+Paper: W. Allcock, S. Hegde, R. Kettimuthu, *Restricted Slow-Start for TCP*,
+IEEE Cluster 2005.
+
+The package is organised as substrates (discrete-event engine, network,
+hosts, TCP) plus the paper's contribution (:mod:`repro.core`) and the
+experiment harness that regenerates the paper's figure and headline numbers
+(:mod:`repro.experiments`).  See ``DESIGN.md`` for the full inventory and
+``EXPERIMENTS.md`` for paper-vs-measured results.
+
+Quickstart::
+
+    from repro.experiments import run_single_flow
+
+    standard = run_single_flow("reno", duration=25.0)
+    restricted = run_single_flow("restricted", duration=25.0)
+    print(standard.goodput_bps, restricted.goodput_bps)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

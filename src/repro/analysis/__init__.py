@@ -1,0 +1,26 @@
+"""Post-processing: metrics, time-series helpers, report tables."""
+
+from .metrics import (
+    goodput_bps,
+    improvement_percent,
+    jain_fairness_index,
+    stall_rate,
+    time_to_bytes,
+    utilization,
+)
+from .tables import Table
+from .timeseries import cumulative_count_series, downsample, resample_step, series_mean
+
+__all__ = [
+    "goodput_bps",
+    "improvement_percent",
+    "jain_fairness_index",
+    "stall_rate",
+    "time_to_bytes",
+    "utilization",
+    "Table",
+    "resample_step",
+    "cumulative_count_series",
+    "series_mean",
+    "downsample",
+]

@@ -1,0 +1,85 @@
+"""Flow- and experiment-level metrics.
+
+Everything the experiment harness reports is computed here so that tests can
+exercise the arithmetic separately from the (slow) packet simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "jain_fairness_index",
+    "utilization",
+    "improvement_percent",
+    "time_to_bytes",
+    "stall_rate",
+    "goodput_bps",
+]
+
+
+def goodput_bps(bytes_acked: float, duration_s: float) -> float:
+    """Acknowledged-byte goodput in bits per second."""
+    if duration_s <= 0:
+        raise ExperimentError("duration must be positive")
+    return bytes_acked * 8.0 / duration_s
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n Σx²)`` (1.0 = perfectly fair)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ExperimentError("fairness index needs at least one value")
+    if np.any(arr < 0):
+        raise ExperimentError("fairness index inputs must be non-negative")
+    denom = arr.size * float(np.sum(arr ** 2))
+    if denom == 0.0:
+        return 1.0
+    return float(np.sum(arr)) ** 2 / denom
+
+
+def utilization(total_goodput_bps: float, capacity_bps: float) -> float:
+    """Aggregate goodput as a fraction of the bottleneck capacity."""
+    if capacity_bps <= 0:
+        raise ExperimentError("capacity must be positive")
+    return total_goodput_bps / capacity_bps
+
+
+def improvement_percent(baseline: float, candidate: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` in percent."""
+    if baseline <= 0:
+        raise ExperimentError("baseline must be positive")
+    return (candidate - baseline) / baseline * 100.0
+
+
+def time_to_bytes(times: Sequence[float], cumulative_bytes: Sequence[float],
+                  target_bytes: float) -> float | None:
+    """First time at which the cumulative byte count reaches ``target_bytes``.
+
+    Returns ``None`` when the target was never reached.  Linear interpolation
+    is applied between samples.
+    """
+    t = np.asarray(times, dtype=float)
+    b = np.asarray(cumulative_bytes, dtype=float)
+    if t.size != b.size:
+        raise ExperimentError("times and cumulative_bytes must have equal length")
+    if t.size == 0 or target_bytes > b[-1]:
+        return None
+    if target_bytes <= b[0]:
+        return float(t[0])
+    idx = int(np.searchsorted(b, target_bytes, side="left"))
+    if b[idx] == b[idx - 1]:
+        return float(t[idx])
+    frac = (target_bytes - b[idx - 1]) / (b[idx] - b[idx - 1])
+    return float(t[idx - 1] + frac * (t[idx] - t[idx - 1]))
+
+
+def stall_rate(stall_count: int, duration_s: float) -> float:
+    """Send-stalls per second."""
+    if duration_s <= 0:
+        raise ExperimentError("duration must be positive")
+    return stall_count / duration_s

@@ -1,0 +1,183 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the experiment harness without writing any
+Python:
+
+.. code-block:: console
+
+    python -m repro list                       # show the experiment registry
+    python -m repro compare --duration 10      # standard vs restricted
+    python -m repro run E1 --duration 25       # regenerate Figure 1
+    python -m repro run E3 --duration 8 -o e3.json
+    python -m repro tune --rule allcock_modified
+
+Experiments that return a renderable result print the same table/series the
+corresponding benchmark prints; ``-o/--output`` additionally saves the raw
+result as JSON via :mod:`repro.experiments.results_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .core import autotune_gains_fluid
+from .errors import ReproError
+from .experiments import (
+    comparison_table,
+    get_experiment,
+    all_experiments,
+    render_baselines,
+    render_fairness,
+    render_figure1,
+    render_sweep,
+    render_throughput,
+    render_tuning_ablation,
+    run_comparison,
+)
+from .experiments.results_io import save_result
+from .units import Mbps
+from .workloads import PathConfig
+
+__all__ = ["main", "build_parser"]
+
+#: How to render each experiment's result type, keyed by experiment id.
+_RENDERERS: dict[str, Callable] = {
+    "E1": render_figure1,
+    "E2": render_throughput,
+    "E3": render_sweep,
+    "E4": render_sweep,
+    "E5": render_sweep,
+    "E6": render_sweep,
+    "E7": render_tuning_ablation,
+    "E8": render_baselines,
+    "E9": render_fairness,
+    "E10": render_sweep,
+}
+
+
+def _path_config(args: argparse.Namespace) -> PathConfig:
+    config = PathConfig()
+    overrides = {}
+    if args.bandwidth_mbps is not None:
+        overrides["bottleneck_rate_bps"] = Mbps(args.bandwidth_mbps)
+    if args.rtt_ms is not None:
+        overrides["rtt"] = args.rtt_ms / 1e3
+    if args.ifq is not None:
+        overrides["ifq_capacity_packets"] = args.ifq
+    return config.replace(**overrides) if overrides else config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Restricted Slow-Start for TCP — reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument("--bandwidth-mbps", type=float, default=None,
+                        help="bottleneck/NIC rate override (Mbit/s)")
+    parser.add_argument("--rtt-ms", type=float, default=None,
+                        help="round-trip time override (ms)")
+    parser.add_argument("--ifq", type=int, default=None,
+                        help="interface-queue capacity override (packets)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+
+    run = sub.add_parser("run", help="run one registered experiment (E1..E10)")
+    run.add_argument("experiment", help="experiment id, e.g. E1")
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds (experiment-specific default)")
+    run.add_argument("-o", "--output", default=None,
+                     help="save the raw result as JSON to this path")
+
+    compare = sub.add_parser("compare", help="standard TCP vs restricted slow-start")
+    compare.add_argument("--duration", type=float, default=10.0)
+    compare.add_argument("--algorithms", nargs="+", default=["reno", "restricted"])
+
+    tune = sub.add_parser("tune", help="derive controller gains for a path")
+    tune.add_argument("--rule", default="allcock_modified")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for spec in all_experiments():
+        print(f"{spec.experiment_id:4s} {spec.paper_artifact:20s} {spec.description}")
+        print(f"     benchmark: {spec.benchmark}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    kwargs = {}
+    if args.duration is not None:
+        if spec.experiment_id == "E10":
+            kwargs["max_duration"] = args.duration
+        else:
+            kwargs["duration"] = args.duration
+    config = _path_config(args)
+    if spec.experiment_id in ("E3", "E4", "E5", "E6"):
+        kwargs["base_config"] = config
+    else:
+        kwargs["config"] = config
+    if spec.experiment_id not in ("E9",):
+        kwargs.setdefault("seed", args.seed)
+    else:
+        kwargs["seed"] = args.seed
+    result = spec.runner(**kwargs)
+    renderer = _RENDERERS.get(spec.experiment_id)
+    if renderer is not None:
+        print(renderer(result))
+    if args.output:
+        try:
+            path = save_result(result, args.output)
+            print(f"\nsaved raw result to {path}")
+        except ReproError as exc:
+            print(f"\n(could not save result: {exc})")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _path_config(args)
+    comparison = run_comparison(tuple(args.algorithms), config=config,
+                                duration=args.duration, seed=args.seed)
+    print(comparison_table(comparison, title="algorithm comparison").render())
+    if "restricted" in args.algorithms and "reno" in args.algorithms:
+        print(f"\nimprovement of restricted over reno: "
+              f"{comparison.improvement_percent('restricted'):+.1f}%")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    config = _path_config(args)
+    result = autotune_gains_fluid(config, rule=args.rule)
+    for key, value in result.summary().items():
+        print(f"{key:12s} {value}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

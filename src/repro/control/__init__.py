@@ -1,0 +1,49 @@
+"""Control-theory substrate: PID control, tuning procedures, process models."""
+
+from .filters import EWMA, FirstOrderLowPass, MovingAverage, RateLimiter
+from .pid import PIDController, PIDGains
+from .process_models import (
+    FirstOrderProcess,
+    IntegratingProcess,
+    ProcessModel,
+    QueueProcessModel,
+)
+from .relay_tuning import RelayController, RelayExperimentResult, relay_tune
+from .simulate import ClosedLoopResult, simulate_closed_loop, simulate_p_only
+from .ziegler_nichols import (
+    PAPER_RULE,
+    TUNING_RULES,
+    OscillationDetector,
+    OscillationResult,
+    UltimateGainSearch,
+    ZNParameters,
+    analyze_oscillation,
+    gains_from_ultimate,
+)
+
+__all__ = [
+    "PIDController",
+    "PIDGains",
+    "EWMA",
+    "FirstOrderLowPass",
+    "MovingAverage",
+    "RateLimiter",
+    "ProcessModel",
+    "FirstOrderProcess",
+    "IntegratingProcess",
+    "QueueProcessModel",
+    "ClosedLoopResult",
+    "simulate_closed_loop",
+    "simulate_p_only",
+    "ZNParameters",
+    "TUNING_RULES",
+    "PAPER_RULE",
+    "gains_from_ultimate",
+    "OscillationResult",
+    "OscillationDetector",
+    "analyze_oscillation",
+    "UltimateGainSearch",
+    "RelayController",
+    "RelayExperimentResult",
+    "relay_tune",
+]

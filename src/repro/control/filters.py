@@ -1,0 +1,104 @@
+"""Signal-conditioning filters used by controllers and tuners."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ControlError
+
+__all__ = ["EWMA", "FirstOrderLowPass", "MovingAverage", "RateLimiter"]
+
+
+class EWMA:
+    """Exponentially weighted moving average with a fixed weight."""
+
+    def __init__(self, weight: float, initial: float | None = None) -> None:
+        if not (0.0 < weight <= 1.0):
+            raise ControlError("EWMA weight must be in (0, 1]")
+        self.weight = float(weight)
+        self.value: float | None = initial
+
+    def update(self, sample: float) -> float:
+        """Fold one sample in and return the new average."""
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.weight * (sample - self.value)
+        return self.value
+
+    def reset(self, initial: float | None = None) -> None:
+        self.value = initial
+
+
+class FirstOrderLowPass:
+    """Continuous-time first-order low-pass filter, ``tau`` seconds."""
+
+    def __init__(self, tau: float, initial: float | None = None) -> None:
+        if tau <= 0:
+            raise ControlError("tau must be positive")
+        self.tau = float(tau)
+        self.value: float | None = initial
+
+    def update(self, sample: float, dt: float) -> float:
+        """Advance the filter by ``dt`` seconds with input ``sample``."""
+        if dt <= 0:
+            raise ControlError("dt must be positive")
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            alpha = dt / (self.tau + dt)
+            self.value += alpha * (sample - self.value)
+        return self.value
+
+    def reset(self, initial: float | None = None) -> None:
+        self.value = initial
+
+
+class MovingAverage:
+    """Simple fixed-window moving average."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ControlError("window must be >= 1")
+        self.window = int(window)
+        self._samples: deque[float] = deque(maxlen=self.window)
+        self._sum = 0.0
+
+    def update(self, sample: float) -> float:
+        if len(self._samples) == self.window:
+            self._sum -= self._samples[0]
+        self._samples.append(float(sample))
+        self._sum += float(sample)
+        return self.value
+
+    @property
+    def value(self) -> float:
+        return self._sum / len(self._samples) if self._samples else 0.0
+
+    @property
+    def full(self) -> bool:
+        """True once the window has been filled."""
+        return len(self._samples) == self.window
+
+
+class RateLimiter:
+    """Limits how fast a signal may change per second."""
+
+    def __init__(self, max_rate_per_s: float, initial: float = 0.0) -> None:
+        if max_rate_per_s <= 0:
+            raise ControlError("max_rate_per_s must be positive")
+        self.max_rate = float(max_rate_per_s)
+        self.value = float(initial)
+
+    def update(self, target: float, dt: float) -> float:
+        """Move toward ``target`` at no more than the configured rate."""
+        if dt <= 0:
+            raise ControlError("dt must be positive")
+        max_step = self.max_rate * dt
+        delta = target - self.value
+        if delta > max_step:
+            delta = max_step
+        elif delta < -max_step:
+            delta = -max_step
+        self.value += delta
+        return self.value

@@ -1,0 +1,190 @@
+"""Analytic process models.
+
+These small continuous-time models serve three purposes:
+
+* unit-test the PID controller and the tuning procedures quickly, without
+  running the packet-level simulator;
+* provide a *fluid approximation of the interface queue*
+  (:class:`QueueProcessModel`) so the Ziegler–Nichols / relay tuners can get
+  a first gain estimate in milliseconds, which the packet-level autotuner
+  (:mod:`repro.core.tuning`) then refines;
+* document the control-theoretic view of the system the paper sketches
+  ("the gain is calculated using a first order differential equation").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ControlError
+
+__all__ = ["ProcessModel", "FirstOrderProcess", "IntegratingProcess", "QueueProcessModel"]
+
+
+class ProcessModel:
+    """A single-input single-output process advanced in fixed steps."""
+
+    def step(self, u: float, dt: float) -> float:
+        """Apply input ``u`` for ``dt`` seconds and return the new output."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return the process to its initial state."""
+        raise NotImplementedError
+
+    @property
+    def output(self) -> float:
+        """Current process output."""
+        raise NotImplementedError
+
+
+class FirstOrderProcess(ProcessModel):
+    """First-order-plus-dead-time (FOPDT) process.
+
+    ``tau * dy/dt + y = K * u(t - theta)``
+    """
+
+    def __init__(self, gain: float, tau: float, dead_time: float = 0.0, y0: float = 0.0) -> None:
+        if tau <= 0:
+            raise ControlError("tau must be positive")
+        if dead_time < 0:
+            raise ControlError("dead_time must be >= 0")
+        self.gain = float(gain)
+        self.tau = float(tau)
+        self.dead_time = float(dead_time)
+        self.y0 = float(y0)
+        self._y = float(y0)
+        self._delay_buffer: deque[tuple[float, float]] = deque()
+        self._elapsed = 0.0
+
+    def reset(self) -> None:
+        self._y = self.y0
+        self._delay_buffer.clear()
+        self._elapsed = 0.0
+
+    @property
+    def output(self) -> float:
+        return self._y
+
+    def _delayed_input(self, u: float, dt: float) -> float:
+        if self.dead_time == 0.0:
+            return u
+        self._delay_buffer.append((self._elapsed, u))
+        target = self._elapsed - self.dead_time
+        delayed = 0.0
+        while self._delay_buffer and self._delay_buffer[0][0] <= target:
+            delayed = self._delay_buffer.popleft()[1]
+        return delayed
+
+    def step(self, u: float, dt: float) -> float:
+        if dt <= 0:
+            raise ControlError("dt must be positive")
+        u_eff = self._delayed_input(u, dt)
+        self._elapsed += dt
+        # exact discretisation of the first-order lag over the step
+        import math
+
+        alpha = math.exp(-dt / self.tau)
+        self._y = alpha * self._y + (1.0 - alpha) * self.gain * u_eff
+        return self._y
+
+
+class IntegratingProcess(ProcessModel):
+    """Pure integrator with gain: ``dy/dt = K * u`` (optionally leaky)."""
+
+    def __init__(self, gain: float, leak: float = 0.0, y0: float = 0.0) -> None:
+        if leak < 0:
+            raise ControlError("leak must be >= 0")
+        self.gain = float(gain)
+        self.leak = float(leak)
+        self.y0 = float(y0)
+        self._y = float(y0)
+
+    def reset(self) -> None:
+        self._y = self.y0
+
+    @property
+    def output(self) -> float:
+        return self._y
+
+    def step(self, u: float, dt: float) -> float:
+        if dt <= 0:
+            raise ControlError("dt must be positive")
+        self._y += (self.gain * u - self.leak * self._y) * dt
+        return self._y
+
+
+class QueueProcessModel(ProcessModel):
+    """Fluid approximation of the sender interface queue during slow-start.
+
+    State: queue occupancy ``q`` (packets, clipped to ``[0, capacity]``).
+    Input ``u``: the per-ACK congestion-window increment (segments) chosen by
+    the controller.
+
+    During slow-start the packet arrival rate at the IFQ is the ACK rate
+    times ``(1 + u)`` (each ACK releases one replacement packet plus the
+    window increment) while the NIC drains at the line rate.  With the ACK
+    rate approximately equal to the drain rate ``mu`` (packets/s), the queue
+    evolves as::
+
+        dq/dt ≈ mu * u      (while 0 < q < capacity)
+
+    plus a dead time of roughly one round-trip before window decisions show
+    up at the queue.  The model exposes exactly that integrator-with-delay
+    behaviour, which is why P-only control of the real system oscillates —
+    and why Ziegler–Nichols tuning applies cleanly.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        drain_rate_pps: float,
+        rtt: float,
+        q0: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ControlError("capacity must be positive")
+        if drain_rate_pps <= 0:
+            raise ControlError("drain_rate_pps must be positive")
+        if rtt < 0:
+            raise ControlError("rtt must be >= 0")
+        self.capacity = float(capacity)
+        self.drain_rate_pps = float(drain_rate_pps)
+        self.rtt = float(rtt)
+        self.q0 = float(q0)
+        self._q = float(q0)
+        self._delay_buffer: deque[tuple[float, float]] = deque()
+        self._elapsed = 0.0
+        self.overflows = 0
+
+    def reset(self) -> None:
+        self._q = self.q0
+        self._delay_buffer.clear()
+        self._elapsed = 0.0
+        self.overflows = 0
+
+    @property
+    def output(self) -> float:
+        return self._q
+
+    @property
+    def occupancy_fraction(self) -> float:
+        return self._q / self.capacity
+
+    def step(self, u: float, dt: float) -> float:
+        if dt <= 0:
+            raise ControlError("dt must be positive")
+        # apply the RTT feedback delay to the controller action
+        self._delay_buffer.append((self._elapsed, u))
+        target = self._elapsed - self.rtt
+        u_eff = 0.0
+        while self._delay_buffer and self._delay_buffer[0][0] <= target:
+            u_eff = self._delay_buffer.popleft()[1]
+        self._elapsed += dt
+        self._q += self.drain_rate_pps * u_eff * dt
+        if self._q > self.capacity:
+            self._q = self.capacity
+            self.overflows += 1
+        elif self._q < 0.0:
+            self._q = 0.0
+        return self._q

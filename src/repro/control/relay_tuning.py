@@ -1,0 +1,132 @@
+"""Relay (Åström–Hägglund) auto-tuning.
+
+The Ziegler–Nichols ultimate-gain experiment requires sweeping the
+proportional gain until the loop reaches the stability boundary — slow, and
+on a production system somewhat hair-raising.  Åström and Hägglund's relay
+feedback experiment obtains the same ``(Kc, Tc)`` in a single run: replace
+the controller with an ideal relay of amplitude ``d`` around the set point;
+the loop settles into a limit cycle whose period is the ultimate period and
+whose amplitude ``a`` gives the ultimate gain via the describing function::
+
+    Kc = 4 d / (π a)
+
+This tuner is used as a faster alternative / cross-check of the sweep-based
+search (experiment E7), and in unit tests because a single relay run is
+cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TuningError
+from .process_models import ProcessModel
+from .ziegler_nichols import ZNParameters, analyze_oscillation
+
+__all__ = ["RelayController", "RelayExperimentResult", "relay_tune"]
+
+
+class RelayController:
+    """Ideal relay with optional hysteresis around a set point."""
+
+    def __init__(self, setpoint: float, amplitude: float, hysteresis: float = 0.0,
+                 bias: float = 0.0) -> None:
+        if amplitude <= 0:
+            raise TuningError("relay amplitude must be positive")
+        if hysteresis < 0:
+            raise TuningError("hysteresis must be >= 0")
+        self.setpoint = float(setpoint)
+        self.amplitude = float(amplitude)
+        self.hysteresis = float(hysteresis)
+        self.bias = float(bias)
+        self._output_high = True
+        self.switches = 0
+
+    def update(self, pv: float) -> float:
+        """Return the relay output for measurement ``pv``."""
+        if self._output_high and pv > self.setpoint + self.hysteresis:
+            self._output_high = False
+            self.switches += 1
+        elif not self._output_high and pv < self.setpoint - self.hysteresis:
+            self._output_high = True
+            self.switches += 1
+        return self.bias + (self.amplitude if self._output_high else -self.amplitude)
+
+
+@dataclass(frozen=True)
+class RelayExperimentResult:
+    """Outcome of a relay-feedback experiment."""
+
+    parameters: ZNParameters
+    amplitude: float
+    period: float
+    switches: int
+    times: np.ndarray
+    pv: np.ndarray
+
+
+def relay_tune(
+    process: ProcessModel,
+    setpoint: float,
+    relay_amplitude: float,
+    duration: float,
+    dt: float,
+    hysteresis: float = 0.0,
+    bias: float = 0.0,
+    settle_fraction: float = 0.3,
+) -> RelayExperimentResult:
+    """Run a relay experiment against ``process`` and estimate ``(Kc, Tc)``.
+
+    Parameters
+    ----------
+    process:
+        Any :class:`~repro.control.process_models.ProcessModel`.
+    setpoint:
+        Level around which the relay switches.
+    relay_amplitude:
+        Magnitude ``d`` of the relay output (about ``bias``).
+    duration, dt:
+        Experiment length and integration step.
+    settle_fraction:
+        Fraction of the record discarded before measuring the limit cycle.
+    """
+    if duration <= 0 or dt <= 0:
+        raise TuningError("duration and dt must be positive")
+    relay = RelayController(setpoint, relay_amplitude, hysteresis, bias)
+    n_steps = int(round(duration / dt))
+    times = np.empty(n_steps)
+    pv = np.empty(n_steps)
+    t = 0.0
+    process.reset()
+    for i in range(n_steps):
+        measurement = process.output
+        u = relay.update(measurement)
+        process.step(u, dt)
+        times[i] = t
+        pv[i] = measurement
+        t += dt
+
+    start = int(n_steps * settle_fraction)
+    tail_t, tail_v = times[start:], pv[start:]
+    oscillation = analyze_oscillation(tail_t, tail_v, setpoint,
+                                      settle_fraction=0.0,
+                                      sustained_decay_threshold=0.5)
+    if oscillation.n_peaks < 2 or oscillation.period <= 0:
+        raise TuningError("relay experiment did not produce a measurable limit cycle")
+    # limit-cycle amplitude about its mean
+    amplitude = float((np.max(tail_v) - np.min(tail_v)) / 2.0)
+    if amplitude <= 0:
+        raise TuningError("relay limit cycle has zero amplitude")
+    kc = 4.0 * relay_amplitude / (math.pi * amplitude)
+    params = ZNParameters(kc=kc, tc=oscillation.period)
+    return RelayExperimentResult(
+        parameters=params,
+        amplitude=amplitude,
+        period=oscillation.period,
+        switches=relay.switches,
+        times=times,
+        pv=pv,
+    )

@@ -1,0 +1,283 @@
+"""Ziegler–Nichols closed-loop (ultimate-gain) tuning.
+
+The paper tunes its PID controller with the classic Ziegler–Nichols
+procedure:
+
+1. use proportional control only;
+2. increase the gain until the loop exhibits *sustained oscillation*; the
+   gain at that point is the critical (ultimate) gain ``Kc``;
+3. measure the oscillation period ``Tc``;
+4. compute the PID parameters from ``(Kc, Tc)``.  The paper uses the
+   modified constants ``Kp = 0.33 Kc``, ``Ti = 0.5 Tc``, ``Td = 0.33 Tc``
+   (a low-overshoot variant of the classic 0.6/0.5/0.125 rule).
+
+This module provides the pieces of that procedure that are independent of
+*what* is being controlled:
+
+* :data:`TUNING_RULES` — rule tables (the paper's rule plus the classic ZN
+  PID/PI rules and Tyreus–Luyben, used in ablation E7);
+* :func:`gains_from_ultimate` — apply a rule to ``(Kc, Tc)``;
+* :class:`OscillationDetector` / :func:`analyze_oscillation` — decide from a
+  recorded trajectory whether oscillation is sustained, and estimate its
+  period and amplitude;
+* :class:`UltimateGainSearch` — the gain-sweeping search loop, parametrised
+  by an ``evaluate(kp) -> OscillationResult`` callback so it can drive either
+  the fluid model (:mod:`repro.control.simulate`) or the full packet-level
+  simulator (:mod:`repro.core.tuning`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import TuningError
+from .pid import PIDGains
+
+__all__ = [
+    "ZNParameters",
+    "TUNING_RULES",
+    "PAPER_RULE",
+    "gains_from_ultimate",
+    "OscillationResult",
+    "analyze_oscillation",
+    "OscillationDetector",
+    "UltimateGainSearch",
+]
+
+
+@dataclass(frozen=True)
+class ZNParameters:
+    """Ultimate gain and period measured at the stability boundary."""
+
+    kc: float
+    tc: float
+
+    def __post_init__(self) -> None:
+        if self.kc <= 0 or self.tc <= 0:
+            raise TuningError("Kc and Tc must be positive")
+
+
+#: Tuning rules mapping (Kc, Tc) -> (Kp, Ti, Td) as
+#: ``Kp = a*Kc``, ``Ti = b*Tc``, ``Td = c*Tc``.
+TUNING_RULES: dict[str, tuple[float, float, float]] = {
+    # the constants used in the paper (Section 3)
+    "allcock_modified": (0.33, 0.5, 0.33),
+    # classic Ziegler-Nichols closed-loop rules (1942)
+    "zn_classic_pid": (0.6, 0.5, 0.125),
+    "zn_classic_pi": (0.45, 0.833, 0.0),
+    "zn_classic_p": (0.5, float("inf"), 0.0),
+    # low-oscillation alternative often used for sluggish, robust response
+    "tyreus_luyben": (0.454, 2.2, 0.159),
+    # "some overshoot" / "no overshoot" variants (Seborg et al.)
+    "some_overshoot": (0.33, 0.5, 0.333),
+    "no_overshoot": (0.2, 0.5, 0.333),
+}
+
+#: Name of the rule the paper uses.
+PAPER_RULE = "allcock_modified"
+
+
+def gains_from_ultimate(params: ZNParameters, rule: str = PAPER_RULE) -> PIDGains:
+    """Apply a named tuning rule to the measured ``(Kc, Tc)``."""
+    try:
+        a, b, c = TUNING_RULES[rule]
+    except KeyError:
+        raise TuningError(
+            f"unknown tuning rule {rule!r}; available: {sorted(TUNING_RULES)}"
+        ) from None
+    kp = a * params.kc
+    ti = b * params.tc if np.isfinite(b) else None
+    td = c * params.tc
+    return PIDGains.from_time_constants(kp=kp, ti=ti, td=td)
+
+
+# ---------------------------------------------------------------------------
+# oscillation analysis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OscillationResult:
+    """Outcome of analysing one closed-loop trajectory."""
+
+    sustained: bool
+    period: float
+    amplitude: float
+    decay_ratio: float
+    n_peaks: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.sustained
+
+
+def _find_peaks(values: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima (simple three-point test)."""
+    if values.size < 3:
+        return np.empty(0, dtype=int)
+    interior = (values[1:-1] > values[:-2]) & (values[1:-1] >= values[2:])
+    return np.flatnonzero(interior) + 1
+
+
+def analyze_oscillation(
+    times: Sequence[float],
+    values: Sequence[float],
+    setpoint: float,
+    min_peaks: int = 3,
+    sustained_decay_threshold: float = 0.75,
+    min_relative_amplitude: float = 0.02,
+    settle_fraction: float = 0.25,
+    require_setpoint_crossings: int = 0,
+) -> OscillationResult:
+    """Classify a trajectory as sustained oscillation or not.
+
+    The initial ``settle_fraction`` of the record is discarded (start-up
+    transient), peaks of the remaining signal are located, and the
+    oscillation is called *sustained* when
+
+    * at least ``min_peaks`` peaks exist,
+    * the mean peak-to-peak amplitude exceeds ``min_relative_amplitude`` of
+      the set point,
+    * the amplitude decay ratio (last/first peak amplitude about the mean)
+      is at least ``sustained_decay_threshold``, and
+    * (when ``require_setpoint_crossings`` > 0) the signal crosses the set
+      point at least that many times — this distinguishes a genuine limit
+      cycle *about the set point* from periodic structure elsewhere in the
+      signal (e.g. the per-round sawtooth of a slowly-ramping queue).
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.size != v.size:
+        raise TuningError("times and values must have the same length")
+    if t.size < 8:
+        return OscillationResult(False, 0.0, 0.0, 0.0, 0)
+    start = int(t.size * settle_fraction)
+    t, v = t[start:], v[start:]
+    if require_setpoint_crossings > 0:
+        signs = np.sign(v - setpoint)
+        crossings = int(np.count_nonzero(np.diff(signs[signs != 0])))
+        if crossings < require_setpoint_crossings:
+            return OscillationResult(False, 0.0, 0.0, 0.0, 0)
+    mean = float(np.mean(v))
+    peaks = _find_peaks(v)
+    if peaks.size < min_peaks:
+        return OscillationResult(False, 0.0, 0.0, 0.0, int(peaks.size))
+    peak_amplitudes = v[peaks] - mean
+    positive = peak_amplitudes > 0
+    peaks = peaks[positive]
+    peak_amplitudes = peak_amplitudes[positive]
+    if peaks.size < min_peaks:
+        return OscillationResult(False, 0.0, 0.0, 0.0, int(peaks.size))
+    amplitude = float(np.mean(peak_amplitudes))
+    reference = abs(setpoint) if setpoint != 0 else max(abs(mean), 1.0)
+    if amplitude < min_relative_amplitude * reference:
+        return OscillationResult(False, 0.0, amplitude, 0.0, int(peaks.size))
+    period = float(np.mean(np.diff(t[peaks]))) if peaks.size >= 2 else 0.0
+    first, last = float(peak_amplitudes[0]), float(peak_amplitudes[-1])
+    decay_ratio = last / first if first > 0 else 0.0
+    sustained = bool(decay_ratio >= sustained_decay_threshold and period > 0)
+    return OscillationResult(sustained, period, amplitude, decay_ratio, int(peaks.size))
+
+
+class OscillationDetector:
+    """Stateful wrapper accumulating samples, then delegating to the analyzer.
+
+    Useful when the samples arrive one at a time (packet-level tuning runs).
+    """
+
+    def __init__(self, setpoint: float, **analysis_kwargs) -> None:
+        self.setpoint = setpoint
+        self.analysis_kwargs = analysis_kwargs
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def add(self, time: float, value: float) -> None:
+        """Record one sample."""
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def result(self) -> OscillationResult:
+        """Analyse everything recorded so far."""
+        return analyze_oscillation(self.times, self.values, self.setpoint,
+                                   **self.analysis_kwargs)
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.values.clear()
+
+
+# ---------------------------------------------------------------------------
+# ultimate-gain search
+# ---------------------------------------------------------------------------
+
+class UltimateGainSearch:
+    """Find the ultimate gain by sweeping Kp until oscillation is sustained.
+
+    Parameters
+    ----------
+    evaluate:
+        ``evaluate(kp) -> OscillationResult`` running one closed-loop
+        experiment at proportional gain ``kp``.
+    kp_initial:
+        First gain to try.
+    growth:
+        Multiplicative step applied while no sustained oscillation is seen.
+    max_iterations:
+        Upper bound on coarse-sweep experiments.
+    refine_steps:
+        Bisection steps between the last stable and first oscillating gain.
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[float], OscillationResult],
+        kp_initial: float = 0.1,
+        growth: float = 1.6,
+        max_iterations: int = 24,
+        refine_steps: int = 4,
+    ) -> None:
+        if kp_initial <= 0:
+            raise TuningError("kp_initial must be positive")
+        if growth <= 1.0:
+            raise TuningError("growth must exceed 1")
+        self.evaluate = evaluate
+        self.kp_initial = float(kp_initial)
+        self.growth = float(growth)
+        self.max_iterations = int(max_iterations)
+        self.refine_steps = int(refine_steps)
+        #: (kp, OscillationResult) pairs of every experiment run.
+        self.history: list[tuple[float, OscillationResult]] = []
+
+    def run(self) -> ZNParameters:
+        """Execute the search and return the measured ``(Kc, Tc)``."""
+        kp = self.kp_initial
+        last_stable: float | None = None
+        first_unstable: float | None = None
+        unstable_result: OscillationResult | None = None
+        for _ in range(self.max_iterations):
+            result = self.evaluate(kp)
+            self.history.append((kp, result))
+            if result.sustained:
+                first_unstable = kp
+                unstable_result = result
+                break
+            last_stable = kp
+            kp *= self.growth
+        if first_unstable is None or unstable_result is None:
+            raise TuningError(
+                "no sustained oscillation found; increase max_iterations or the gain range"
+            )
+        # refine the boundary with bisection (keeps the latest oscillating result)
+        if last_stable is not None:
+            lo, hi = last_stable, first_unstable
+            for _ in range(self.refine_steps):
+                mid = (lo + hi) / 2.0
+                result = self.evaluate(mid)
+                self.history.append((mid, result))
+                if result.sustained:
+                    hi, unstable_result = mid, result
+                else:
+                    lo = mid
+            first_unstable = hi
+        return ZNParameters(kc=first_unstable, tc=unstable_result.period)

@@ -1,0 +1,25 @@
+"""The paper's contribution: restricted slow-start and its tuning.
+
+Importing this package registers the algorithm under the name
+``"restricted"`` in :mod:`repro.tcp.cc.registry`.
+"""
+
+from .config import DEFAULT_ULTIMATE, RestrictedSlowStartConfig, default_gains
+from .restricted_slow_start import RestrictedSlowStart
+from .tuning import (
+    TuningResult,
+    autotune_gains,
+    autotune_gains_fluid,
+    evaluate_p_gain,
+)
+
+__all__ = [
+    "RestrictedSlowStart",
+    "RestrictedSlowStartConfig",
+    "default_gains",
+    "DEFAULT_ULTIMATE",
+    "TuningResult",
+    "autotune_gains",
+    "autotune_gains_fluid",
+    "evaluate_p_gain",
+]

@@ -1,0 +1,132 @@
+"""Configuration of the restricted slow-start controller.
+
+The paper fixes two things about the controller: the set point is 90 % of
+the maximum IFQ size, and the gains come from Ziegler–Nichols ultimate-gain
+tuning with the modified constants ``Kp = 0.33 Kc``, ``Ti = 0.5 Tc``,
+``Td = 0.33 Tc``.  Everything else (how often the controller runs, how its
+output maps onto window increments) is implementation detail this
+reproduction has to pin down; those choices live here, with the defaults
+documented and exercised by the ablation experiments (E6/E7).
+
+Normalisation
+-------------
+The controller's process variable is the **occupancy fraction**
+``qlen / capacity`` rather than a raw packet count, so one set of gains works
+across interface-queue sizes (experiment E3 sweeps ``txqueuelen`` from 25 to
+1000).  The set point is therefore simply ``setpoint_fraction`` (0.9).
+The controller output is interpreted as the congestion-window increment in
+segments granted *per acknowledged segment*, clamped to
+``[min_increment_per_ack, max_increment_per_ack]``; with the default maximum
+of 1.0 restricted slow-start is never more aggressive than standard
+slow-start, it can only hold back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..control.pid import PIDGains
+from ..control.ziegler_nichols import PAPER_RULE, ZNParameters, gains_from_ultimate
+from ..errors import ConfigurationError
+
+__all__ = ["RestrictedSlowStartConfig", "DEFAULT_ULTIMATE", "default_gains"]
+
+#: Ultimate gain/period used for the shipped default gains.  They correspond
+#: to the loop behaviour on the paper's path (100 Mbit/s, 60 ms RTT,
+#: txqueuelen 100): the queue-occupancy loop oscillates with a period of
+#: about two round-trips, and the normalised ultimate gain is ≈3.3
+#: (see ``repro.core.tuning.autotune_gains`` which re-derives these values).
+DEFAULT_ULTIMATE = ZNParameters(kc=3.3, tc=0.12)
+
+
+def default_gains(rtt: float = 0.060, kc: float = DEFAULT_ULTIMATE.kc,
+                  rule: str = PAPER_RULE) -> PIDGains:
+    """Gains from the paper's tuning rule for a path with round-trip ``rtt``.
+
+    The ultimate period of the IFQ-occupancy loop scales with the feedback
+    delay, i.e. the RTT; ``Tc ≈ 2·RTT`` is used, matching what the
+    packet-level autotuner measures on the canonical path.
+    """
+    if rtt <= 0:
+        raise ConfigurationError("rtt must be positive")
+    return gains_from_ultimate(ZNParameters(kc=kc, tc=2.0 * rtt), rule)
+
+
+@dataclass(frozen=True)
+class RestrictedSlowStartConfig:
+    """Tunable parameters of :class:`repro.core.RestrictedSlowStart`.
+
+    Attributes
+    ----------
+    setpoint_fraction:
+        IFQ occupancy the controller regulates to (paper: 0.9).
+    gains:
+        PID gains in normalised units; ``None`` selects
+        :func:`default_gains` for the paper's 60 ms path.
+    max_increment_per_ack / min_increment_per_ack:
+        Saturation limits of the controller output (segments of window
+        growth granted per acknowledged segment).  The default lower limit
+        is ``-1.0``: when the IFQ sits *above* the set point the controller
+        may trim the window by up to one segment per ACK, which is what lets
+        it hold the standing queue at 90 % instead of creeping into
+        overflow (the paper's controller "determines the new value of the
+        sender window", i.e. it is a true regulator, not a pure
+        rate-limiter).  Set it to 0 for the grow-only variant examined in
+        ablation E6.
+    derivative_filter_tau:
+        First-order filter (seconds) applied to the occupancy measurement
+        before differentiation.
+    min_control_interval:
+        Minimum spacing between controller evaluations; 0 evaluates on every
+        ACK (the default — the ACK clock *is* the controller's sample clock).
+    hard_setpoint_guard:
+        Never grant window growth while the measured occupancy is at or
+        above the set point, regardless of the PID state.  This guards the
+        10 % headroom between the set point and the queue limit against
+        integral-action overshoot (ZN-tuned loops overshoot by design);
+        disabling it reproduces the overshoot for ablation E6.
+    fallback_to_standard_when_unbounded:
+        When the host IFQ is unbounded (capacity ``None``) there is nothing
+        to regulate; fall back to standard slow-start instead of stalling.
+    reset_integral_on_congestion:
+        Clear the integral term whenever the connection reacts to a loss,
+        RTO or send-stall, so stale integral action cannot push the window
+        up right after a reduction.
+    """
+
+    setpoint_fraction: float = 0.9
+    gains: PIDGains | None = None
+    max_increment_per_ack: float = 1.0
+    min_increment_per_ack: float = -1.0
+    derivative_filter_tau: float = 0.005
+    min_control_interval: float = 0.0
+    hard_setpoint_guard: bool = True
+    fallback_to_standard_when_unbounded: bool = True
+    reset_integral_on_congestion: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.setpoint_fraction <= 1.0):
+            raise ConfigurationError("setpoint_fraction must be in (0, 1]")
+        if self.max_increment_per_ack <= 0:
+            raise ConfigurationError("max_increment_per_ack must be positive")
+        if self.min_increment_per_ack > self.max_increment_per_ack:
+            raise ConfigurationError("min_increment_per_ack must not exceed the maximum")
+        if self.derivative_filter_tau < 0:
+            raise ConfigurationError("derivative_filter_tau must be >= 0")
+        if self.min_control_interval < 0:
+            raise ConfigurationError("min_control_interval must be >= 0")
+
+    # ------------------------------------------------------------------
+    def resolved_gains(self) -> PIDGains:
+        """The gains actually used (defaults when none were given)."""
+        return self.gains if self.gains is not None else default_gains()
+
+    def replace(self, **changes) -> "RestrictedSlowStartConfig":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+    @classmethod
+    def for_path(cls, rtt: float, kc: float = DEFAULT_ULTIMATE.kc,
+                 rule: str = PAPER_RULE, **overrides) -> "RestrictedSlowStartConfig":
+        """Configuration with gains derived for a path of round-trip ``rtt``."""
+        return cls(gains=default_gains(rtt=rtt, kc=kc, rule=rule), **overrides)

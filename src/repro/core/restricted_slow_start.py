@@ -1,0 +1,146 @@
+"""Restricted slow-start — the paper's contribution.
+
+Standard slow-start grows the congestion window by one segment per
+acknowledged segment regardless of the state of the sending host, which on
+large bandwidth-delay paths overruns the host's interface queue (IFQ) and
+triggers send-stalls that Linux treats as congestion.  Restricted slow-start
+replaces the *growth rule of the slow-start phase only* with a PID
+controller:
+
+* **process variable** — the current IFQ occupancy (normalised by the queue
+  capacity);
+* **set point** — 90 % of the maximum IFQ size (``setpoint_fraction``);
+* **output** — the window increment granted per acknowledged segment,
+  saturated to ``[0, 1]`` so the algorithm is never more aggressive than
+  standard slow-start.
+
+While the queue is nearly empty the error is large, the controller output
+saturates at one segment per ACK and growth is exactly exponential; as the
+per-round ACK bursts begin to fill the IFQ the proportional and derivative
+terms cut the increment so the occupancy settles at the set point instead of
+overflowing.  The congestion-avoidance phase, loss recovery and RTO handling
+are untouched (inherited from Reno/NewReno), exactly as in the paper.
+
+The gains come from Ziegler–Nichols ultimate-gain tuning with the paper's
+modified constants (see :mod:`repro.core.config` and
+:mod:`repro.core.tuning`).
+"""
+
+from __future__ import annotations
+
+from ..control.pid import PIDController
+from ..tcp.cc.base import CCContext
+from ..tcp.cc.registry import register_cc
+from ..tcp.cc.reno import RenoCC
+from .config import RestrictedSlowStartConfig
+
+__all__ = ["RestrictedSlowStart"]
+
+
+class RestrictedSlowStart(RenoCC):
+    """PID-restricted slow-start on top of Reno congestion avoidance."""
+
+    name = "restricted"
+
+    def __init__(self, ctx: CCContext, config: RestrictedSlowStartConfig | None = None) -> None:
+        super().__init__(ctx)
+        self.config = config if config is not None else RestrictedSlowStartConfig()
+        gains = self.config.resolved_gains()
+        self.pid = PIDController(
+            gains,
+            setpoint=self.config.setpoint_fraction,
+            output_min=self.config.min_increment_per_ack,
+            output_max=self.config.max_increment_per_ack,
+            derivative_filter_tau=self.config.derivative_filter_tau,
+        )
+        self._last_control_time: float | None = None
+        #: Number of controller evaluations (diagnostics / tests).
+        self.controller_invocations = 0
+        #: Total window growth granted by the controller, in segments.
+        self.increments_granted = 0.0
+        #: Number of ACKs for which the controller withheld growth entirely.
+        self.increments_withheld = 0
+
+    # ------------------------------------------------------------------
+    # slow-start growth rule (the contribution)
+    # ------------------------------------------------------------------
+    def _slow_start(self, acked_segments: float) -> None:
+        qlen, capacity = self.ctx.ifq_state()
+        if capacity is None or capacity <= 0:
+            # Nothing to regulate against; behave like standard slow-start
+            # (or freeze growth, if the configuration says so).
+            if self.config.fallback_to_standard_when_unbounded:
+                super()._slow_start(acked_segments)
+            return
+
+        now = self.ctx.now
+        if self._last_control_time is None:
+            dt = 1e-3
+        else:
+            dt = now - self._last_control_time
+            if dt <= 0.0:
+                dt = 1e-6
+            elif dt < self.config.min_control_interval:
+                # Not yet time for a new control decision; no growth this ACK.
+                return
+        self._last_control_time = now
+
+        occupancy = qlen / capacity
+        output = self.pid.update(occupancy, dt)
+        self.controller_invocations += 1
+        if self.config.hard_setpoint_guard and occupancy >= self.config.setpoint_fraction:
+            # Protect the headroom above the set point: growth is never
+            # granted while the queue already sits at/above it (the PID may
+            # still ask for a trim, which is honoured below).
+            output = min(output, 0.0)
+        increment = output * acked_segments
+        if increment <= 0.0:
+            self.increments_withheld += 1
+            if increment < 0.0:
+                # The queue sits above the set point: trim the window so the
+                # standing queue is pulled back toward 90 % instead of
+                # drifting into overflow.
+                floor = max(self.min_cwnd, float(self.ctx.options.initial_cwnd_segments))
+                self.cwnd = max(self.cwnd + increment, floor)
+            return
+        self.increments_granted += increment
+
+        grown = self.cwnd + increment
+        if grown > self.ssthresh:
+            overshoot = grown - self.ssthresh
+            self.cwnd = self.ssthresh
+            self._congestion_avoidance(overshoot)
+        else:
+            self.cwnd = grown
+
+    # ------------------------------------------------------------------
+    # reductions also reset controller memory
+    # ------------------------------------------------------------------
+    def _reset_controller(self) -> None:
+        if self.config.reset_integral_on_congestion:
+            self.pid.reset()
+            self._last_control_time = None
+
+    def on_local_congestion(self, qlen: int, capacity: int | None, in_flight_bytes: int) -> None:
+        super().on_local_congestion(qlen, capacity, in_flight_bytes)
+        self._reset_controller()
+
+    def on_enter_recovery(self, in_flight_bytes: int) -> None:
+        super().on_enter_recovery(in_flight_bytes)
+        self._reset_controller()
+
+    def on_rto(self, in_flight_bytes: int) -> None:
+        super().on_rto(in_flight_bytes)
+        self._reset_controller()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RestrictedSlowStart cwnd={self.cwnd:.2f} "
+            f"sp={self.config.setpoint_fraction:.2f} "
+            f"invocations={self.controller_invocations}>"
+        )
+
+
+# Make the algorithm selectable by name ("restricted") wherever the registry
+# is used (scenario builders, experiment harness, examples).
+register_cc(RestrictedSlowStart.name, RestrictedSlowStart, overwrite=True)

@@ -1,0 +1,83 @@
+"""Experiment harness reproducing every figure/table plus the ablations."""
+
+from .baselines import BaselineComparisonResult, render_baselines, run_baseline_comparison
+from .fairness import FairnessResult, flow_mix, render_fairness, run_fairness
+from .figure1 import Figure1Result, render_figure1, run_figure1
+from .parallel import default_worker_count, map_runs, run_single_flow_batch
+from .registry import EXPERIMENTS, ExperimentSpec, all_experiments, get_experiment
+from .report import (
+    comparison_table,
+    cumulative_stall_series,
+    multi_flow_table,
+    render_series,
+    single_flow_summary,
+)
+from .runner import (
+    ComparisonResult,
+    FlowResult,
+    MultiFlowResult,
+    SingleFlowResult,
+    run_comparison,
+    run_multi_flow,
+    run_single_flow,
+)
+from .sweeps import (
+    SweepResult,
+    bandwidth_sweep,
+    ifq_size_sweep,
+    render_sweep,
+    rtt_sweep,
+    setpoint_sweep,
+    transfer_size_sweep,
+)
+from .throughput import ThroughputResult, render_throughput, run_throughput_comparison
+from .tuning_ablation import (
+    TuningAblationResult,
+    render_tuning_ablation,
+    run_tuning_ablation,
+)
+
+__all__ = [
+    "run_single_flow",
+    "run_comparison",
+    "run_multi_flow",
+    "FlowResult",
+    "SingleFlowResult",
+    "MultiFlowResult",
+    "ComparisonResult",
+    "run_figure1",
+    "render_figure1",
+    "Figure1Result",
+    "run_throughput_comparison",
+    "render_throughput",
+    "ThroughputResult",
+    "SweepResult",
+    "ifq_size_sweep",
+    "rtt_sweep",
+    "bandwidth_sweep",
+    "setpoint_sweep",
+    "transfer_size_sweep",
+    "render_sweep",
+    "run_tuning_ablation",
+    "render_tuning_ablation",
+    "TuningAblationResult",
+    "run_baseline_comparison",
+    "render_baselines",
+    "BaselineComparisonResult",
+    "run_fairness",
+    "render_fairness",
+    "flow_mix",
+    "FairnessResult",
+    "comparison_table",
+    "multi_flow_table",
+    "single_flow_summary",
+    "cumulative_stall_series",
+    "render_series",
+    "map_runs",
+    "run_single_flow_batch",
+    "default_worker_count",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "get_experiment",
+    "all_experiments",
+]

@@ -1,0 +1,61 @@
+"""Process-parallel execution of experiment sweeps.
+
+Packet-level runs are single-threaded, so parameter sweeps (IFQ size, RTT,
+bandwidth, ...) fan out across a process pool.  Everything passed to the
+workers and returned from them is picklable (plain dataclasses and NumPy
+arrays), as required by :mod:`concurrent.futures`.
+
+Set ``max_workers=0`` (or 1) to force serial execution — useful inside
+pytest-benchmark, on machines where forking is undesirable, or when
+debugging a worker crash.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..errors import ExperimentError
+from .runner import run_multi_flow, run_single_flow
+
+__all__ = ["default_worker_count", "map_runs", "run_single_flow_batch", "run_multi_flow_batch"]
+
+T = TypeVar("T")
+
+
+def default_worker_count() -> int:
+    """A conservative worker count (half the CPUs, at least one)."""
+    cpus = os.cpu_count() or 1
+    return max(cpus // 2, 1)
+
+
+def map_runs(
+    worker: Callable[..., T],
+    kwargs_list: Sequence[dict],
+    max_workers: int | None = None,
+) -> list[T]:
+    """Apply ``worker(**kwargs)`` to every element of ``kwargs_list``.
+
+    Results are returned in input order.  ``max_workers`` of 0 or 1 runs
+    serially in-process; ``None`` uses :func:`default_worker_count`.
+    """
+    if not kwargs_list:
+        raise ExperimentError("kwargs_list must not be empty")
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers <= 1 or len(kwargs_list) == 1:
+        return [worker(**kwargs) for kwargs in kwargs_list]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(worker, **kwargs) for kwargs in kwargs_list]
+        return [f.result() for f in futures]
+
+
+def run_single_flow_batch(kwargs_list: Sequence[dict], max_workers: int | None = None):
+    """Parallel batch of :func:`repro.experiments.runner.run_single_flow`."""
+    return map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
+
+
+def run_multi_flow_batch(kwargs_list: Sequence[dict], max_workers: int | None = None):
+    """Parallel batch of :func:`repro.experiments.runner.run_multi_flow`."""
+    return map_runs(run_multi_flow, kwargs_list, max_workers=max_workers)

@@ -1,0 +1,108 @@
+"""Experiment registry — one entry per table/figure/ablation in DESIGN.md.
+
+Maps the experiment identifiers used throughout the documentation (E1, E2,
+...) to the callables that regenerate them, together with the benchmark
+module that wraps each one.  Examples and ad-hoc scripts can iterate over
+:func:`all_experiments` to drive everything from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ExperimentError
+from .baselines import run_baseline_comparison
+from .fairness import run_fairness
+from .figure1 import run_figure1
+from .sweeps import (
+    bandwidth_sweep,
+    ifq_size_sweep,
+    rtt_sweep,
+    setpoint_sweep,
+    transfer_size_sweep,
+)
+from .throughput import run_throughput_comparison
+from .tuning_ablation import run_tuning_ablation
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "all_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one reproducible experiment."""
+
+    experiment_id: str
+    paper_artifact: str
+    description: str
+    runner: Callable
+    benchmark: str
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "E1": ExperimentSpec(
+        "E1", "Figure 1",
+        "Cumulative send-stall signals over time, standard vs restricted",
+        run_figure1, "benchmarks/bench_figure1.py",
+    ),
+    "E2": ExperimentSpec(
+        "E2", "Section 4 headline",
+        "Bulk-transfer throughput, standard vs restricted (~40% in the paper)",
+        run_throughput_comparison, "benchmarks/bench_throughput.py",
+    ),
+    "E3": ExperimentSpec(
+        "E3", "ablation",
+        "Interface-queue (txqueuelen) size sweep",
+        ifq_size_sweep, "benchmarks/bench_ifq_sweep.py",
+    ),
+    "E4": ExperimentSpec(
+        "E4", "ablation",
+        "Round-trip-time sweep",
+        rtt_sweep, "benchmarks/bench_rtt_sweep.py",
+    ),
+    "E5": ExperimentSpec(
+        "E5", "ablation",
+        "Bottleneck bandwidth sweep",
+        bandwidth_sweep, "benchmarks/bench_bandwidth_sweep.py",
+    ),
+    "E6": ExperimentSpec(
+        "E6", "ablation",
+        "Controller set-point sweep (paper fixes 90% of the IFQ)",
+        setpoint_sweep, "benchmarks/bench_setpoint_sweep.py",
+    ),
+    "E7": ExperimentSpec(
+        "E7", "ablation",
+        "Ziegler-Nichols tuning-rule comparison",
+        run_tuning_ablation, "benchmarks/bench_tuning_rules.py",
+    ),
+    "E8": ExperimentSpec(
+        "E8", "extension",
+        "Versus Limited Slow-Start, HyStart, CUBIC and NewReno",
+        run_baseline_comparison, "benchmarks/bench_baselines.py",
+    ),
+    "E9": ExperimentSpec(
+        "E9", "extension",
+        "Multi-flow fairness and utilisation",
+        run_fairness, "benchmarks/bench_fairness.py",
+    ),
+    "E10": ExperimentSpec(
+        "E10", "extension",
+        "Transfer-size (completion-time) sweep",
+        transfer_size_sweep, "benchmarks/bench_transfer_size.py",
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by its identifier (e.g. ``"E1"``)."""
+    try:
+        return EXPERIMENTS[experiment_id.upper()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def all_experiments() -> list[ExperimentSpec]:
+    """Every registered experiment, ordered by identifier."""
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS, key=lambda s: (len(s), s))]

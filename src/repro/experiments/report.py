@@ -1,0 +1,86 @@
+"""Rendering experiment results as the rows/series the paper reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import Table
+from ..analysis.timeseries import cumulative_count_series
+from ..units import format_rate
+from .runner import ComparisonResult, MultiFlowResult, SingleFlowResult
+
+__all__ = [
+    "comparison_table",
+    "single_flow_summary",
+    "multi_flow_table",
+    "cumulative_stall_series",
+    "render_series",
+]
+
+
+def single_flow_summary(result: SingleFlowResult) -> dict:
+    """Flat summary dictionary of one run (used by tables and tests)."""
+    return {
+        "algorithm": result.flow.algorithm,
+        "goodput_mbps": result.flow.goodput_bps / 1e6,
+        "utilization": result.link_utilization,
+        "send_stalls": result.flow.send_stalls,
+        "congestion_signals": result.flow.congestion_signals,
+        "timeouts": result.flow.timeouts,
+        "retransmissions": result.flow.pkts_retrans,
+        "max_cwnd_segments": result.flow.max_cwnd_bytes / max(result.config.mss, 1),
+        "ifq_peak": result.ifq_peak,
+        "ifq_drops": result.ifq_drops,
+    }
+
+
+def comparison_table(result: ComparisonResult, title: str = "") -> Table:
+    """Throughput/stall comparison table (the paper's Section 4 numbers)."""
+    table = Table(
+        ["algorithm", "goodput", "utilization", "send stalls", "cong. signals",
+         "retrans", "improvement vs baseline"],
+        title=title,
+    )
+    base = result.runs[result.baseline].goodput_bps
+    for name, run in result.runs.items():
+        improvement = (run.goodput_bps - base) / base * 100.0 if base > 0 else 0.0
+        table.add_row(
+            name,
+            format_rate(run.goodput_bps),
+            f"{run.link_utilization * 100:.1f}%",
+            run.send_stalls,
+            run.flow.congestion_signals,
+            run.flow.pkts_retrans,
+            "baseline" if name == result.baseline else f"{improvement:+.1f}%",
+        )
+    return table
+
+
+def multi_flow_table(result: MultiFlowResult, title: str = "") -> Table:
+    """Per-flow goodput table plus aggregate fairness."""
+    table = Table(["flow", "algorithm", "goodput", "send stalls", "retrans"], title=title)
+    for flow in result.flows:
+        table.add_row(flow.name, flow.algorithm, format_rate(flow.goodput_bps),
+                      flow.send_stalls, flow.pkts_retrans)
+    table.add_row("aggregate", "-", format_rate(result.aggregate_goodput_bps),
+                  result.total_send_stalls, "-")
+    table.add_row("jain index", "-", f"{result.jain_index:.4f}", "-", "-")
+    return table
+
+
+def cumulative_stall_series(
+    result: SingleFlowResult, sample_interval: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's Figure 1 series: cumulative send-stalls vs time."""
+    grid = np.arange(0.0, result.duration + sample_interval / 2, sample_interval)
+    return grid, cumulative_count_series(result.flow.stall_times, grid)
+
+
+def render_series(name: str, times: np.ndarray, values: np.ndarray,
+                  max_points: int = 26) -> str:
+    """Render a short ``t=..s v=..`` series for benchmark console output."""
+    if len(times) == 0:
+        return f"{name}: (empty)"
+    stride = max(len(times) // max_points, 1)
+    pairs = [f"{t:.0f}s:{v:.0f}" for t, v in zip(times[::stride], values[::stride])]
+    return f"{name}: " + " ".join(pairs)

@@ -1,0 +1,112 @@
+"""Persisting experiment results.
+
+Long sweeps are expensive to rerun, so the harness can serialise results to
+JSON and reload them for later analysis or regression comparison.  Only
+plain data is stored (floats, ints, lists, dictionaries); NumPy arrays are
+converted to lists on save and back to arrays on load where the consumer
+expects them.
+
+The format is intentionally simple and stable:
+
+.. code-block:: json
+
+    {
+      "kind": "single_flow",
+      "schema_version": 1,
+      "payload": { ... }
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .runner import FlowResult, MultiFlowResult, SingleFlowResult
+from .sweeps import SweepResult
+
+__all__ = ["to_jsonable", "save_result", "load_result", "SCHEMA_VERSION"]
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_KINDS = {
+    "single_flow": SingleFlowResult,
+    "multi_flow": MultiFlowResult,
+    "sweep": SweepResult,
+    "flow": FlowResult,
+}
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object into JSON-serialisable data."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: to_jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+def _kind_of(result: Any) -> str:
+    for kind, cls in _KINDS.items():
+        if isinstance(result, cls):
+            return kind
+    raise ExperimentError(
+        f"cannot serialise results of type {type(result).__name__}; "
+        f"supported: {sorted(_KINDS)}"
+    )
+
+
+def save_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
+    """Serialise a result object to ``path`` (JSON).  Returns the path."""
+    path = pathlib.Path(path)
+    document = {
+        "kind": _kind_of(result),
+        "schema_version": SCHEMA_VERSION,
+        "payload": to_jsonable(result),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | pathlib.Path) -> dict:
+    """Load a previously saved result.
+
+    Returns a dictionary ``{"kind": ..., "schema_version": ..., "payload": ...}``
+    where the payload mirrors the dataclass fields of the original result.
+    Reconstruction into live dataclasses is deliberately not attempted — the
+    consumers of saved results (plotting, regression diffs) want plain data.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no saved result at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"corrupt result file {path}: {exc}") from exc
+    if not isinstance(document, dict) or "payload" not in document:
+        raise ExperimentError(f"{path} is not a saved repro result")
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported result schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") not in _KINDS:
+        raise ExperimentError(f"unknown result kind {document.get('kind')!r}")
+    return document

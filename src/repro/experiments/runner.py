@@ -1,0 +1,338 @@
+"""Experiment runner.
+
+The harness every experiment and benchmark in this repository is built on:
+
+* :func:`run_single_flow` — one bulk transfer over the (paper) path with a
+  chosen congestion-control algorithm, returning goodput, Web100 counters,
+  and the IFQ / cwnd / goodput time series needed for the figures;
+* :func:`run_comparison` — the same workload under several algorithms with
+  identical seeds (paired comparison, as in the paper's Section 4);
+* :func:`run_multi_flow` — N concurrent flows sharing the bottleneck, for
+  the fairness experiments.
+
+Every run is driven by a :class:`RunSpec`-like set of keyword arguments that
+is fully picklable, so parameter sweeps can fan out across processes via
+:mod:`repro.experiments.parallel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.metrics import improvement_percent, jain_fairness_index, utilization
+from ..core.config import RestrictedSlowStartConfig
+from ..core.restricted_slow_start import RestrictedSlowStart
+from ..errors import ExperimentError
+from ..host.apps import BulkSenderApp
+from ..host.ifq import IFQMonitor
+from ..instrumentation.tracer import TimeSeriesTracer
+from ..sim.engine import Simulator
+from ..tcp.state import LocalCongestionPolicy
+from ..workloads.bulk import BulkFlowSpec
+from ..workloads.scenarios import PathConfig, Scenario, build_dumbbell
+
+__all__ = [
+    "FlowResult",
+    "SingleFlowResult",
+    "MultiFlowResult",
+    "ComparisonResult",
+    "run_single_flow",
+    "run_comparison",
+    "run_multi_flow",
+]
+
+
+# ---------------------------------------------------------------------------
+# result containers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FlowResult:
+    """Per-flow outcome extracted from the Web100 counters."""
+
+    name: str
+    algorithm: str
+    duration: float
+    bytes_acked: int
+    goodput_bps: float
+    send_stalls: int
+    stall_times: list[float]
+    congestion_signals: int
+    timeouts: int
+    fast_retransmits: int
+    pkts_retrans: int
+    other_reductions: int
+    max_cwnd_bytes: int
+    final_cwnd_segments: float
+    final_ssthresh_segments: float
+    smoothed_rtt: float
+    min_rtt: float
+    completion_time: float | None
+    web100: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_app(cls, app: BulkSenderApp, algorithm: str, duration: float) -> "FlowResult":
+        stats = app.stats
+        cc = app.connection.cc
+        return cls(
+            name=app.name,
+            algorithm=algorithm,
+            duration=duration,
+            bytes_acked=stats.ThruBytesAcked,
+            goodput_bps=app.goodput_bps(),
+            send_stalls=stats.SendStall,
+            stall_times=stats.stall_times(),
+            congestion_signals=stats.CongestionSignals,
+            timeouts=stats.Timeouts,
+            fast_retransmits=stats.FastRetran,
+            pkts_retrans=stats.PktsRetrans,
+            other_reductions=stats.OtherReductions,
+            max_cwnd_bytes=stats.MaxCwnd,
+            final_cwnd_segments=cc.cwnd,
+            final_ssthresh_segments=cc.ssthresh,
+            smoothed_rtt=stats.SmoothedRTT,
+            min_rtt=stats.MinRTT if np.isfinite(stats.MinRTT) else 0.0,
+            completion_time=app.completion_time,
+            web100=stats.snapshot(),
+        )
+
+
+@dataclass
+class SingleFlowResult:
+    """Outcome of :func:`run_single_flow` (flow metrics plus traces)."""
+
+    config: PathConfig
+    duration: float
+    seed: int
+    flow: FlowResult
+    ifq_times: np.ndarray
+    ifq_occupancy: np.ndarray
+    ifq_peak: int
+    ifq_drops: int
+    bottleneck_drops: int
+    cwnd_times: np.ndarray
+    cwnd_segments: np.ndarray
+    acked_times: np.ndarray
+    acked_bytes: np.ndarray
+    events_processed: int
+
+    @property
+    def goodput_bps(self) -> float:
+        return self.flow.goodput_bps
+
+    @property
+    def send_stalls(self) -> int:
+        return self.flow.send_stalls
+
+    @property
+    def link_utilization(self) -> float:
+        return utilization(self.flow.goodput_bps, self.config.bottleneck_rate_bps)
+
+
+@dataclass
+class ComparisonResult:
+    """Paired single-flow runs of several algorithms (same seed and path)."""
+
+    baseline: str
+    runs: dict[str, SingleFlowResult]
+
+    def improvement_percent(self, algorithm: str) -> float:
+        """Goodput improvement of ``algorithm`` over the baseline, percent."""
+        base = self.runs[self.baseline].goodput_bps
+        return improvement_percent(base, self.runs[algorithm].goodput_bps)
+
+    def stall_counts(self) -> dict[str, int]:
+        return {name: run.send_stalls for name, run in self.runs.items()}
+
+
+@dataclass
+class MultiFlowResult:
+    """Outcome of :func:`run_multi_flow`."""
+
+    config: PathConfig
+    duration: float
+    seed: int
+    flows: list[FlowResult]
+    aggregate_goodput_bps: float
+    jain_index: float
+    link_utilization: float
+    bottleneck_drops: int
+    total_send_stalls: int
+
+
+# ---------------------------------------------------------------------------
+# single flow
+# ---------------------------------------------------------------------------
+
+def run_single_flow(
+    cc: str = "reno",
+    config: PathConfig | None = None,
+    duration: float = 25.0,
+    seed: int = 1,
+    total_bytes: int | None = None,
+    cc_kwargs: dict | None = None,
+    rss_config: RestrictedSlowStartConfig | None = None,
+    local_congestion_policy: LocalCongestionPolicy | None = None,
+    trace_interval: float = 0.05,
+    run_past_duration_until_complete: bool = False,
+) -> SingleFlowResult:
+    """Run one bulk transfer and collect everything the experiments report.
+
+    Parameters
+    ----------
+    cc:
+        Congestion-control registry name ("reno", "restricted", ...).
+    config:
+        Path parameters; defaults to the paper's ANL–LBNL path.
+    duration:
+        Simulated seconds (the paper's Figure 1 covers 25 s).
+    seed:
+        Master seed for the simulator's random streams.
+    total_bytes:
+        Finite transfer size, or ``None`` for a transfer that fills the whole
+        duration.
+    cc_kwargs:
+        Extra keyword arguments for the algorithm factory (ignored when
+        ``rss_config`` is given for the restricted algorithm).
+    rss_config:
+        Explicit :class:`RestrictedSlowStartConfig` for ``cc="restricted"``.
+    local_congestion_policy:
+        Override the stack's reaction to send-stalls (ablation E6).
+    trace_interval:
+        Sampling period of the IFQ / cwnd / goodput traces.
+    run_past_duration_until_complete:
+        With a finite ``total_bytes``, keep simulating (up to 10× duration)
+        until the transfer completes — used by the transfer-size sweep.
+    """
+    if duration <= 0:
+        raise ExperimentError("duration must be positive")
+    cfg = config if config is not None else PathConfig()
+    sim = Simulator(seed=seed)
+    scenario = build_dumbbell(sim, cfg, n_flows=1)
+
+    options = cfg.tcp_options()
+    if local_congestion_policy is not None:
+        options = options.replace(local_congestion_policy=local_congestion_policy)
+
+    if cc == "restricted":
+        rss = rss_config if rss_config is not None else RestrictedSlowStartConfig.for_path(cfg.rtt)
+        factory = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
+        app, _sink = scenario.add_bulk_flow(
+            index=0, cc=factory, total_bytes=total_bytes, options=options
+        )
+    else:
+        app, _sink = scenario.add_bulk_flow(
+            index=0, cc=cc, total_bytes=total_bytes, options=options,
+            cc_kwargs=cc_kwargs,
+        )
+
+    conn = app.connection
+    monitor = IFQMonitor(sim, scenario.sender_ifq(0), interval=trace_interval)
+    monitor.start()
+    tracer = TimeSeriesTracer(sim, interval=trace_interval)
+    tracer.add_probe("cwnd", lambda: conn.cc.cwnd)
+    tracer.add_probe("acked", lambda: conn.stats.ThruBytesAcked)
+    tracer.start()
+
+    sim.run(until=duration)
+    if run_past_duration_until_complete and total_bytes is not None and not app.completed:
+        sim.run(until=duration * 10.0)
+
+    elapsed = sim.now
+    flow = FlowResult.from_app(app, algorithm=cc, duration=elapsed)
+    ifq_times, ifq_occ = monitor.as_arrays()
+    cwnd_times, cwnd_vals = tracer.series("cwnd").as_arrays()
+    acked_times, acked_vals = tracer.series("acked").as_arrays()
+    ifq_queue = scenario.sender_ifq(0).queue
+    return SingleFlowResult(
+        config=cfg,
+        duration=elapsed,
+        seed=seed,
+        flow=flow,
+        ifq_times=ifq_times,
+        ifq_occupancy=ifq_occ,
+        ifq_peak=ifq_queue.stats.peak_packets,
+        ifq_drops=ifq_queue.stats.dropped,
+        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        cwnd_times=cwnd_times,
+        cwnd_segments=cwnd_vals,
+        acked_times=acked_times,
+        acked_bytes=acked_vals,
+        events_processed=sim.events_processed,
+    )
+
+
+def run_comparison(
+    algorithms: Sequence[str] = ("reno", "restricted"),
+    baseline: str = "reno",
+    **kwargs,
+) -> ComparisonResult:
+    """Run the same single-flow workload under several algorithms."""
+    if baseline not in algorithms:
+        raise ExperimentError(f"baseline {baseline!r} must be one of {list(algorithms)}")
+    runs = {cc: run_single_flow(cc=cc, **kwargs) for cc in algorithms}
+    return ComparisonResult(baseline=baseline, runs=runs)
+
+
+# ---------------------------------------------------------------------------
+# multiple flows
+# ---------------------------------------------------------------------------
+
+def run_multi_flow(
+    specs: Sequence[BulkFlowSpec],
+    config: PathConfig | None = None,
+    duration: float = 25.0,
+    seed: int = 1,
+    shared_paths: bool = False,
+) -> MultiFlowResult:
+    """Run several concurrent bulk flows over one bottleneck.
+
+    ``shared_paths=False`` gives every flow its own sender/receiver pair (the
+    usual dumbbell); ``True`` puts all flows on the first pair so they also
+    share the sending host's IFQ.
+    """
+    if not specs:
+        raise ExperimentError("at least one flow spec is required")
+    cfg = config if config is not None else PathConfig()
+    sim = Simulator(seed=seed)
+    n_paths = 1 if shared_paths else len(specs)
+    scenario: Scenario = build_dumbbell(sim, cfg, n_flows=n_paths)
+
+    apps: list[tuple[BulkSenderApp, str]] = []
+    for i, spec in enumerate(specs):
+        index = 0 if shared_paths else i
+        rss = RestrictedSlowStartConfig.for_path(cfg.rtt)
+        if spec.cc == "restricted":
+            factory = lambda ctx, _rss=rss: RestrictedSlowStart(ctx, _rss)  # noqa: E731
+            app, _sink = scenario.add_bulk_flow(
+                index=index, cc=factory, total_bytes=spec.total_bytes,
+                start_time=spec.start_time, name=f"flow{i}:{spec.cc}",
+            )
+        else:
+            app, _sink = scenario.add_bulk_flow(
+                index=index, cc=spec.cc, total_bytes=spec.total_bytes,
+                start_time=spec.start_time, cc_kwargs=spec.cc_kwargs,
+                name=f"flow{i}:{spec.cc}",
+            )
+        apps.append((app, spec.cc))
+
+    sim.run(until=duration)
+
+    flows = [FlowResult.from_app(app, algorithm=cc, duration=sim.now - app.start_time)
+             for app, cc in apps]
+    goodputs = [f.goodput_bps for f in flows]
+    aggregate = float(sum(goodputs))
+    return MultiFlowResult(
+        config=cfg,
+        duration=sim.now,
+        seed=seed,
+        flows=flows,
+        aggregate_goodput_bps=aggregate,
+        jain_index=jain_fairness_index(goodputs),
+        link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
+        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        total_send_stalls=sum(f.send_stalls for f in flows),
+    )

@@ -1,0 +1,252 @@
+"""Parameter-sweep experiments (E3, E4, E5, E6, E10).
+
+The paper's evaluation is a single operating point (100 Mbit/s, 60 ms,
+txqueuelen 100).  These sweeps map out how the comparison behaves around
+that point, which both sanity-checks the reproduction (the advantage should
+vanish when the IFQ is larger than the BDP) and covers the ablations listed
+in ``DESIGN.md``:
+
+* :func:`ifq_size_sweep` (E3) — ``txqueuelen`` from 25 to 1000 packets;
+* :func:`rtt_sweep` (E4) — 10 to 200 ms;
+* :func:`bandwidth_sweep` (E5) — 10 to 622 Mbit/s;
+* :func:`setpoint_sweep` (E6) — controller set point 0.5 to 1.0;
+* :func:`transfer_size_sweep` (E10) — completion time of 1 MB to 256 MB
+  transfers.
+
+Every sweep returns a :class:`SweepResult` whose rows carry, per parameter
+value, the goodput and stall counts of both algorithms; sweeps can fan out
+over a process pool (``max_workers``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.tables import Table
+from ..core.config import RestrictedSlowStartConfig
+from ..errors import ExperimentError
+from ..units import MB, Mbps, format_rate
+from ..workloads.scenarios import PathConfig
+from .parallel import map_runs
+from .runner import run_single_flow
+
+__all__ = [
+    "SweepResult",
+    "ifq_size_sweep",
+    "rtt_sweep",
+    "bandwidth_sweep",
+    "setpoint_sweep",
+    "transfer_size_sweep",
+    "render_sweep",
+]
+
+#: Algorithms compared at every sweep point.
+SWEEP_ALGORITHMS = ("reno", "restricted")
+
+
+@dataclass
+class SweepResult:
+    """Rows of a one-dimensional parameter sweep."""
+
+    name: str
+    parameter: str
+    rows: list[dict] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        """Values of ``key`` across rows (missing keys become ``None``)."""
+        return [row.get(key) for row in self.rows]
+
+    def row_for(self, value) -> dict:
+        """The row whose parameter equals ``value``."""
+        for row in self.rows:
+            if row[self.parameter] == value:
+                return row
+        raise ExperimentError(f"no row with {self.parameter}={value!r}")
+
+
+def _comparison_row(param_name: str, param_value, results: dict[str, object]) -> dict:
+    row: dict = {param_name: param_value}
+    for algo, res in results.items():
+        row[f"{algo}_goodput_bps"] = res.flow.goodput_bps
+        row[f"{algo}_send_stalls"] = res.flow.send_stalls
+        row[f"{algo}_retrans"] = res.flow.pkts_retrans
+        row[f"{algo}_utilization"] = res.link_utilization
+    if all(f"{a}_goodput_bps" in row for a in ("reno", "restricted")):
+        base = row["reno_goodput_bps"]
+        row["improvement_percent"] = (
+            (row["restricted_goodput_bps"] - base) / base * 100.0 if base > 0 else 0.0
+        )
+    return row
+
+
+def _run_comparison_point(param_name: str, param_value, duration: float, seed: int,
+                          configs: dict[str, dict], max_workers: int | None) -> dict:
+    kwargs_list = [dict(cc=algo, duration=duration, seed=seed, **configs[algo])
+                   for algo in SWEEP_ALGORITHMS]
+    results = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
+    return _comparison_row(param_name, param_value, dict(zip(SWEEP_ALGORITHMS, results)))
+
+
+# ---------------------------------------------------------------------------
+# E3: interface-queue size
+# ---------------------------------------------------------------------------
+
+def ifq_size_sweep(
+    sizes: Sequence[int] = (25, 50, 100, 200, 400, 1000),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Sweep the sender ``txqueuelen`` (E3)."""
+    base = base_config if base_config is not None else PathConfig()
+    result = SweepResult(name="ifq_size_sweep", parameter="ifq_capacity_packets")
+    for size in sizes:
+        cfg = base.replace(ifq_capacity_packets=int(size))
+        configs = {algo: dict(config=cfg) for algo in SWEEP_ALGORITHMS}
+        result.rows.append(_run_comparison_point(
+            "ifq_capacity_packets", int(size), duration, seed, configs, max_workers))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E4: round-trip time
+# ---------------------------------------------------------------------------
+
+def rtt_sweep(
+    rtts: Sequence[float] = (0.010, 0.030, 0.060, 0.120, 0.200),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Sweep the path round-trip time (E4)."""
+    base = base_config if base_config is not None else PathConfig()
+    result = SweepResult(name="rtt_sweep", parameter="rtt")
+    for rtt in rtts:
+        cfg = base.replace(rtt=float(rtt))
+        configs = {
+            "reno": dict(config=cfg),
+            # gains scale with the RTT exactly as the tuning procedure would
+            "restricted": dict(config=cfg,
+                               rss_config=RestrictedSlowStartConfig.for_path(float(rtt))),
+        }
+        result.rows.append(_run_comparison_point("rtt", float(rtt), duration, seed,
+                                                 configs, max_workers))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E5: bottleneck bandwidth
+# ---------------------------------------------------------------------------
+
+def bandwidth_sweep(
+    rates_mbps: Sequence[float] = (10, 50, 100, 250, 622),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Sweep the bottleneck (and NIC) rate (E5)."""
+    base = base_config if base_config is not None else PathConfig()
+    result = SweepResult(name="bandwidth_sweep", parameter="bottleneck_mbps")
+    for rate in rates_mbps:
+        cfg = base.replace(bottleneck_rate_bps=Mbps(rate))
+        configs = {algo: dict(config=cfg) for algo in SWEEP_ALGORITHMS}
+        result.rows.append(_run_comparison_point("bottleneck_mbps", float(rate), duration,
+                                                 seed, configs, max_workers))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E6: controller set point
+# ---------------------------------------------------------------------------
+
+def setpoint_sweep(
+    setpoints: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95, 1.0),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Sweep the PID set point (the paper fixes 0.9) — restricted only (E6)."""
+    base = base_config if base_config is not None else PathConfig()
+    result = SweepResult(name="setpoint_sweep", parameter="setpoint_fraction")
+    kwargs_list = []
+    for sp in setpoints:
+        rss = RestrictedSlowStartConfig.for_path(base.rtt).replace(setpoint_fraction=float(sp))
+        kwargs_list.append(dict(cc="restricted", config=base, duration=duration,
+                                seed=seed, rss_config=rss))
+    runs = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
+    for sp, run in zip(setpoints, runs):
+        result.rows.append({
+            "setpoint_fraction": float(sp),
+            "restricted_goodput_bps": run.flow.goodput_bps,
+            "restricted_send_stalls": run.flow.send_stalls,
+            "restricted_utilization": run.link_utilization,
+            "ifq_peak": run.ifq_peak,
+            "ifq_drops": run.ifq_drops,
+        })
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E10: transfer size (completion time)
+# ---------------------------------------------------------------------------
+
+def transfer_size_sweep(
+    sizes_bytes: Sequence[float] = (MB(1), MB(8), MB(32), MB(128), MB(256)),
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_duration: float = 60.0,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Completion time of finite transfers under both algorithms (E10)."""
+    base = base_config if base_config is not None else PathConfig()
+    result = SweepResult(name="transfer_size_sweep", parameter="transfer_bytes")
+    for size in sizes_bytes:
+        kwargs_list = [
+            dict(cc=algo, config=base, duration=max_duration, seed=seed,
+                 total_bytes=int(size), run_past_duration_until_complete=False)
+            for algo in SWEEP_ALGORITHMS
+        ]
+        runs = dict(zip(SWEEP_ALGORITHMS, map_runs(run_single_flow, kwargs_list,
+                                                   max_workers=max_workers)))
+        row: dict = {"transfer_bytes": float(size)}
+        for algo, run in runs.items():
+            row[f"{algo}_completion_time"] = run.flow.completion_time
+            row[f"{algo}_goodput_bps"] = run.flow.goodput_bps
+            row[f"{algo}_send_stalls"] = run.flow.send_stalls
+        if row["reno_completion_time"] and row["restricted_completion_time"]:
+            row["speedup"] = row["reno_completion_time"] / row["restricted_completion_time"]
+        else:
+            row["speedup"] = None
+        result.rows.append(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def render_sweep(result: SweepResult) -> str:
+    """Render a sweep as an aligned text table."""
+    if not result.rows:
+        return f"{result.name}: (no rows)"
+    columns = [result.parameter] + [k for k in result.rows[0] if k != result.parameter]
+    table = Table(columns, title=result.name)
+    for row in result.rows:
+        cells = []
+        for col in columns:
+            value = row.get(col)
+            if value is None:
+                cells.append("-")
+            elif "goodput_bps" in col:
+                cells.append(format_rate(value))
+            elif isinstance(value, float):
+                cells.append(f"{value:.3g}")
+            else:
+                cells.append(str(value))
+        table.add_row(*cells)
+    return table.render()

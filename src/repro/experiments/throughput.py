@@ -1,0 +1,80 @@
+"""Experiment E2 — the paper's headline throughput number.
+
+Section 4: "Preliminary results show that our scheme is able to achieve 40%
+improvement in throughput compared to the standard TCP" on the 100 Mbit/s,
+60 ms-RTT ANL–LBNL path.
+
+:func:`run_throughput_comparison` reruns the paired bulk transfer and
+reports goodput for standard TCP and restricted slow-start plus the relative
+improvement; :func:`render_throughput` prints the table the paper's text
+summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.metrics import improvement_percent
+from ..workloads.scenarios import PathConfig
+from .report import comparison_table
+from .runner import ComparisonResult, run_comparison
+
+__all__ = ["ThroughputResult", "run_throughput_comparison", "render_throughput"]
+
+#: Improvement the paper reports (percent).
+PAPER_IMPROVEMENT_PERCENT = 40.0
+
+
+@dataclass
+class ThroughputResult:
+    """Headline throughput comparison."""
+
+    comparison: ComparisonResult
+    duration: float
+
+    @property
+    def standard_goodput_bps(self) -> float:
+        return self.comparison.runs["reno"].goodput_bps
+
+    @property
+    def restricted_goodput_bps(self) -> float:
+        return self.comparison.runs["restricted"].goodput_bps
+
+    @property
+    def improvement_percent(self) -> float:
+        return improvement_percent(self.standard_goodput_bps, self.restricted_goodput_bps)
+
+    def shape_holds(self) -> bool:
+        """The paper's claim: restricted slow-start wins by a large margin."""
+        return self.restricted_goodput_bps > self.standard_goodput_bps
+
+
+def run_throughput_comparison(
+    duration: float = 25.0,
+    config: PathConfig | None = None,
+    seed: int = 1,
+) -> ThroughputResult:
+    """Run the paired standard-vs-restricted bulk transfer."""
+    comparison = run_comparison(
+        algorithms=("reno", "restricted"),
+        baseline="reno",
+        config=config,
+        duration=duration,
+        seed=seed,
+    )
+    return ThroughputResult(comparison=comparison, duration=duration)
+
+
+def render_throughput(result: ThroughputResult) -> str:
+    """Render the headline table plus the paper-vs-measured improvement."""
+    table = comparison_table(
+        result.comparison,
+        title=f"Section 4 headline — {result.duration:.0f} s bulk transfer on the ANL-LBNL path",
+    )
+    lines = [
+        table.render(),
+        "",
+        f"measured improvement: {result.improvement_percent:+.1f}%   "
+        f"(paper reports ~{PAPER_IMPROVEMENT_PERCENT:.0f}% improvement)",
+    ]
+    return "\n".join(lines)

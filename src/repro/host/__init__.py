@@ -1,0 +1,19 @@
+"""End-host substrate: hosts, IFQ monitoring, sockets and applications."""
+
+from .apps import BulkSenderApp, CBRSource, OnOffSource, PoissonSource, SinkApp
+from .host import Host
+from .ifq import IFQMonitor
+from .sockets import SimSocket, listen, open_connection
+
+__all__ = [
+    "Host",
+    "IFQMonitor",
+    "SimSocket",
+    "open_connection",
+    "listen",
+    "BulkSenderApp",
+    "SinkApp",
+    "CBRSource",
+    "PoissonSource",
+    "OnOffSource",
+]

@@ -1,0 +1,346 @@
+"""Traffic-generating applications.
+
+These are the workload building blocks the experiments compose:
+
+* :class:`BulkSenderApp` — a greedy bulk transfer (``iperf``-like memory-to-
+  memory send), the workload of the paper's evaluation;
+* :class:`SinkApp` — the receiving side, counting delivered bytes;
+* :class:`CBRSource`, :class:`PoissonSource`, :class:`OnOffSource` — UDP-like
+  cross-traffic sources used in the robustness/ablation experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..net.address import Address, FlowId
+from ..net.packet import PROTO_UDP, Packet
+from ..sim.engine import Simulator
+from ..tcp.cc.base import CCContext, CongestionControl
+from ..tcp.connection import TCPConnection
+from ..tcp.options import TCPOptions
+from ..units import transmission_time
+from .host import Host
+
+__all__ = ["BulkSenderApp", "SinkApp", "CBRSource", "PoissonSource", "OnOffSource"]
+
+CCFactory = Callable[[CCContext], CongestionControl]
+
+#: Byte count standing in for "send forever" (far more than any finite run moves).
+UNLIMITED_BYTES = 1 << 40
+
+
+class BulkSenderApp:
+    """Greedy bulk-transfer sender.
+
+    Parameters
+    ----------
+    sim, host:
+        Simulator and the sending host.
+    remote_addr, remote_port:
+        Destination (a :class:`SinkApp` must listen there).
+    total_bytes:
+        Payload to transfer; ``None`` means "as much as possible" (the
+        paper's fixed-duration throughput measurements).
+    start_time:
+        Simulation time at which the transfer begins.
+    options, cc_factory:
+        Endpoint configuration / congestion-control factory for this flow.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        remote_addr: Address,
+        remote_port: int,
+        total_bytes: int | None = None,
+        start_time: float = 0.0,
+        options: TCPOptions | None = None,
+        cc_factory: CCFactory | None = None,
+        name: str = "",
+    ) -> None:
+        if total_bytes is not None and total_bytes <= 0:
+            raise ConfigurationError("total_bytes must be positive or None")
+        self.sim = sim
+        self.host = host
+        self.total_bytes = total_bytes
+        self.start_time = float(start_time)
+        self.name = name or f"bulk:{host.name}->{remote_addr}:{remote_port}"
+        self.connection: TCPConnection = host.stack.connect(
+            remote_addr, remote_port, options=options, cc_factory=cc_factory, name=self.name
+        )
+        self.connection.on_all_acked = self._on_all_acked
+        self.started = False
+        self.completed = False
+        self.completion_time: float | None = None
+        sim.schedule(max(self.start_time - sim.now, 0.0), self._start)
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self.started = True
+        amount = self.total_bytes if self.total_bytes is not None else UNLIMITED_BYTES
+        self.connection.app_write(amount)
+
+    def _on_all_acked(self) -> None:
+        if self.total_bytes is not None and not self.completed:
+            self.completed = True
+            self.completion_time = self.sim.now
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_acked(self) -> int:
+        """Payload bytes acknowledged so far."""
+        return self.connection.stats.ThruBytesAcked
+
+    @property
+    def stats(self):
+        """The flow's Web100 counter set."""
+        return self.connection.stats
+
+    def goodput_bps(self, now: float | None = None) -> float:
+        """Average acknowledged-byte goodput over the (active part of the) transfer.
+
+        For completed finite transfers the goodput is measured up to the
+        completion time, not up to the end of the simulation.
+        """
+        if now is None:
+            now = self.completion_time if self.completion_time is not None else self.sim.now
+        elapsed = now - self.start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_acked * 8.0 / elapsed
+
+    def elapsed(self, now: float | None = None) -> float:
+        """Transfer duration so far (or total, when completed)."""
+        end = self.completion_time if self.completion_time is not None else (
+            self.sim.now if now is None else now
+        )
+        return max(end - self.start_time, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BulkSenderApp {self.name} acked={self.bytes_acked}B>"
+
+
+class SinkApp:
+    """Receiving application: accepts connections on a port and counts bytes."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        options: TCPOptions | None = None,
+        name: str = "",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.name = name or f"sink:{host.name}:{port}"
+        self.bytes_received = 0
+        self.connections: list[TCPConnection] = []
+        host.stack.listen(port, options=options, on_connection=self._on_connection)
+
+    def _on_connection(self, conn: TCPConnection) -> None:
+        self.connections.append(conn)
+        conn.on_data = self._on_data
+
+    def _on_data(self, nbytes: int) -> None:
+        self.bytes_received += nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SinkApp {self.name} received={self.bytes_received}B>"
+
+
+class _UDPSourceBase:
+    """Shared machinery of the UDP-like cross-traffic sources."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        remote_addr: Address,
+        remote_port: int,
+        packet_bytes: int,
+        start_time: float,
+        stop_time: float | None,
+        name: str,
+    ) -> None:
+        if packet_bytes <= 0:
+            raise ConfigurationError("packet_bytes must be positive")
+        self.sim = sim
+        self.host = host
+        self.remote_addr = remote_addr
+        self.flow = FlowId(host.address, remote_addr, 0, remote_port)
+        self.packet_bytes = int(packet_bytes)
+        self.start_time = float(start_time)
+        self.stop_time = stop_time
+        self.name = name
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.send_failures = 0
+        self._running = False
+        sim.schedule(max(self.start_time - sim.now, 0.0), self._begin)
+
+    # subclass hook ------------------------------------------------------
+    def _next_interval(self) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
+        self._running = True
+        self._emit()
+
+    def stop(self) -> None:
+        """Stop generating traffic."""
+        self._running = False
+
+    def _active(self) -> bool:
+        if not self._running:
+            return False
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return False
+        return True
+
+    def _emit(self) -> None:
+        if not self._active():
+            return
+        packet = Packet(
+            size_bytes=self.packet_bytes,
+            src=self.host.address,
+            dst=self.remote_addr,
+            flow=self.flow,
+            protocol=PROTO_UDP,
+            created_at=self.sim.now,
+        )
+        if self.host.send_packet(packet):
+            self.packets_sent += 1
+            self.bytes_sent += self.packet_bytes
+        else:
+            self.send_failures += 1
+        self.sim.schedule(self._next_interval(), self._emit)
+
+    def rate_sent_bps(self, now: float | None = None) -> float:
+        """Average offered rate since the source started."""
+        now = self.sim.now if now is None else now
+        elapsed = now - self.start_time
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_sent * 8.0 / elapsed
+
+
+class CBRSource(_UDPSourceBase):
+    """Constant-bit-rate UDP source."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        remote_addr: Address,
+        remote_port: int,
+        rate_bps: float,
+        packet_bytes: int = 1500,
+        start_time: float = 0.0,
+        stop_time: float | None = None,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("rate_bps must be positive")
+        self.rate_bps = float(rate_bps)
+        super().__init__(sim, host, remote_addr, remote_port, packet_bytes,
+                         start_time, stop_time, name or f"cbr:{host.name}")
+
+    def _next_interval(self) -> float:
+        return transmission_time(self.packet_bytes, self.rate_bps)
+
+
+class PoissonSource(_UDPSourceBase):
+    """Poisson packet arrivals at a target mean rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        remote_addr: Address,
+        remote_port: int,
+        rate_bps: float,
+        packet_bytes: int = 1500,
+        start_time: float = 0.0,
+        stop_time: float | None = None,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError("rate_bps must be positive")
+        self.rate_bps = float(rate_bps)
+        name = name or f"poisson:{host.name}"
+        super().__init__(sim, host, remote_addr, remote_port, packet_bytes,
+                         start_time, stop_time, name)
+        self._mean_interval = transmission_time(packet_bytes, rate_bps)
+        self._rng = sim.rng(f"poisson:{name}")
+
+    def _next_interval(self) -> float:
+        return float(self._rng.exponential(self._mean_interval))
+
+
+class OnOffSource(_UDPSourceBase):
+    """Exponential on/off source sending CBR while "on"."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        remote_addr: Address,
+        remote_port: int,
+        peak_rate_bps: float,
+        mean_on_time: float = 0.5,
+        mean_off_time: float = 0.5,
+        packet_bytes: int = 1500,
+        start_time: float = 0.0,
+        stop_time: float | None = None,
+        name: str = "",
+    ) -> None:
+        if peak_rate_bps <= 0:
+            raise ConfigurationError("peak_rate_bps must be positive")
+        if mean_on_time <= 0 or mean_off_time <= 0:
+            raise ConfigurationError("on/off durations must be positive")
+        self.peak_rate_bps = float(peak_rate_bps)
+        self.mean_on_time = float(mean_on_time)
+        self.mean_off_time = float(mean_off_time)
+        name = name or f"onoff:{host.name}"
+        super().__init__(sim, host, remote_addr, remote_port, packet_bytes,
+                         start_time, stop_time, name)
+        self._rng = sim.rng(f"onoff:{name}")
+        self._on = True
+        self._phase_end = start_time  # recomputed when the source begins
+
+    def _begin(self) -> None:
+        self._on = True
+        self._phase_end = self.sim.now + float(self._rng.exponential(self.mean_on_time))
+        super()._begin()
+
+    def _next_interval(self) -> float:
+        interval = transmission_time(self.packet_bytes, self.peak_rate_bps)
+        now = self.sim.now
+        if now + interval < self._phase_end:
+            if self._on:
+                return interval
+            return self._phase_end - now
+        # phase boundary crossed: flip state
+        if self._on:
+            self._on = False
+            off_duration = float(self._rng.exponential(self.mean_off_time))
+            self._phase_end = now + off_duration
+            return off_duration
+        self._on = True
+        self._phase_end = now + float(self._rng.exponential(self.mean_on_time))
+        return interval
+
+    def _emit(self) -> None:
+        # During off periods the base class still wakes up (to flip phase)
+        # but must not transmit; easiest is to temporarily suppress sending.
+        if not self._active():
+            return
+        if self._on:
+            super()._emit()
+        else:
+            self.sim.schedule(self._next_interval(), self._emit)

@@ -1,0 +1,89 @@
+"""Interface-queue (IFQ) observation helpers.
+
+The restricted-slow-start controller *senses* the IFQ through
+``Host.ifq_probe``; experiments and the Ziegler–Nichols tuner additionally
+need a *record* of how the occupancy evolved and when stalls happened.
+:class:`IFQMonitor` provides that record without touching the hot path: it
+samples the occupancy on a periodic task and subscribes to the interface's
+stall listeners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.interface import NetworkInterface
+from ..net.packet import Packet
+from ..sim.engine import Simulator
+from ..sim.timers import PeriodicTask
+
+__all__ = ["IFQMonitor"]
+
+
+class IFQMonitor:
+    """Records IFQ occupancy over time and the times of enqueue failures.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used for the sampling task.
+    interface:
+        The interface whose output queue to observe (usually
+        ``host.default_interface``).
+    interval:
+        Sampling period in seconds.
+    """
+
+    def __init__(self, sim: Simulator, interface: NetworkInterface, interval: float = 0.01) -> None:
+        self.sim = sim
+        self.interface = interface
+        self.interval = float(interval)
+        self.sample_times: list[float] = []
+        self.occupancy: list[int] = []
+        self.stall_times: list[float] = []
+        self._task = PeriodicTask(sim, interval, self._sample, name=f"ifqmon:{interface.name}")
+        interface.stall_listeners.append(self._on_stall)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic occupancy sampling."""
+        self._task.start(fire_now=True)
+
+    def stop(self) -> None:
+        """Stop sampling (stall events keep being recorded)."""
+        self._task.stop()
+
+    def _sample(self, now: float) -> None:
+        self.sample_times.append(now)
+        self.occupancy.append(self.interface.qlen)
+
+    def _on_stall(self, interface: NetworkInterface, packet: Packet) -> None:
+        self.stall_times.append(self.sim.now)
+
+    # ------------------------------------------------------------------
+    @property
+    def stall_count(self) -> int:
+        """Number of enqueue failures observed."""
+        return len(self.stall_times)
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Largest sampled occupancy (see also the queue's own exact peak)."""
+        return max(self.occupancy) if self.occupancy else 0
+
+    def mean_occupancy(self) -> float:
+        """Mean of the sampled occupancy values."""
+        return float(np.mean(self.occupancy)) if self.occupancy else 0.0
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, occupancy)`` as NumPy arrays."""
+        return (
+            np.asarray(self.sample_times, dtype=float),
+            np.asarray(self.occupancy, dtype=float),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<IFQMonitor {self.interface.name} samples={len(self.occupancy)} "
+            f"stalls={self.stall_count}>"
+        )

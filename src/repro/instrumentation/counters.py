@@ -1,0 +1,63 @@
+"""Generic named counters and gauges.
+
+Components that are not TCP connections (routers, interfaces, controllers)
+still need a uniform way to expose counts for reports and tests.  The
+:class:`CounterSet` is a tiny dict-like helper with increment/observe
+semantics and a merge operation used when aggregating over many flows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """A mapping of counter name to value with convenience mutators."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = defaultdict(float)
+        self._gauges: dict[str, float] = {}
+
+    # counters ----------------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counts[name] += amount
+
+    def count(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self._counts.get(name, 0.0)
+
+    # gauges -------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge ``name``."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Latest value of gauge ``name``."""
+        return self._gauges.get(name, default)
+
+    # aggregation ---------------------------------------------------------
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        """Return a new set with counters summed and gauges taken from ``other``."""
+        merged = CounterSet()
+        for name, value in self._counts.items():
+            merged._counts[name] += value
+        for name, value in other._counts.items():
+            merged._counts[name] += value
+        merged._gauges.update(self._gauges)
+        merged._gauges.update(other._gauges)
+        return merged
+
+    def as_dict(self) -> dict[str, float]:
+        """Counters and gauges flattened into one dictionary."""
+        out = dict(self._counts)
+        out.update(self._gauges)
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts or name in self._gauges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterSet {self.as_dict()!r}>"

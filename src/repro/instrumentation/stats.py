@@ -1,0 +1,108 @@
+"""Summary statistics helpers.
+
+Small, NumPy-backed utilities shared by the analysis layer and the tests:
+summaries of sample sets, interval throughput computation from cumulative
+byte counts, and cumulative event counting used to build the paper's
+Figure 1 (cumulative send-stall signals over time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["SummaryStats", "summarize", "interval_throughput", "cumulative_events"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample set."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Iterable[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over ``samples`` (empty input allowed)."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def interval_throughput(
+    times: Sequence[float], cumulative_bytes: Sequence[float], interval: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert a cumulative byte count series to per-interval throughput.
+
+    Parameters
+    ----------
+    times, cumulative_bytes:
+        Sampled cumulative byte counts (monotone non-decreasing).
+    interval:
+        Width of the throughput bins in seconds.
+
+    Returns ``(bin_end_times, throughput_bps)``.
+    """
+    if interval <= 0:
+        raise ConfigurationError("interval must be positive")
+    t = np.asarray(times, dtype=float)
+    b = np.asarray(cumulative_bytes, dtype=float)
+    if t.size != b.size:
+        raise ConfigurationError("times and cumulative_bytes must have equal length")
+    if t.size == 0:
+        return np.array([]), np.array([])
+    end = t[-1]
+    edges = np.arange(0.0, end + interval, interval)
+    if edges[-1] < end:
+        edges = np.append(edges, end)
+    # cumulative bytes at each bin edge (piecewise-constant interpolation)
+    idx = np.searchsorted(t, edges, side="right") - 1
+    idx = np.clip(idx, 0, t.size - 1)
+    bytes_at_edges = np.where(edges < t[0], 0.0, b[idx])
+    deltas = np.diff(bytes_at_edges)
+    widths = np.diff(edges)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        thr = np.where(widths > 0, deltas * 8.0 / widths, 0.0)
+    return edges[1:], thr
+
+
+def cumulative_events(
+    event_times: Sequence[float], sample_times: Sequence[float]
+) -> np.ndarray:
+    """Cumulative count of events at each sample time.
+
+    This is exactly the quantity plotted in the paper's Figure 1: the
+    cumulative number of send-stall signals as a function of time.
+    """
+    ev = np.sort(np.asarray(event_times, dtype=float))
+    t = np.asarray(sample_times, dtype=float)
+    return np.searchsorted(ev, t, side="right").astype(float)

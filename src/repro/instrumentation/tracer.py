@@ -1,0 +1,122 @@
+"""Time-series tracers.
+
+Experiments need the evolution of quantities over time — congestion window,
+IFQ occupancy, cumulative send-stalls — to regenerate the paper's Figure 1
+and the ablation plots.  :class:`TimeSeriesTracer` samples arbitrary probes
+at a fixed period using the simulator's :class:`~repro.sim.timers.PeriodicTask`
+and stores the results as NumPy-convertible columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.timers import PeriodicTask
+
+__all__ = ["TimeSeries", "TimeSeriesTracer"]
+
+
+class TimeSeries:
+    """A named sequence of ``(time, value)`` samples."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Add one sample."""
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` as float arrays."""
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+    def last(self) -> float | None:
+        """Most recent value (``None`` when empty)."""
+        return self.values[-1] if self.values else None
+
+    def value_at(self, time: float) -> float:
+        """Value of the most recent sample at or before ``time`` (0.0 if none)."""
+        idx = int(np.searchsorted(np.asarray(self.times), time, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return self.values[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeSeries {self.name} n={len(self)}>"
+
+
+class TimeSeriesTracer:
+    """Samples named probes at a fixed interval.
+
+    Parameters
+    ----------
+    sim:
+        Simulator to schedule the sampling task on.
+    interval:
+        Sampling period in seconds.
+
+    Usage::
+
+        tracer = TimeSeriesTracer(sim, interval=0.1)
+        tracer.add_probe("cwnd", lambda: conn.cwnd_bytes)
+        tracer.add_probe("ifq", lambda: host.ifq_qlen)
+        tracer.start()
+        sim.run(until=25.0)
+        times, cwnd = tracer.series("cwnd").as_arrays()
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 0.1, name: str = "tracer") -> None:
+        if interval <= 0:
+            raise ConfigurationError("tracer interval must be positive")
+        self.sim = sim
+        self.interval = float(interval)
+        self.name = name
+        self._probes: dict[str, Callable[[], float]] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._task = PeriodicTask(sim, interval, self._sample, name=f"{name}.sampler")
+
+    # ------------------------------------------------------------------
+    def add_probe(self, name: str, probe: Callable[[], float]) -> None:
+        """Register a probe; its value is recorded once per interval."""
+        if name in self._probes:
+            raise ConfigurationError(f"duplicate probe name {name!r}")
+        self._probes[name] = probe
+        self._series[name] = TimeSeries(name)
+
+    def start(self, fire_now: bool = True) -> None:
+        """Begin sampling (by default takes an immediate t=now sample)."""
+        self._task.start(fire_now=fire_now)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._task.stop()
+
+    def _sample(self, now: float) -> None:
+        for name, probe in self._probes.items():
+            self._series[name].append(now, float(probe()))
+
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> TimeSeries:
+        """Return the recorded series for ``name``."""
+        try:
+            return self._series[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown series {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Names of registered probes."""
+        return sorted(self._probes)
+
+    def as_dict(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """All series as ``{name: (times, values)}`` arrays."""
+        return {name: s.as_arrays() for name, s in self._series.items()}

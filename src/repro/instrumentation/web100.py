@@ -1,0 +1,153 @@
+"""Web100-style per-connection instrumentation.
+
+The paper used the Web100 kernel instrumentation set (www.web100.org) to
+observe TCP internals — most importantly the ``SendStall`` counter that
+counts local send-stall (interface-queue saturation) events, and the
+congestion-signal counters used to tell apart network loss from local
+congestion.
+
+:class:`Web100Stats` mirrors the subset of the Web100 KIS variables this
+reproduction consumes.  The simulated TCP connection updates it inline;
+experiments read it directly or take periodic :meth:`snapshot` copies via
+:class:`~repro.instrumentation.tracer.TimeSeriesTracer`.
+
+Variables kept (names follow the Web100 draft MIB):
+
+========================  =====================================================
+``PktsOut``               total segments transmitted (data + pure ACKs)
+``DataPktsOut``           data segments transmitted (including retransmissions)
+``DataBytesOut``          payload bytes transmitted (including retransmissions)
+``PktsRetrans``           retransmitted segments
+``BytesRetrans``          retransmitted payload bytes
+``ThruBytesAcked``        cumulatively acknowledged payload bytes (goodput)
+``AckPktsIn``             pure ACK segments received
+``DupAcksIn``             duplicate ACKs received
+``DataPktsIn``            data segments received
+``DataBytesIn``           payload bytes received
+``AckPktsOut``            pure ACK segments sent
+``SendStall``             local send-stall events (IFQ rejected a segment)
+``CongestionSignals``     multiplicative-decrease congestion events
+``OtherReductions``       window reductions not counted as congestion signals
+``Timeouts``              retransmission timer expirations
+``FastRetran``            fast-retransmit events
+``SlowStart``             ACKs processed while in slow-start
+``CongAvoid``             ACKs processed while in congestion avoidance
+``CurCwnd``               current congestion window (bytes)
+``MaxCwnd``               maximum congestion window observed (bytes)
+``CurSsthresh``           current slow-start threshold (bytes)
+``MinSsthresh``           minimum ssthresh observed (bytes)
+``CurRTO``                current retransmission timeout (seconds)
+``SmoothedRTT``           smoothed RTT estimate (seconds)
+``MinRTT`` / ``MaxRTT``   extreme RTT samples (seconds)
+``SampledRTT``            most recent RTT sample (seconds)
+``CountRTT``              number of RTT samples
+``CurMSS``                sender maximum segment size (bytes)
+``RwinRcvd``              last receiver window advertisement seen (bytes)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+
+__all__ = ["Web100Stats"]
+
+
+@dataclass
+class Web100Stats:
+    """Mutable per-connection counter set (see module docstring for fields)."""
+
+    PktsOut: int = 0
+    DataPktsOut: int = 0
+    DataBytesOut: int = 0
+    PktsRetrans: int = 0
+    BytesRetrans: int = 0
+    ThruBytesAcked: int = 0
+    AckPktsIn: int = 0
+    DupAcksIn: int = 0
+    DataPktsIn: int = 0
+    DataBytesIn: int = 0
+    AckPktsOut: int = 0
+    SendStall: int = 0
+    CongestionSignals: int = 0
+    OtherReductions: int = 0
+    Timeouts: int = 0
+    FastRetran: int = 0
+    SlowStart: int = 0
+    CongAvoid: int = 0
+    CurCwnd: int = 0
+    MaxCwnd: int = 0
+    CurSsthresh: float = math.inf
+    MinSsthresh: float = math.inf
+    CurRTO: float = 0.0
+    SmoothedRTT: float = 0.0
+    MinRTT: float = math.inf
+    MaxRTT: float = 0.0
+    SampledRTT: float = 0.0
+    CountRTT: int = 0
+    CurMSS: int = 0
+    RwinRcvd: int = 0
+    StartTimeSec: float = 0.0
+
+    #: Event log of (time, counter-name) pairs for counters whose *timing*
+    #: matters to the experiments (SendStall, CongestionSignals, Timeouts).
+    signal_times: dict = field(default_factory=lambda: {
+        "SendStall": [],
+        "CongestionSignals": [],
+        "Timeouts": [],
+        "FastRetran": [],
+    })
+
+    # ------------------------------------------------------------------
+    def record_signal(self, name: str, time: float) -> None:
+        """Increment a signal counter and remember when it fired."""
+        setattr(self, name, getattr(self, name) + 1)
+        self.signal_times.setdefault(name, []).append(time)
+
+    def observe_cwnd(self, cwnd_bytes: int) -> None:
+        """Update the current/maximum congestion-window gauges."""
+        self.CurCwnd = int(cwnd_bytes)
+        if self.CurCwnd > self.MaxCwnd:
+            self.MaxCwnd = self.CurCwnd
+
+    def observe_ssthresh(self, ssthresh_bytes: float) -> None:
+        """Update the current/minimum ssthresh gauges."""
+        self.CurSsthresh = ssthresh_bytes
+        if ssthresh_bytes < self.MinSsthresh:
+            self.MinSsthresh = ssthresh_bytes
+
+    def observe_rtt(self, sample_s: float, srtt_s: float, rto_s: float) -> None:
+        """Record an RTT sample and the derived estimator state."""
+        self.SampledRTT = sample_s
+        self.SmoothedRTT = srtt_s
+        self.CurRTO = rto_s
+        self.CountRTT += 1
+        if sample_s < self.MinRTT:
+            self.MinRTT = sample_s
+        if sample_s > self.MaxRTT:
+            self.MaxRTT = sample_s
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Return a plain-dict copy of all scalar counters (no signal log)."""
+        out = {}
+        for f in fields(self):
+            if f.name == "signal_times":
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    def stall_times(self) -> list[float]:
+        """Times (seconds) at which send-stall signals fired."""
+        return list(self.signal_times.get("SendStall", []))
+
+    def congestion_times(self) -> list[float]:
+        """Times (seconds) at which congestion signals fired."""
+        return list(self.signal_times.get("CongestionSignals", []))
+
+    def goodput_bps(self, duration_s: float) -> float:
+        """Acknowledged-byte goodput over ``duration_s`` seconds."""
+        if duration_s <= 0:
+            return 0.0
+        return self.ThruBytesAcked * 8.0 / duration_s

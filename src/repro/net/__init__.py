@@ -1,0 +1,42 @@
+"""Network substrate: packets, queues, interfaces, links, routers, topologies."""
+
+from .address import Address, AddressAllocator, FlowId
+from .interface import InterfaceStats, NetworkInterface
+from .lossmodels import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+)
+from .node import Node
+from .packet import PROTO_TCP, PROTO_UDP, Packet
+from .queues import DropTailQueue, InfiniteQueue, PacketQueue, QueueStats, REDQueue
+from .router import Router
+from .topology import LinkSpec, Topology, default_queue_factory
+
+__all__ = [
+    "Address",
+    "AddressAllocator",
+    "FlowId",
+    "Packet",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PacketQueue",
+    "DropTailQueue",
+    "REDQueue",
+    "InfiniteQueue",
+    "QueueStats",
+    "NetworkInterface",
+    "InterfaceStats",
+    "Node",
+    "Router",
+    "Topology",
+    "LinkSpec",
+    "default_queue_factory",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DeterministicLoss",
+]

@@ -1,0 +1,125 @@
+"""Link loss models.
+
+The ANL–LBNL path in the paper is effectively loss-free apart from
+congestion drops; these models exist for robustness experiments (how does
+restricted slow-start behave with random or bursty corruption loss?) and for
+deterministic fault injection in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .packet import Packet
+
+__all__ = [
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DeterministicLoss",
+]
+
+
+class LossModel:
+    """Decides whether a packet is corrupted/lost on a link."""
+
+    def should_drop(self, packet: Packet, rng: np.random.Generator) -> bool:
+        """Return True when the packet should be dropped."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state (burst models); default is a no-op."""
+
+
+class NoLoss(LossModel):
+    """Never drops anything (the default)."""
+
+    def should_drop(self, packet: Packet, rng: np.random.Generator) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet loss with probability ``p``."""
+
+    def __init__(self, p: float) -> None:
+        if not (0.0 <= p <= 1.0):
+            raise ConfigurationError(f"loss probability must be in [0, 1], got {p!r}")
+        self.p = float(p)
+
+    def should_drop(self, packet: Packet, rng: np.random.Generator) -> bool:
+        if self.p <= 0.0:
+            return False
+        return bool(rng.random() < self.p)
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state (good/bad) bursty loss model.
+
+    Parameters
+    ----------
+    p_good_to_bad, p_bad_to_good:
+        Per-packet transition probabilities between the two states.
+    loss_good, loss_bad:
+        Loss probability while in each state.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self.in_bad_state = False
+
+    def reset(self) -> None:
+        self.in_bad_state = False
+
+    def should_drop(self, packet: Packet, rng: np.random.Generator) -> bool:
+        # state transition first, then the loss draw in the new state
+        if self.in_bad_state:
+            if rng.random() < self.p_bad_to_good:
+                self.in_bad_state = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self.in_bad_state = True
+        p = self.loss_bad if self.in_bad_state else self.loss_good
+        if p <= 0.0:
+            return False
+        return bool(rng.random() < p)
+
+
+class DeterministicLoss(LossModel):
+    """Drop an explicit set of packet indices crossing the link.
+
+    Useful for reproducible fault-injection tests ("drop the 3rd and 10th
+    packet and check fast retransmit kicks in").
+    """
+
+    def __init__(self, drop_indices: Iterable[int]) -> None:
+        self.drop_indices = set(int(i) for i in drop_indices)
+        self._count = 0
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def should_drop(self, packet: Packet, rng: np.random.Generator) -> bool:
+        index = self._count
+        self._count += 1
+        return index in self.drop_indices

@@ -1,0 +1,60 @@
+"""Node base class.
+
+A node is anything that terminates or forwards packets: hosts
+(:class:`repro.host.host.Host`) and routers
+(:class:`repro.net.router.Router`).  Nodes own network interfaces and expose
+a :meth:`receive` entry point that interfaces call when a packet arrives.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import TopologyError
+from .address import Address
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .interface import NetworkInterface
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Base class for hosts and routers."""
+
+    def __init__(self, name: str, address: Address) -> None:
+        self.name = name
+        self.address = address
+        self.interfaces: list["NetworkInterface"] = []
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    def add_interface(self, interface: "NetworkInterface") -> None:
+        """Register an interface as belonging to this node."""
+        if interface in self.interfaces:
+            raise TopologyError(f"interface {interface.name!r} already attached to {self.name!r}")
+        self.interfaces.append(interface)
+
+    def interface_to(self, neighbor_address: Address) -> "NetworkInterface":
+        """The interface whose link terminates at ``neighbor_address``."""
+        for iface in self.interfaces:
+            peer = iface.peer_node
+            if peer is not None and peer.address == neighbor_address:
+                return iface
+        raise TopologyError(
+            f"node {self.name!r} has no interface towards address {neighbor_address}"
+        )
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, interface: "NetworkInterface") -> None:
+        """Handle an arriving packet.  Subclasses must override."""
+        raise NotImplementedError
+
+    def _count_arrival(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} addr={self.address}>"

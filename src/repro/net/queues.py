@@ -1,0 +1,324 @@
+"""Packet queues.
+
+Queues are the "soft components" the paper is about: the sending host's
+network interface queue (``txqueuelen``) and router buffers.  Every queue
+tracks the occupancy statistics the experiments need (drops, peak and
+time-averaged occupancy) without requiring an external tracer.
+
+Three disciplines are provided:
+
+* :class:`DropTailQueue` — finite FIFO, drop arriving packet when full
+  (Linux ``pfifo``; what both the IFQ and the routers in the paper use).
+* :class:`REDQueue` — Random Early Detection, used in ablations to show the
+  proposed controller does not depend on drop-tail behaviour.
+* :class:`InfiniteQueue` — unbounded FIFO for ideal-buffer baselines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .packet import Packet
+
+__all__ = ["QueueStats", "PacketQueue", "DropTailQueue", "REDQueue", "InfiniteQueue"]
+
+
+class QueueStats:
+    """Occupancy and drop statistics maintained by every queue."""
+
+    __slots__ = (
+        "enqueued",
+        "dequeued",
+        "dropped",
+        "bytes_enqueued",
+        "bytes_dequeued",
+        "bytes_dropped",
+        "peak_packets",
+        "peak_bytes",
+        "_occupancy_integral",
+        "_last_change",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.bytes_enqueued = 0
+        self.bytes_dequeued = 0
+        self.bytes_dropped = 0
+        self.peak_packets = 0
+        self.peak_bytes = 0
+        self._occupancy_integral = 0.0
+        self._last_change = 0.0
+
+    def observe(self, now: float, qlen: int) -> None:
+        """Accumulate the occupancy integral up to ``now``."""
+        dt = now - self._last_change
+        if dt > 0:
+            self._occupancy_integral += qlen * dt
+            self._last_change = now
+
+    def mean_occupancy(self, now: float, qlen: int) -> float:
+        """Time-averaged occupancy in packets from t=0 to ``now``."""
+        if now <= 0:
+            return float(qlen)
+        return (self._occupancy_integral + qlen * (now - self._last_change)) / now
+
+    def as_dict(self, now: float | None = None, qlen: int = 0) -> dict:
+        out = {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "dropped": self.dropped,
+            "bytes_enqueued": self.bytes_enqueued,
+            "bytes_dequeued": self.bytes_dequeued,
+            "bytes_dropped": self.bytes_dropped,
+            "peak_packets": self.peak_packets,
+            "peak_bytes": self.peak_bytes,
+        }
+        if now is not None:
+            out["mean_occupancy"] = self.mean_occupancy(now, qlen)
+        return out
+
+
+class PacketQueue:
+    """Base FIFO packet queue.
+
+    Subclasses implement :meth:`_admit` to decide whether an arriving packet
+    is accepted.  The base class handles FIFO order, byte accounting and
+    statistics.
+
+    Parameters
+    ----------
+    capacity_packets:
+        Maximum number of queued packets (``None`` = unbounded).
+    capacity_bytes:
+        Maximum number of queued bytes (``None`` = unbounded).  Both limits
+        may be given; a packet must satisfy both to be admitted.
+    clock:
+        A callable returning the current simulation time; usually
+        ``sim.now`` via ``lambda: sim.now`` or the bound property of a
+        simulator.  Queues only use it for statistics, so a constant zero
+        clock is acceptable in unit tests.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: Optional[int] = None,
+        capacity_bytes: Optional[int] = None,
+        clock: Callable[[], float] | None = None,
+        name: str = "queue",
+    ) -> None:
+        if capacity_packets is not None and capacity_packets < 0:
+            raise ConfigurationError("capacity_packets must be >= 0 or None")
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ConfigurationError("capacity_bytes must be >= 0 or None")
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+        #: Optional observers invoked as ``fn(queue, packet)`` on each drop.
+        self.drop_listeners: list[Callable[["PacketQueue", Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def qlen(self) -> int:
+        """Number of packets currently queued."""
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Number of bytes currently queued."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def is_full(self) -> bool:
+        """True when one more full-size packet would certainly be rejected."""
+        if self.capacity_packets is not None and len(self._queue) >= self.capacity_packets:
+            return True
+        return False
+
+    def occupancy_fraction(self) -> float:
+        """Occupancy as a fraction of the packet capacity (0 when unbounded)."""
+        if not self.capacity_packets:
+            return 0.0
+        return len(self._queue) / self.capacity_packets
+
+    # ------------------------------------------------------------------
+    # admission policy (subclass hook)
+    # ------------------------------------------------------------------
+    def _admit(self, packet: Packet) -> bool:
+        """Return True when ``packet`` may be enqueued."""
+        raise NotImplementedError
+
+    def _within_capacity(self, packet: Packet) -> bool:
+        if self.capacity_packets is not None and len(self._queue) + 1 > self.capacity_packets:
+            return False
+        if self.capacity_bytes is not None and self._bytes + packet.size_bytes > self.capacity_bytes:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Try to enqueue ``packet``; returns False (and counts a drop) on failure."""
+        now = self._clock()
+        self.stats.observe(now, len(self._queue))
+        if not self._admit(packet):
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += packet.size_bytes
+            for listener in self.drop_listeners:
+                listener(self, packet)
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size_bytes
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size_bytes
+        if len(self._queue) > self.stats.peak_packets:
+            self.stats.peak_packets = len(self._queue)
+        if self._bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self._bytes
+        return True
+
+    def dequeue(self) -> Packet | None:
+        """Remove and return the head-of-line packet (or None when empty)."""
+        if not self._queue:
+            return None
+        now = self._clock()
+        self.stats.observe(now, len(self._queue))
+        packet = self._queue.popleft()
+        self._bytes -= packet.size_bytes
+        self.stats.dequeued += 1
+        self.stats.bytes_dequeued += packet.size_bytes
+        return packet
+
+    def peek(self) -> Packet | None:
+        """Head-of-line packet without removing it."""
+        return self._queue[0] if self._queue else None
+
+    def clear(self) -> None:
+        """Drop everything currently queued (not counted as drops)."""
+        self._queue.clear()
+        self._bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = self.capacity_packets if self.capacity_packets is not None else "inf"
+        return f"<{type(self).__name__} {self.name} {len(self._queue)}/{cap}>"
+
+
+class DropTailQueue(PacketQueue):
+    """Finite FIFO that drops arriving packets when full (Linux ``pfifo``)."""
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        capacity_bytes: Optional[int] = None,
+        clock: Callable[[], float] | None = None,
+        name: str = "droptail",
+    ) -> None:
+        if capacity_packets is None or capacity_packets <= 0:
+            raise ConfigurationError("DropTailQueue needs a positive packet capacity")
+        super().__init__(capacity_packets, capacity_bytes, clock, name)
+
+    def _admit(self, packet: Packet) -> bool:
+        return self._within_capacity(packet)
+
+
+class InfiniteQueue(PacketQueue):
+    """Unbounded FIFO (ideal buffer baseline)."""
+
+    def __init__(self, clock: Callable[[], float] | None = None, name: str = "infinite") -> None:
+        super().__init__(None, None, clock, name)
+
+    def _admit(self, packet: Packet) -> bool:
+        return True
+
+
+class REDQueue(PacketQueue):
+    """Random Early Detection queue (Floyd & Jacobson 1993, "gentle" variant).
+
+    Used in ablation experiments; the IFQ in the paper is drop-tail, but RED
+    routers let us check that restricted slow-start does not rely on
+    drop-tail bottlenecks.
+
+    Parameters
+    ----------
+    min_threshold, max_threshold:
+        Average-queue thresholds (packets) between which the drop
+        probability ramps from 0 to ``max_p``; above ``max_threshold`` the
+        gentle variant ramps from ``max_p`` to 1 at ``2 * max_threshold``.
+    weight:
+        EWMA weight for the average queue size.
+    rng:
+        ``numpy.random.Generator`` used for the drop coin flips.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        min_threshold: float,
+        max_threshold: float,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        rng: np.random.Generator | None = None,
+        clock: Callable[[], float] | None = None,
+        name: str = "red",
+    ) -> None:
+        if not (0 < min_threshold < max_threshold <= capacity_packets):
+            raise ConfigurationError(
+                "RED thresholds must satisfy 0 < min < max <= capacity"
+            )
+        if not (0.0 < max_p <= 1.0):
+            raise ConfigurationError("max_p must be in (0, 1]")
+        if not (0.0 < weight <= 1.0):
+            raise ConfigurationError("weight must be in (0, 1]")
+        super().__init__(capacity_packets, None, clock, name)
+        self.min_threshold = float(min_threshold)
+        self.max_threshold = float(max_threshold)
+        self.max_p = float(max_p)
+        self.weight = float(weight)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.avg = 0.0
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    def _admit(self, packet: Packet) -> bool:
+        # update the EWMA of the queue size on each arrival
+        self.avg = (1.0 - self.weight) * self.avg + self.weight * len(self._queue)
+        if not self._within_capacity(packet):
+            self.forced_drops += 1
+            return False
+        if self.avg < self.min_threshold:
+            return True
+        if self.avg < self.max_threshold:
+            p = self.max_p * (self.avg - self.min_threshold) / (
+                self.max_threshold - self.min_threshold
+            )
+        elif self.avg < 2.0 * self.max_threshold:
+            # "gentle" RED region
+            p = self.max_p + (1.0 - self.max_p) * (self.avg - self.max_threshold) / (
+                self.max_threshold
+            )
+        else:
+            p = 1.0
+        if self.rng.random() < p:
+            self.early_drops += 1
+            return False
+        return True

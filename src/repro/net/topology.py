@@ -1,0 +1,194 @@
+"""Topology container and route computation.
+
+:class:`Topology` keeps track of nodes and bidirectional links, builds the
+per-direction :class:`~repro.net.interface.NetworkInterface` pairs, and
+computes destination-based routing tables for every
+:class:`~repro.net.router.Router` using shortest paths (hop count by
+default, propagation delay optionally) over a :mod:`networkx` graph.
+
+The concrete experiment topologies (single path, dumbbell with N flows) are
+assembled by :mod:`repro.workloads.scenarios` on top of this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import networkx as nx
+
+from ..errors import TopologyError
+from ..sim.engine import Simulator
+from .interface import NetworkInterface
+from .lossmodels import LossModel
+from .node import Node
+from .queues import DropTailQueue, PacketQueue
+from .router import Router
+
+__all__ = ["Topology", "LinkSpec", "default_queue_factory"]
+
+#: Signature of a queue factory: ``factory(clock, name) -> PacketQueue``.
+QueueFactory = Callable[[Callable[[], float], str], PacketQueue]
+
+
+def default_queue_factory(capacity_packets: int = 100) -> QueueFactory:
+    """Return a factory building drop-tail queues of ``capacity_packets``."""
+
+    def factory(clock: Callable[[], float], name: str) -> PacketQueue:
+        return DropTailQueue(capacity_packets, clock=clock, name=name)
+
+    return factory
+
+
+class LinkSpec:
+    """Description of one bidirectional link installed in a topology."""
+
+    __slots__ = ("node_a", "node_b", "iface_ab", "iface_ba", "rate_bps", "delay_s")
+
+    def __init__(
+        self,
+        node_a: Node,
+        node_b: Node,
+        iface_ab: NetworkInterface,
+        iface_ba: NetworkInterface,
+        rate_bps: float,
+        delay_s: float,
+    ) -> None:
+        self.node_a = node_a
+        self.node_b = node_b
+        self.iface_ab = iface_ab
+        self.iface_ba = iface_ba
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+
+
+class Topology:
+    """A collection of nodes and links plus routing-table construction."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: dict[str, Node] = {}
+        self.links: list[LinkSpec] = []
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register a node (host or router) with the topology."""
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        for existing in self.nodes.values():
+            if existing.address == node.address:
+                raise TopologyError(
+                    f"duplicate address {node.address} ({existing.name!r} vs {node.name!r})"
+                )
+        self.nodes[node.name] = node
+        self.graph.add_node(node.name)
+        return node
+
+    def add_link(
+        self,
+        node_a: Node,
+        node_b: Node,
+        rate_bps: float,
+        delay_s: float,
+        queue_factory: QueueFactory | None = None,
+        queue_factory_ba: QueueFactory | None = None,
+        loss_model: LossModel | None = None,
+        loss_model_ba: LossModel | None = None,
+        name: str | None = None,
+    ) -> LinkSpec:
+        """Create a bidirectional link between two registered nodes.
+
+        Each direction gets its own queue (built by ``queue_factory``; the
+        reverse direction may use a different ``queue_factory_ba``) and its
+        own :class:`NetworkInterface`.
+        """
+        for node in (node_a, node_b):
+            if node.name not in self.nodes:
+                raise TopologyError(f"node {node.name!r} is not part of this topology")
+        if queue_factory is None:
+            queue_factory = default_queue_factory()
+        if queue_factory_ba is None:
+            queue_factory_ba = queue_factory
+        label = name or f"{node_a.name}--{node_b.name}"
+        clock = lambda: self.sim.now  # noqa: E731 - tiny closure is clearer here
+
+        q_ab = queue_factory(clock, f"{label}:{node_a.name}->{node_b.name}")
+        q_ba = queue_factory_ba(clock, f"{label}:{node_b.name}->{node_a.name}")
+        iface_ab = NetworkInterface(
+            self.sim, node_a, q_ab, rate_bps, delay_s,
+            name=f"{node_a.name}->{node_b.name}", loss_model=loss_model,
+        )
+        iface_ba = NetworkInterface(
+            self.sim, node_b, q_ba, rate_bps, delay_s,
+            name=f"{node_b.name}->{node_a.name}", loss_model=loss_model_ba,
+        )
+        iface_ab.connect(node_b, iface_ba)
+        iface_ba.connect(node_a, iface_ab)
+
+        spec = LinkSpec(node_a, node_b, iface_ab, iface_ba, rate_bps, delay_s)
+        self.links.append(spec)
+        self.graph.add_edge(node_a.name, node_b.name, delay=delay_s, rate=rate_bps)
+        return spec
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def build_routes(self, weight: str | None = None) -> None:
+        """Populate every router's routing table using shortest paths.
+
+        Parameters
+        ----------
+        weight:
+            ``None`` for hop-count shortest paths, or an edge attribute name
+            (``"delay"``) to minimise that metric instead.
+        """
+        if not nx.is_connected(self.graph) and len(self.graph) > 1:
+            raise TopologyError("topology graph is not connected")
+        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight=weight))
+        for node in self.nodes.values():
+            if not isinstance(node, Router):
+                continue
+            for dest_name, dest_node in self.nodes.items():
+                if dest_name == node.name or isinstance(dest_node, Router):
+                    continue
+                path = paths[node.name].get(dest_name)
+                if path is None or len(path) < 2:
+                    raise TopologyError(
+                        f"no path from {node.name!r} to {dest_name!r}"
+                    )
+                next_hop = self.nodes[path[1]]
+                node.set_route(dest_node.address, node.interface_to(next_hop.address))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def routers(self) -> list[Router]:
+        """All routers in the topology."""
+        return [n for n in self.nodes.values() if isinstance(n, Router)]
+
+    def hosts(self) -> list[Node]:
+        """All non-router nodes in the topology."""
+        return [n for n in self.nodes.values() if not isinstance(n, Router)]
+
+    def interfaces(self) -> Iterable[NetworkInterface]:
+        """Every interface in the topology (both link directions)."""
+        for spec in self.links:
+            yield spec.iface_ab
+            yield spec.iface_ba
+
+    def path_rtt(self, name_a: str, name_b: str) -> float:
+        """Two-way propagation delay between two nodes (ignores serialisation)."""
+        delay = nx.shortest_path_length(self.graph, name_a, name_b, weight="delay")
+        return 2.0 * delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Topology nodes={len(self.nodes)} links={len(self.links)}>"

@@ -1,0 +1,29 @@
+"""Discrete-event simulation engine (substrate).
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop every component
+  schedules on.
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventPriority`
+* :class:`~repro.sim.timers.Timer` / :class:`~repro.sim.timers.PeriodicTask`
+* :class:`~repro.sim.randomness.RandomStreams`
+* :class:`~repro.sim.tracing.TraceRecorder`
+"""
+
+from .engine import Simulator
+from .events import Event, EventPriority
+from .randomness import RandomStreams, derive_seed
+from .timers import PeriodicTask, Timer
+from .tracing import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventPriority",
+    "Timer",
+    "PeriodicTask",
+    "RandomStreams",
+    "derive_seed",
+    "TraceRecord",
+    "TraceRecorder",
+]

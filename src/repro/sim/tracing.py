@@ -1,0 +1,108 @@
+"""Lightweight trace recording for simulation components.
+
+A :class:`TraceRecorder` collects ``(time, category, message, fields)``
+records.  It is disabled by default (recording is a cheap no-op) so the
+packet-level hot path only pays for tracing when an experiment explicitly
+asks for it.  Recorded traces can be filtered by category and exported as
+plain dictionaries for analysis or test assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace record."""
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten the record into a plain dictionary."""
+        out = {"time": self.time, "category": self.category, "message": self.message}
+        out.update(self.fields)
+        return out
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects emitted by components.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default for bare simulators) :meth:`record` is a
+        no-op, keeping the hot path cheap.
+    categories:
+        Optional whitelist; when given, only those categories are stored.
+    max_records:
+        Optional cap; once reached, further records are dropped and
+        :attr:`overflowed` is set (prevents unbounded memory in long runs).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Iterable[str] | None = None,
+        max_records: int | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.overflowed = False
+        self._clock: Any = None
+
+    # ------------------------------------------------------------------
+    def bind_clock(self, sim: Any) -> None:
+        """Attach a simulator so :meth:`record` can omit the time argument."""
+        self._clock = sim
+
+    def record(
+        self,
+        category: str,
+        message: str,
+        time: float | None = None,
+        **fields: Any,
+    ) -> None:
+        """Store a record (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.overflowed = True
+            return
+        if time is None:
+            time = self._clock.now if self._clock is not None else 0.0
+        self.records.append(TraceRecord(time, category, message, fields))
+
+    # ------------------------------------------------------------------
+    def filter(self, category: str) -> list[TraceRecord]:
+        """Return all records of one category."""
+        return [r for r in self.records if r.category == category]
+
+    def categories_seen(self) -> set[str]:
+        """Distinct categories recorded so far."""
+        return {r.category for r in self.records}
+
+    def clear(self) -> None:
+        """Drop all recorded traces."""
+        self.records.clear()
+        self.overflowed = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "on" if self.enabled else "off"
+        return f"<TraceRecorder {state} records={len(self.records)}>"

@@ -1,0 +1,21 @@
+"""Packet-level TCP substrate (connections, stack, congestion control)."""
+
+from . import cc
+from .connection import TCPConnection
+from .options import TCPOptions
+from .rto import RTOEstimator
+from .segment import TCPSegment
+from .stack import TCPStack
+from .state import CongState, ConnState, LocalCongestionPolicy
+
+__all__ = [
+    "TCPConnection",
+    "TCPStack",
+    "TCPOptions",
+    "TCPSegment",
+    "RTOEstimator",
+    "ConnState",
+    "CongState",
+    "LocalCongestionPolicy",
+    "cc",
+]

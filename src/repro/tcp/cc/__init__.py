@@ -1,0 +1,23 @@
+"""Pluggable congestion-control algorithms."""
+
+from .base import CCContext, CongestionControl
+from .cubic import CubicCC
+from .hystart import HyStartCC
+from .limited_slow_start import LimitedSlowStartCC
+from .newreno import NewRenoCC
+from .registry import available_algorithms, cc_factory, create_cc, register_cc
+from .reno import RenoCC
+
+__all__ = [
+    "CCContext",
+    "CongestionControl",
+    "RenoCC",
+    "NewRenoCC",
+    "LimitedSlowStartCC",
+    "HyStartCC",
+    "CubicCC",
+    "register_cc",
+    "create_cc",
+    "cc_factory",
+    "available_algorithms",
+]

@@ -1,0 +1,106 @@
+"""CUBIC congestion avoidance (RFC 8312, simplified).
+
+Included as an extension baseline so the benchmark suite can show how the
+slow-start problem the paper attacks is orthogonal to the congestion
+avoidance algorithm: CUBIC's slow-start is the standard exponential one and
+therefore suffers the same IFQ overflow on the paper's path.
+
+The implementation follows RFC 8312's window growth function::
+
+    W_cubic(t) = C * (t - K)^3 + W_max,     K = cbrt(W_max * beta / C)
+
+with ``C = 0.4``, ``beta = 0.7`` and the TCP-friendliness lower bound
+(W_est).  Fast convergence is implemented; hybrid slow-start is not (use
+:class:`~repro.tcp.cc.hystart.HyStartCC` for that).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import CCContext
+from .reno import RenoCC
+
+__all__ = ["CubicCC"]
+
+
+class CubicCC(RenoCC):
+    """RFC 8312 CUBIC window growth with Reno-style slow start."""
+
+    name = "cubic"
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, ctx: CCContext) -> None:
+        super().__init__(ctx)
+        self.w_max: float = 0.0
+        self.epoch_start: float | None = None
+        self.k: float = 0.0
+        self.w_est: float = 0.0
+        self.ack_count: float = 0.0
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def _congestion_avoidance(self, acked_segments: float) -> None:
+        now = self.ctx.now
+        if self.epoch_start is None:
+            self.epoch_start = now
+            if self.cwnd < self.w_max:
+                self.k = ((self.w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+            else:
+                self.k = 0.0
+                self.w_max = self.cwnd
+            self.w_est = self.cwnd
+            self.ack_count = 0.0
+        t = now - self.epoch_start
+        target = self.C * (t - self.k) ** 3 + self.w_max
+        # TCP-friendly region estimate (standard Reno-equivalent window)
+        self.ack_count += acked_segments
+        self.w_est = self.w_est + 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * (
+            acked_segments / max(self.cwnd, 1.0)
+        )
+        target = max(target, self.w_est)
+        if target > self.cwnd:
+            # spread the increase over the next window's worth of ACKs
+            self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0)
+        else:
+            self.cwnd += 0.01 / max(self.cwnd, 1.0)
+
+    # ------------------------------------------------------------------
+    # decrease events reset the cubic epoch
+    # ------------------------------------------------------------------
+    def _multiplicative_decrease(self, in_flight_bytes: int) -> None:
+        flight = self._flight_segments(in_flight_bytes)
+        if flight < self.w_max:
+            # fast convergence: release bandwidth faster when the new maximum
+            # is lower than the previous one
+            self.w_max = flight * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_max = flight
+        self.ssthresh = max(flight * self.BETA, 2.0)
+        self.epoch_start = None
+
+    def on_enter_recovery(self, in_flight_bytes: int) -> None:
+        self._multiplicative_decrease(in_flight_bytes)
+        self.cwnd = self.ssthresh + 3.0
+        self.reductions += 1
+
+    def on_rto(self, in_flight_bytes: int) -> None:
+        self._multiplicative_decrease(in_flight_bytes)
+        self.cwnd = self.loss_cwnd
+        self.reductions += 1
+
+    def on_local_congestion(self, qlen: int, capacity: int | None, in_flight_bytes: int) -> None:
+        self._multiplicative_decrease(in_flight_bytes)
+        self.cwnd = max(self.ssthresh, self.min_cwnd)
+        self.reductions += 1
+
+    def on_exit_recovery(self) -> None:
+        self.cwnd = max(min(self.cwnd, self.ssthresh), self.min_cwnd)
+        self.epoch_start = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ss = "inf" if math.isinf(self.ssthresh) else f"{self.ssthresh:.1f}"
+        return f"<CubicCC cwnd={self.cwnd:.2f} ssthresh={ss} w_max={self.w_max:.1f}>"

@@ -1,0 +1,70 @@
+"""HyStart-style safe slow-start exit (Ha & Rhee, 2008).
+
+A later, delay-based answer to the slow-start overshoot problem, included as
+an extension baseline (experiment E8): the sender samples RTTs during
+slow-start and exits (sets ``ssthresh = cwnd``) as soon as the smallest RTT
+observed in the current round exceeds the smallest RTT of the previous round
+by a threshold — i.e. queueing delay is building up somewhere on the path.
+
+This implementation keeps the *delay-increase* heuristic of HyStart (the
+ACK-train heuristic needs fine-grained ACK arrival times that add little in
+simulation) with the standard parameters: at least 8 RTT samples per round,
+exit when ``min_rtt_round > min_rtt_prev + eta`` where
+``eta = clamp(min_rtt_prev / 8, 4 ms, 16 ms)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import CCContext
+from .reno import RenoCC
+
+__all__ = ["HyStartCC"]
+
+
+class HyStartCC(RenoCC):
+    """Reno with a HyStart delay-increase slow-start exit."""
+
+    name = "hystart"
+
+    MIN_SAMPLES = 8
+    ETA_FLOOR = 0.004
+    ETA_CEIL = 0.016
+
+    def __init__(self, ctx: CCContext) -> None:
+        super().__init__(ctx)
+        self._round_end_time = 0.0
+        self._round_min_rtt = math.inf
+        self._prev_round_min_rtt = math.inf
+        self._samples_this_round = 0
+        #: Number of times the delay heuristic ended slow-start (diagnostics).
+        self.hystart_exits = 0
+
+    # ------------------------------------------------------------------
+    def on_ack(self, acked_bytes: int, rtt_sample: float | None, in_flight_bytes: int) -> None:
+        if self.in_slow_start and rtt_sample is not None:
+            self._observe_rtt(rtt_sample)
+        super().on_ack(acked_bytes, rtt_sample, in_flight_bytes)
+
+    # ------------------------------------------------------------------
+    def _observe_rtt(self, rtt_sample: float) -> None:
+        now = self.ctx.now
+        if now >= self._round_end_time:
+            # a new round begins: the previous round's minimum becomes the baseline
+            self._prev_round_min_rtt = self._round_min_rtt
+            self._round_min_rtt = math.inf
+            self._samples_this_round = 0
+            # the round lasts roughly one smoothed RTT; use the sample itself
+            self._round_end_time = now + rtt_sample
+        self._round_min_rtt = min(self._round_min_rtt, rtt_sample)
+        self._samples_this_round += 1
+        if (
+            self._samples_this_round >= self.MIN_SAMPLES
+            and math.isfinite(self._prev_round_min_rtt)
+        ):
+            eta = min(max(self._prev_round_min_rtt / 8.0, self.ETA_FLOOR), self.ETA_CEIL)
+            if self._round_min_rtt > self._prev_round_min_rtt + eta:
+                # queueing delay detected: end slow-start at the current window
+                self.ssthresh = self.cwnd
+                self.hystart_exits += 1

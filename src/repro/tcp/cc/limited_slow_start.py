@@ -1,0 +1,48 @@
+"""Limited Slow-Start (RFC 3742).
+
+A published alternative to the paper's proposal that attacks the same
+symptom (huge slow-start bursts on large-BDP paths) without sensing the host
+IFQ: once the congestion window exceeds ``max_ssthresh`` the per-ACK growth
+is throttled so the window grows by at most ``max_ssthresh / 2`` segments per
+RTT.  Used as a comparison baseline in experiment E8.
+
+For ``cwnd <= max_ssthresh`` the growth is standard slow-start.  Above it,
+RFC 3742 prescribes::
+
+    K = int(cwnd / (0.5 * max_ssthresh))
+    cwnd += int(MSS / K)   per arriving ACK     (i.e. += 1/K segments)
+"""
+
+from __future__ import annotations
+
+from ...errors import ConfigurationError
+from .base import CCContext
+from .reno import RenoCC
+
+__all__ = ["LimitedSlowStartCC"]
+
+
+class LimitedSlowStartCC(RenoCC):
+    """RFC 3742 limited slow-start on top of Reno congestion avoidance."""
+
+    name = "limited_slow_start"
+
+    def __init__(self, ctx: CCContext, max_ssthresh_segments: float = 100.0) -> None:
+        if max_ssthresh_segments <= 0:
+            raise ConfigurationError("max_ssthresh_segments must be positive")
+        super().__init__(ctx)
+        self.max_ssthresh = float(max_ssthresh_segments)
+
+    def _slow_start(self, acked_segments: float) -> None:
+        if self.cwnd <= self.max_ssthresh:
+            super()._slow_start(acked_segments)
+            return
+        # throttled region: += 1/K segments per acked segment
+        k = max(int(self.cwnd / (0.5 * self.max_ssthresh)), 1)
+        grown = self.cwnd + acked_segments / k
+        if grown > self.ssthresh:
+            overshoot = grown - self.ssthresh
+            self.cwnd = self.ssthresh
+            self._congestion_avoidance(overshoot)
+        else:
+            self.cwnd = grown

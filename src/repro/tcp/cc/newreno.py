@@ -1,0 +1,22 @@
+"""TCP NewReno (RFC 6582).
+
+The NewReno refinements live almost entirely in the *connection's* recovery
+state machine (partial-ACK retransmission, staying in recovery until the
+``recover`` point is acknowledged), which
+:class:`repro.tcp.connection.TCPConnection` always implements.  The window
+arithmetic is identical to Reno, so this class only exists to give the
+algorithm its own registry name and to carry the partial-ACK deflation rule
+explicitly (it is inherited unchanged from the base class).
+"""
+
+from __future__ import annotations
+
+from .reno import RenoCC
+
+__all__ = ["NewRenoCC"]
+
+
+class NewRenoCC(RenoCC):
+    """Reno window arithmetic with NewReno recovery semantics."""
+
+    name = "newreno"

@@ -1,0 +1,78 @@
+"""Congestion-control registry.
+
+Experiments select algorithms by name ("reno", "restricted", ...).  The
+registry maps names to factories with the signature
+``factory(ctx: CCContext, **kwargs) -> CongestionControl`` and is extensible:
+:func:`register_cc` is how :mod:`repro.core` plugs the paper's algorithm in
+without this package importing it (keeping the substrate → contribution
+dependency direction clean).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import ConfigurationError
+from .base import CCContext, CongestionControl
+from .cubic import CubicCC
+from .hystart import HyStartCC
+from .limited_slow_start import LimitedSlowStartCC
+from .newreno import NewRenoCC
+from .reno import RenoCC
+
+__all__ = ["register_cc", "create_cc", "available_algorithms", "cc_factory"]
+
+CCFactory = Callable[..., CongestionControl]
+
+_REGISTRY: dict[str, CCFactory] = {}
+
+
+def register_cc(name: str, factory: CCFactory, overwrite: bool = False) -> None:
+    """Register a congestion-control factory under ``name``."""
+    if not overwrite and name in _REGISTRY:
+        raise ConfigurationError(f"congestion control {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_cc(name: str, ctx: CCContext, **kwargs) -> CongestionControl:
+    """Instantiate the algorithm registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; available: {available_algorithms()}"
+        ) from None
+    return factory(ctx, **kwargs)
+
+
+def cc_factory(name: str, **kwargs) -> Callable[[CCContext], CongestionControl]:
+    """Return a single-argument factory binding ``name`` and ``kwargs``.
+
+    Connections take a ``cc_factory(ctx)`` callable; this helper adapts the
+    registry to that shape::
+
+        conn = stack.connect(..., cc_factory=cc_factory("reno"))
+    """
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; available: {available_algorithms()}"
+        )
+
+    def factory(ctx: CCContext) -> CongestionControl:
+        return create_cc(name, ctx, **kwargs)
+
+    factory.__name__ = f"cc_factory_{name}"
+    return factory
+
+
+def available_algorithms() -> list[str]:
+    """Sorted list of registered algorithm names."""
+    return sorted(_REGISTRY)
+
+
+# Built-in algorithms.
+register_cc(RenoCC.name, RenoCC)
+register_cc(NewRenoCC.name, NewRenoCC)
+register_cc(LimitedSlowStartCC.name, LimitedSlowStartCC)
+register_cc(HyStartCC.name, HyStartCC)
+register_cc(CubicCC.name, CubicCC)

@@ -1,0 +1,52 @@
+"""Standard TCP Reno congestion control (RFC 5681).
+
+This is the "standard Linux TCP" baseline the paper compares against:
+
+* **slow-start** — the window grows by one segment per acknowledged segment
+  (exponential per-RTT growth);
+* **congestion avoidance** — the window grows by roughly one segment per
+  round-trip time (``acked/cwnd`` per ACK, appropriate-byte-counting style);
+* multiplicative decrease on loss / stalls is inherited from
+  :class:`~repro.tcp.cc.base.CongestionControl`.
+"""
+
+from __future__ import annotations
+
+from .base import CongestionControl
+
+__all__ = ["RenoCC"]
+
+
+class RenoCC(CongestionControl):
+    """RFC 5681 Reno growth rules."""
+
+    name = "reno"
+
+    def on_ack(self, acked_bytes: int, rtt_sample: float | None, in_flight_bytes: int) -> None:
+        acked_segments = acked_bytes / self.mss
+        if acked_segments <= 0:
+            return
+        if self.in_slow_start:
+            self._slow_start(acked_segments)
+        else:
+            self._congestion_avoidance(acked_segments)
+
+    # ------------------------------------------------------------------
+    def _slow_start(self, acked_segments: float) -> None:
+        """Exponential growth: +1 segment per acknowledged segment."""
+        grown = self.cwnd + acked_segments
+        if grown > self.ssthresh:
+            # split the increase at the threshold: finish slow-start exactly
+            # at ssthresh and apply the rest as congestion avoidance.
+            overshoot = grown - self.ssthresh
+            self.cwnd = self.ssthresh
+            self._congestion_avoidance(overshoot)
+        else:
+            self.cwnd = grown
+
+    def _congestion_avoidance(self, acked_segments: float) -> None:
+        """Linear growth: roughly +1 segment per RTT."""
+        if self.cwnd <= 0:
+            self.cwnd = 1.0
+            return
+        self.cwnd += acked_segments / self.cwnd

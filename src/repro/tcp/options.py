@@ -1,0 +1,116 @@
+"""TCP endpoint configuration.
+
+:class:`TCPOptions` gathers every tunable of the simulated stack in one
+dataclass with the Linux-2.4-era defaults the paper's testbed would have
+used.  Scenario builders (:mod:`repro.workloads.scenarios`) override the few
+fields that depend on the path (receive window, IFQ capacity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import ConfigurationError
+from ..units import DEFAULT_HEADER_BYTES, DEFAULT_MSS
+from .state import LocalCongestionPolicy
+
+__all__ = ["TCPOptions"]
+
+
+@dataclasses.dataclass
+class TCPOptions:
+    """Configuration of one TCP endpoint.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment size (payload bytes).
+    header_bytes:
+        Header overhead added to every segment on the wire.
+    initial_cwnd_segments:
+        Initial congestion window (RFC 2581 allows 2 segments).
+    initial_ssthresh_segments:
+        Initial slow-start threshold in segments; ``None`` means unbounded.
+    rwnd_bytes:
+        Receive window this endpoint advertises.  Must exceed the path BDP
+        for a single flow to fill a long fat pipe.
+    delayed_ack:
+        Enable RFC 1122 delayed ACKs (every second segment or timeout).
+    delack_timeout:
+        Delayed-ACK timer (seconds).
+    delack_segments:
+        Send an ACK after this many unacknowledged in-order segments.
+    dupack_threshold:
+        Duplicate ACKs needed to trigger fast retransmit.
+    min_rto / max_rto / initial_rto:
+        RFC 6298 retransmission-timer bounds (Linux uses a 200 ms floor).
+    local_congestion_policy:
+        Reaction to IFQ send-stalls; see
+        :class:`~repro.tcp.state.LocalCongestionPolicy`.
+    stall_retry_interval:
+        Fallback timer re-attempting transmission after a send-stall when no
+        ACK arrives to trigger it (seconds).
+    max_burst_segments:
+        Optional cap on segments released by a single ACK (``None`` = no cap).
+    timestamps:
+        Use timestamp echo for RTT sampling (avoids Karn ambiguity).
+    """
+
+    mss: int = DEFAULT_MSS
+    header_bytes: int = DEFAULT_HEADER_BYTES
+    initial_cwnd_segments: float = 2.0
+    initial_ssthresh_segments: float | None = None
+    rwnd_bytes: int = 1_000_000
+    delayed_ack: bool = True
+    delack_timeout: float = 0.04
+    delack_segments: int = 2
+    dupack_threshold: int = 3
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    initial_rto: float = 1.0
+    local_congestion_policy: LocalCongestionPolicy = LocalCongestionPolicy.TREAT_AS_CONGESTION
+    stall_retry_interval: float = 0.005
+    max_burst_segments: int | None = None
+    timestamps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ConfigurationError("mss must be positive")
+        if self.header_bytes < 0:
+            raise ConfigurationError("header_bytes must be >= 0")
+        if self.initial_cwnd_segments < 1:
+            raise ConfigurationError("initial_cwnd_segments must be >= 1")
+        if self.initial_ssthresh_segments is not None and self.initial_ssthresh_segments < 2:
+            raise ConfigurationError("initial_ssthresh_segments must be >= 2 or None")
+        if self.rwnd_bytes < self.mss:
+            raise ConfigurationError("rwnd_bytes must be at least one MSS")
+        if self.delack_segments < 1:
+            raise ConfigurationError("delack_segments must be >= 1")
+        if self.dupack_threshold < 1:
+            raise ConfigurationError("dupack_threshold must be >= 1")
+        if not (0 < self.min_rto <= self.max_rto):
+            raise ConfigurationError("require 0 < min_rto <= max_rto")
+        if self.initial_rto <= 0:
+            raise ConfigurationError("initial_rto must be positive")
+        if self.stall_retry_interval <= 0:
+            raise ConfigurationError("stall_retry_interval must be positive")
+        if self.max_burst_segments is not None and self.max_burst_segments < 1:
+            raise ConfigurationError("max_burst_segments must be >= 1 or None")
+
+    # ------------------------------------------------------------------
+    @property
+    def segment_bytes(self) -> int:
+        """Wire size of a full-MSS data segment."""
+        return self.mss + self.header_bytes
+
+    @property
+    def initial_ssthresh_bytes(self) -> float:
+        """Initial ssthresh in bytes (``inf`` when unbounded)."""
+        if self.initial_ssthresh_segments is None:
+            return math.inf
+        return self.initial_ssthresh_segments * self.mss
+
+    def replace(self, **changes) -> "TCPOptions":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,94 @@
+"""Retransmission-timeout estimation (RFC 6298).
+
+The estimator keeps the classic Jacobson/Karels smoothed RTT (``srtt``) and
+RTT variance (``rttvar``) and derives the retransmission timeout::
+
+    RTO = srtt + max(G, 4 * rttvar)
+
+clamped to ``[min_rto, max_rto]``.  Exponential back-off doubles the RTO on
+successive timer expirations and is reset by the next valid RTT sample.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["RTOEstimator"]
+
+#: Clock granularity G from RFC 6298 (seconds).
+CLOCK_GRANULARITY = 0.001
+
+
+class RTOEstimator:
+    """RFC 6298 RTT/RTO estimator."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+
+    def __init__(
+        self,
+        initial_rto: float = 1.0,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+    ) -> None:
+        if not (0 < min_rto <= max_rto):
+            raise ConfigurationError("require 0 < min_rto <= max_rto")
+        if initial_rto <= 0:
+            raise ConfigurationError("initial_rto must be positive")
+        self.min_rto = float(min_rto)
+        self.max_rto = float(max_rto)
+        self.initial_rto = float(initial_rto)
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self._rto = self._clamp(initial_rto)
+        self.backoff_count = 0
+        self.samples = 0
+
+    # ------------------------------------------------------------------
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min_rto), self.max_rto)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds."""
+        return self._rto
+
+    # ------------------------------------------------------------------
+    def update(self, rtt_sample: float) -> float:
+        """Feed one RTT sample (seconds) and return the new RTO.
+
+        Negative samples are rejected; zero samples are floored at the clock
+        granularity.
+        """
+        if rtt_sample < 0:
+            raise ConfigurationError(f"RTT sample must be >= 0, got {rtt_sample!r}")
+        rtt_sample = max(rtt_sample, CLOCK_GRANULARITY)
+        if self.srtt is None or self.rttvar is None:
+            # first measurement (RFC 6298 section 2.2)
+            self.srtt = rtt_sample
+            self.rttvar = rtt_sample / 2.0
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt_sample)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt_sample
+        self.samples += 1
+        self.backoff_count = 0
+        self._rto = self._clamp(self.srtt + max(CLOCK_GRANULARITY, 4.0 * self.rttvar))
+        return self._rto
+
+    def backoff(self) -> float:
+        """Double the RTO after a timer expiration (capped at ``max_rto``)."""
+        self.backoff_count += 1
+        self._rto = min(self._rto * 2.0, self.max_rto)
+        return self._rto
+
+    def reset(self) -> None:
+        """Forget all state (used when a connection restarts)."""
+        self.srtt = None
+        self.rttvar = None
+        self._rto = self._clamp(self.initial_rto)
+        self.backoff_count = 0
+        self.samples = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        srtt = f"{self.srtt * 1e3:.1f}ms" if self.srtt is not None else "none"
+        return f"<RTOEstimator srtt={srtt} rto={self._rto * 1e3:.1f}ms>"

@@ -1,0 +1,101 @@
+"""TCP segment model.
+
+A :class:`TCPSegment` is a :class:`~repro.net.packet.Packet` carrying the
+header fields the simulated stack actually uses: sequence/acknowledgement
+numbers, SYN/FIN/ACK flags, a receiver-window advertisement and RFC 7323
+style timestamps (used for RTT sampling without Karn ambiguity).
+"""
+
+from __future__ import annotations
+
+from ..net.address import Address, FlowId
+from ..net.packet import PROTO_TCP, Packet
+from ..units import DEFAULT_HEADER_BYTES
+
+__all__ = ["TCPSegment"]
+
+
+class TCPSegment(Packet):
+    """A TCP segment (data, ACK, SYN or FIN)."""
+
+    __slots__ = (
+        "seq",
+        "ack",
+        "payload_bytes",
+        "syn",
+        "fin",
+        "ack_flag",
+        "rwnd",
+        "ts_val",
+        "ts_ecr",
+        "retransmission",
+    )
+
+    def __init__(
+        self,
+        src: Address,
+        dst: Address,
+        flow: FlowId,
+        seq: int,
+        ack: int,
+        payload_bytes: int = 0,
+        syn: bool = False,
+        fin: bool = False,
+        ack_flag: bool = True,
+        rwnd: int = 0,
+        ts_val: float = 0.0,
+        ts_ecr: float = 0.0,
+        header_bytes: int = DEFAULT_HEADER_BYTES,
+        created_at: float = 0.0,
+        retransmission: bool = False,
+    ) -> None:
+        super().__init__(
+            size_bytes=payload_bytes + header_bytes,
+            src=src,
+            dst=dst,
+            flow=flow,
+            protocol=PROTO_TCP,
+            created_at=created_at,
+        )
+        #: First sequence number covered by this segment.
+        self.seq = seq
+        #: Cumulative acknowledgement number (next byte expected by sender of
+        #: this segment).
+        self.ack = ack
+        #: Payload length in bytes (0 for pure ACKs and bare SYN/FIN).
+        self.payload_bytes = payload_bytes
+        self.syn = syn
+        self.fin = fin
+        self.ack_flag = ack_flag
+        #: Receiver window advertisement in bytes.
+        self.rwnd = rwnd
+        #: Timestamp value (sender clock) and echo reply, RFC 7323 style.
+        self.ts_val = ts_val
+        self.ts_ecr = ts_ecr
+        #: True when this segment is a retransmission (diagnostics only).
+        self.retransmission = retransmission
+
+    # ------------------------------------------------------------------
+    @property
+    def seq_space(self) -> int:
+        """Sequence space consumed: payload plus one for SYN and one for FIN."""
+        return self.payload_bytes + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last byte covered by this segment."""
+        return self.seq + self.seq_space
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """True for segments carrying neither payload nor SYN/FIN."""
+        return self.payload_bytes == 0 and not self.syn and not self.fin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f for f, present in (("S", self.syn), ("F", self.fin), (".", self.ack_flag)) if present
+        )
+        return (
+            f"<TCPSegment {self.src}->{self.dst} seq={self.seq} ack={self.ack} "
+            f"len={self.payload_bytes} [{flags}]>"
+        )

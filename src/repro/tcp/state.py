@@ -1,0 +1,63 @@
+"""TCP connection and congestion state machines.
+
+Two orthogonal state machines are modelled, mirroring the Linux stack the
+paper patched:
+
+* **connection states** (:class:`ConnState`) — a reduced handshake state
+  machine (CLOSED / SYN_SENT / SYN_RCVD / ESTABLISHED / CLOSING).  Data flows
+  only in ESTABLISHED.
+* **congestion states** (:class:`CongState`) — the Linux ``tcp_ca_state``
+  machine: OPEN, DISORDER (dup-ACKs seen but below the fast-retransmit
+  threshold), CWR (window reduced for a non-loss reason, e.g. a local
+  send-stall), RECOVERY (fast retransmit in progress) and LOSS (RTO fired).
+
+:class:`LocalCongestionPolicy` controls how the stack reacts to a send-stall
+(the IFQ rejecting a segment).  The paper observes that stock Linux "treats
+these events in the same way as it would treat the network congestion",
+which is :data:`LocalCongestionPolicy.TREAT_AS_CONGESTION`; the other
+policies exist for ablation experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ConnState", "CongState", "LocalCongestionPolicy"]
+
+
+class ConnState(enum.Enum):
+    """Connection establishment states (reduced TCP state machine)."""
+
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn_sent"
+    SYN_RCVD = "syn_rcvd"
+    ESTABLISHED = "established"
+    CLOSING = "closing"
+
+
+class CongState(enum.Enum):
+    """Congestion-control states (Linux ``tcp_ca_state`` equivalents)."""
+
+    OPEN = "open"
+    DISORDER = "disorder"
+    CWR = "cwr"
+    RECOVERY = "recovery"
+    LOSS = "loss"
+
+
+class LocalCongestionPolicy(enum.Enum):
+    """Reaction of the stack to a local send-stall (IFQ rejection)."""
+
+    #: Stock Linux 2.4.x behaviour described in the paper: the stall is
+    #: handled like a congestion signal — the window is reduced
+    #: multiplicatively and the connection leaves slow-start (enters CWR).
+    TREAT_AS_CONGESTION = "treat_as_congestion"
+
+    #: Milder reaction: clamp the congestion window to the amount of data
+    #: currently in flight but do not reduce ssthresh.
+    CLAMP_ONLY = "clamp_only"
+
+    #: Ignore the stall entirely (retry later); used to isolate how much of
+    #: the damage comes from the *reaction* rather than the stall itself.
+    IGNORE = "ignore"

@@ -1,0 +1,229 @@
+"""Unit helpers used throughout the simulator.
+
+The simulator uses a small, consistent set of base units:
+
+* **time** — seconds (``float``)
+* **data sizes** — bytes (``int`` where exactness matters, ``float`` in
+  derived quantities)
+* **rates** — bits per second (``float``)
+
+This module provides conversion helpers so the rest of the code base (and
+user-facing configuration) can be written in natural units — e.g.
+``Mbps(100)``, ``ms(60)`` — without sprinkling magic constants around.
+"""
+
+from __future__ import annotations
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "DEFAULT_MSS",
+    "DEFAULT_HEADER_BYTES",
+    "DEFAULT_SEGMENT_BYTES",
+    "ACK_BYTES",
+    "bps",
+    "Kbps",
+    "Mbps",
+    "Gbps",
+    "KB",
+    "MB",
+    "GB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "us",
+    "ms",
+    "seconds",
+    "minutes",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "transmission_time",
+    "bandwidth_delay_product_bytes",
+    "bandwidth_delay_product_packets",
+    "throughput_bps",
+    "format_rate",
+    "format_bytes",
+    "format_time",
+]
+
+#: Number of bits in a byte (link serialisation uses this constant).
+BITS_PER_BYTE = 8
+
+#: Default TCP maximum segment size (payload bytes) used by the simulator.
+DEFAULT_MSS = 1448
+
+#: Bytes of TCP/IP/Ethernet header overhead accounted on the wire.
+DEFAULT_HEADER_BYTES = 52
+
+#: Default wire size of a full-MSS data segment.
+DEFAULT_SEGMENT_BYTES = DEFAULT_MSS + DEFAULT_HEADER_BYTES
+
+#: Wire size of a pure ACK segment.
+ACK_BYTES = DEFAULT_HEADER_BYTES
+
+
+# ---------------------------------------------------------------------------
+# rates
+# ---------------------------------------------------------------------------
+
+def bps(value: float) -> float:
+    """Return ``value`` interpreted as bits per second."""
+    return float(value)
+
+
+def Kbps(value: float) -> float:
+    """Return ``value`` kilobits per second expressed in bits per second."""
+    return float(value) * 1e3
+
+
+def Mbps(value: float) -> float:
+    """Return ``value`` megabits per second expressed in bits per second."""
+    return float(value) * 1e6
+
+
+def Gbps(value: float) -> float:
+    """Return ``value`` gigabits per second expressed in bits per second."""
+    return float(value) * 1e9
+
+
+# ---------------------------------------------------------------------------
+# sizes
+# ---------------------------------------------------------------------------
+
+def KB(value: float) -> float:
+    """Decimal kilobytes to bytes."""
+    return float(value) * 1e3
+
+
+def MB(value: float) -> float:
+    """Decimal megabytes to bytes."""
+    return float(value) * 1e6
+
+
+def GB(value: float) -> float:
+    """Decimal gigabytes to bytes."""
+    return float(value) * 1e9
+
+
+def KiB(value: float) -> float:
+    """Binary kibibytes to bytes."""
+    return float(value) * 1024.0
+
+
+def MiB(value: float) -> float:
+    """Binary mebibytes to bytes."""
+    return float(value) * 1024.0 ** 2
+
+
+def GiB(value: float) -> float:
+    """Binary gibibytes to bytes."""
+    return float(value) * 1024.0 ** 3
+
+
+# ---------------------------------------------------------------------------
+# times
+# ---------------------------------------------------------------------------
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def seconds(value: float) -> float:
+    """Identity helper for readability at call sites."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Minutes to seconds."""
+    return float(value) * 60.0
+
+
+# ---------------------------------------------------------------------------
+# conversions and derived quantities
+# ---------------------------------------------------------------------------
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count to a bit count."""
+    return float(nbytes) * BITS_PER_BYTE
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Convert a bit count to a byte count."""
+    return float(nbits) / BITS_PER_BYTE
+
+
+def transmission_time(nbytes: float, rate_bps: float) -> float:
+    """Serialisation delay of ``nbytes`` on a link of ``rate_bps``.
+
+    Parameters
+    ----------
+    nbytes:
+        Packet size in bytes (headers included).
+    rate_bps:
+        Link rate in bits per second; must be positive.
+    """
+    if rate_bps <= 0:
+        raise ConfigurationError(f"link rate must be positive, got {rate_bps!r}")
+    return bytes_to_bits(nbytes) / float(rate_bps)
+
+
+def bandwidth_delay_product_bytes(rate_bps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in bytes for a path of ``rate_bps`` and ``rtt_s``."""
+    if rate_bps < 0 or rtt_s < 0:
+        raise ConfigurationError("rate and RTT must be non-negative")
+    return bits_to_bytes(rate_bps * rtt_s)
+
+
+def bandwidth_delay_product_packets(
+    rate_bps: float, rtt_s: float, packet_bytes: float = DEFAULT_SEGMENT_BYTES
+) -> float:
+    """Bandwidth-delay product expressed in packets of ``packet_bytes``."""
+    if packet_bytes <= 0:
+        raise ConfigurationError("packet size must be positive")
+    return bandwidth_delay_product_bytes(rate_bps, rtt_s) / float(packet_bytes)
+
+
+def throughput_bps(nbytes: float, duration_s: float) -> float:
+    """Average throughput in bits per second for ``nbytes`` over ``duration_s``."""
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive to compute throughput")
+    return bytes_to_bits(nbytes) / duration_s
+
+
+# ---------------------------------------------------------------------------
+# human-readable formatting (for reports)
+# ---------------------------------------------------------------------------
+
+def format_rate(rate_bps: float) -> str:
+    """Format a bit rate with an appropriate SI prefix (``'94.32 Mbit/s'``)."""
+    rate = float(rate_bps)
+    for factor, suffix in ((1e9, "Gbit/s"), (1e6, "Mbit/s"), (1e3, "kbit/s")):
+        if abs(rate) >= factor:
+            return f"{rate / factor:.2f} {suffix}"
+    return f"{rate:.1f} bit/s"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with an appropriate SI prefix (``'12.50 MB'``)."""
+    size = float(nbytes)
+    for factor, suffix in ((1e9, "GB"), (1e6, "MB"), (1e3, "kB")):
+        if abs(size) >= factor:
+            return f"{size / factor:.2f} {suffix}"
+    return f"{size:.0f} B"
+
+
+def format_time(t_s: float) -> str:
+    """Format a duration (``'60.0 ms'``, ``'12.00 s'``)."""
+    t = float(t_s)
+    if abs(t) >= 1.0:
+        return f"{t:.2f} s"
+    if abs(t) >= 1e-3:
+        return f"{t * 1e3:.1f} ms"
+    return f"{t * 1e6:.1f} us"

@@ -1,0 +1,22 @@
+"""Workload and scenario builders."""
+
+from .bulk import BulkFlowSpec, attach_bulk_flows
+from .cross_traffic import add_cross_traffic
+from .scenarios import (
+    DATA_PORT_BASE,
+    PathConfig,
+    Scenario,
+    anl_lbnl_path,
+    build_dumbbell,
+)
+
+__all__ = [
+    "PathConfig",
+    "Scenario",
+    "build_dumbbell",
+    "anl_lbnl_path",
+    "DATA_PORT_BASE",
+    "BulkFlowSpec",
+    "attach_bulk_flows",
+    "add_cross_traffic",
+]

@@ -1,0 +1,73 @@
+"""Bulk-transfer workload helpers.
+
+Thin declarative layer over :class:`repro.host.apps.BulkSenderApp`: a
+:class:`BulkFlowSpec` describes one flow (which algorithm, how many bytes,
+when it starts) and :func:`attach_bulk_flows` instantiates a list of specs on
+a built :class:`~repro.workloads.scenarios.Scenario`.  The experiment runner
+uses these to express multi-flow workloads compactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..host.apps import BulkSenderApp, SinkApp
+from .scenarios import Scenario
+
+__all__ = ["BulkFlowSpec", "attach_bulk_flows"]
+
+
+@dataclass(frozen=True)
+class BulkFlowSpec:
+    """Description of one bulk TCP flow.
+
+    Attributes
+    ----------
+    cc:
+        Congestion-control registry name ("reno", "restricted", ...).
+    total_bytes:
+        Bytes to transfer, or ``None`` for a flow that sends for the whole
+        experiment duration.
+    start_time:
+        When the flow starts (seconds).
+    path_index:
+        Which sender/receiver pair of the dumbbell carries the flow;
+        ``None`` assigns pairs round-robin in list order.
+    cc_kwargs:
+        Extra keyword arguments forwarded to the algorithm factory.
+    """
+
+    cc: str = "reno"
+    total_bytes: int | None = None
+    start_time: float = 0.0
+    path_index: int | None = None
+    cc_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ConfigurationError("start_time must be >= 0")
+        if self.total_bytes is not None and self.total_bytes <= 0:
+            raise ConfigurationError("total_bytes must be positive or None")
+
+
+def attach_bulk_flows(
+    scenario: Scenario, specs: Sequence[BulkFlowSpec]
+) -> list[tuple[BulkSenderApp, SinkApp]]:
+    """Instantiate every spec on the scenario and return the (app, sink) pairs."""
+    if not specs:
+        raise ConfigurationError("at least one flow spec is required")
+    attached: list[tuple[BulkSenderApp, SinkApp]] = []
+    for i, spec in enumerate(specs):
+        index = spec.path_index if spec.path_index is not None else i % scenario.n_paths
+        app, sink = scenario.add_bulk_flow(
+            index=index,
+            cc=spec.cc,
+            total_bytes=spec.total_bytes,
+            start_time=spec.start_time,
+            cc_kwargs=spec.cc_kwargs,
+            name=f"flow{i}:{spec.cc}",
+        )
+        attached.append((app, sink))
+    return attached

@@ -1,0 +1,79 @@
+"""Cross-traffic workloads.
+
+The paper's path is dedicated, but the robustness experiments ask how the
+controller behaves when the bottleneck (or the sending host's own NIC) is
+shared.  Two attachment modes are provided:
+
+* ``share_sender_nic=False`` (default) — the cross traffic gets its own host
+  pair, so it competes only for the bottleneck link;
+* ``share_sender_nic=True`` — the cross traffic is generated *on the primary
+  sender host*, so it also competes for the IFQ.  This is the situation the
+  paper's introduction describes (other components of the host saturating
+  the soft queues).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..host.apps import CBRSource, OnOffSource, PoissonSource
+from .scenarios import CROSS_TRAFFIC_PORT_BASE, Scenario
+
+__all__ = ["add_cross_traffic"]
+
+_KINDS = ("cbr", "poisson", "onoff")
+
+
+def add_cross_traffic(
+    scenario: Scenario,
+    kind: str = "cbr",
+    rate_fraction: float = 0.2,
+    packet_bytes: int = 1500,
+    start_time: float = 0.0,
+    stop_time: float | None = None,
+    share_sender_nic: bool = False,
+    path_index: int = 0,
+):
+    """Attach a UDP cross-traffic source to a built scenario.
+
+    Parameters
+    ----------
+    kind:
+        "cbr", "poisson" or "onoff".
+    rate_fraction:
+        Offered load as a fraction of the bottleneck rate (peak rate for the
+        on/off source).
+    share_sender_nic:
+        Generate the traffic on the primary sender host (competing for its
+        IFQ) instead of on a dedicated host pair.
+    path_index:
+        Which sender/receiver pair to share when ``share_sender_nic`` is set.
+
+    Returns the created source application.
+    """
+    if kind not in _KINDS:
+        raise ConfigurationError(f"unknown cross-traffic kind {kind!r}; choose from {_KINDS}")
+    if not (0.0 < rate_fraction <= 1.0):
+        raise ConfigurationError("rate_fraction must be in (0, 1]")
+    rate = rate_fraction * scenario.config.bottleneck_rate_bps
+    port = CROSS_TRAFFIC_PORT_BASE + len(scenario.senders)
+
+    if share_sender_nic:
+        src = scenario.sender(path_index)
+        dst = scenario.receiver(path_index)
+    else:
+        src, dst = scenario.add_host_pair(f"xtraffic{port}")
+
+    common = dict(
+        sim=scenario.sim,
+        host=src,
+        remote_addr=dst.address,
+        remote_port=port,
+        packet_bytes=packet_bytes,
+        start_time=start_time,
+        stop_time=stop_time,
+    )
+    if kind == "cbr":
+        return CBRSource(rate_bps=rate, **common)
+    if kind == "poisson":
+        return PoissonSource(rate_bps=rate, **common)
+    return OnOffSource(peak_rate_bps=rate, **common)

@@ -1,0 +1,104 @@
+"""Tests for experiment metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    goodput_bps,
+    improvement_percent,
+    jain_fairness_index,
+    stall_rate,
+    time_to_bytes,
+    utilization,
+)
+from repro.errors import ExperimentError
+
+
+class TestGoodput:
+    def test_basic(self):
+        assert goodput_bps(1_000_000, 8.0) == pytest.approx(1e6)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ExperimentError):
+            goodput_bps(1000, 0.0)
+
+
+class TestJainIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_flow_is_fair(self):
+        assert jain_fairness_index([42.0]) == pytest.approx(1.0)
+
+    def test_total_starvation_lower_bound(self):
+        # one flow gets everything among n flows -> index = 1/n
+        assert jain_fairness_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            jain_fairness_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            jain_fairness_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=16))
+    def test_bounds_property(self, values):
+        index = jain_fairness_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+class TestUtilization:
+    def test_half_utilized(self):
+        assert utilization(50e6, 100e6) == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ExperimentError):
+            utilization(1.0, 0.0)
+
+
+class TestImprovement:
+    def test_forty_percent(self):
+        assert improvement_percent(100.0, 140.0) == pytest.approx(40.0)
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(100.0, 80.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ExperimentError):
+            improvement_percent(0.0, 10.0)
+
+
+class TestTimeToBytes:
+    def test_interpolates(self):
+        times = [0.0, 1.0, 2.0]
+        cumulative = [0.0, 100.0, 300.0]
+        assert time_to_bytes(times, cumulative, 200.0) == pytest.approx(1.5)
+
+    def test_target_never_reached(self):
+        assert time_to_bytes([0, 1], [0, 10], 100) is None
+
+    def test_target_at_first_sample(self):
+        assert time_to_bytes([2.0, 3.0], [50.0, 80.0], 10.0) == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            time_to_bytes([0, 1], [0], 5)
+
+    def test_empty_series(self):
+        assert time_to_bytes([], [], 5) is None
+
+
+class TestStallRate:
+    def test_rate(self):
+        assert stall_rate(5, 25.0) == pytest.approx(0.2)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ExperimentError):
+            stall_rate(1, 0.0)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Packet-level tests use a *scaled-down* path (10 Mbit/s, 20 ms RTT, 20-packet
+IFQ) so that each test runs in a fraction of a second while exercising the
+same code paths and the same qualitative behaviour (slow-start overshoot of
+the IFQ, send-stalls, restricted slow-start regulation) as the full-scale
+ANL–LBNL configuration used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RestrictedSlowStartConfig
+from repro.sim import Simulator
+from repro.units import Mbps
+from repro.workloads import PathConfig, build_dumbbell
+
+
+# Chosen so the IFQ (20 packets) is well below the path BDP (~66 packets),
+# preserving the paper's qualitative regime (slow-start overruns the IFQ,
+# standard TCP stalls and needs many RTTs to recover) at ~1/5 of the event
+# cost of the full-scale 100 Mbit/s / 60 ms configuration.
+SMALL_PATH = PathConfig(
+    bottleneck_rate_bps=Mbps(20),
+    rtt=0.040,
+    ifq_capacity_packets=20,
+    router_buffer_packets=150,
+    ack_path_buffer_packets=600,
+    receiver_ifq_capacity_packets=600,
+    rwnd_factor=4.0,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def small_path() -> PathConfig:
+    """Scaled-down path configuration for fast packet-level tests."""
+    return SMALL_PATH
+
+
+@pytest.fixture
+def small_scenario(sim, small_path):
+    """A single-flow dumbbell on the scaled-down path."""
+    return build_dumbbell(sim, small_path, n_flows=1)
+
+
+@pytest.fixture
+def small_rss_config(small_path) -> RestrictedSlowStartConfig:
+    """Restricted slow-start configuration tuned for the scaled-down path."""
+    return RestrictedSlowStartConfig.for_path(small_path.rtt)
+
+
+def run_small_flow(cc="reno", duration=3.0, seed=1, config=SMALL_PATH, **kwargs):
+    """Convenience wrapper used across integration tests."""
+    from repro.experiments import run_single_flow
+
+    return run_single_flow(cc=cc, config=config, duration=duration, seed=seed, **kwargs)

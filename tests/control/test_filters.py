@@ -1,0 +1,116 @@
+"""Tests for signal-conditioning filters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.control import EWMA, FirstOrderLowPass, MovingAverage, RateLimiter
+from repro.errors import ControlError
+
+
+class TestEWMA:
+    def test_first_sample_initialises(self):
+        f = EWMA(0.5)
+        assert f.update(10.0) == 10.0
+
+    def test_moves_toward_samples(self):
+        f = EWMA(0.5, initial=0.0)
+        assert f.update(10.0) == 5.0
+        assert f.update(10.0) == 7.5
+
+    def test_weight_one_tracks_exactly(self):
+        f = EWMA(1.0, initial=0.0)
+        assert f.update(3.0) == 3.0
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ControlError):
+            EWMA(0.0)
+        with pytest.raises(ControlError):
+            EWMA(1.5)
+
+    def test_reset(self):
+        f = EWMA(0.5)
+        f.update(5.0)
+        f.reset()
+        assert f.value is None
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=100))
+    def test_stays_within_sample_range(self, samples):
+        f = EWMA(0.3)
+        for s in samples:
+            v = f.update(s)
+            assert min(samples) - 1e-9 <= v <= max(samples) + 1e-9
+
+
+class TestFirstOrderLowPass:
+    def test_converges_to_constant_input(self):
+        f = FirstOrderLowPass(tau=0.1, initial=0.0)
+        for _ in range(100):
+            f.update(5.0, dt=0.05)
+        assert f.value == pytest.approx(5.0, abs=0.05)
+
+    def test_larger_tau_slower(self):
+        fast = FirstOrderLowPass(tau=0.1, initial=0.0)
+        slow = FirstOrderLowPass(tau=10.0, initial=0.0)
+        fast.update(1.0, dt=0.1)
+        slow.update(1.0, dt=0.1)
+        assert fast.value > slow.value
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ControlError):
+            FirstOrderLowPass(tau=0.0)
+        f = FirstOrderLowPass(tau=1.0)
+        with pytest.raises(ControlError):
+            f.update(1.0, dt=0.0)
+
+
+class TestMovingAverage:
+    def test_window_average(self):
+        ma = MovingAverage(3)
+        for v in (1.0, 2.0, 3.0):
+            ma.update(v)
+        assert ma.value == pytest.approx(2.0)
+
+    def test_window_slides(self):
+        ma = MovingAverage(2)
+        ma.update(1.0)
+        ma.update(3.0)
+        ma.update(5.0)
+        assert ma.value == pytest.approx(4.0)
+
+    def test_full_flag(self):
+        ma = MovingAverage(2)
+        assert not ma.full
+        ma.update(1.0)
+        ma.update(1.0)
+        assert ma.full
+
+    def test_empty_value_is_zero(self):
+        assert MovingAverage(4).value == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ControlError):
+            MovingAverage(0)
+
+
+class TestRateLimiter:
+    def test_limits_rate_of_change(self):
+        rl = RateLimiter(max_rate_per_s=1.0, initial=0.0)
+        assert rl.update(10.0, dt=0.5) == pytest.approx(0.5)
+
+    def test_reaches_target_when_slow(self):
+        rl = RateLimiter(max_rate_per_s=100.0, initial=0.0)
+        assert rl.update(1.0, dt=0.5) == pytest.approx(1.0)
+
+    def test_limits_downward_too(self):
+        rl = RateLimiter(max_rate_per_s=1.0, initial=0.0)
+        assert rl.update(-10.0, dt=1.0) == pytest.approx(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ControlError):
+            RateLimiter(0.0)
+        rl = RateLimiter(1.0)
+        with pytest.raises(ControlError):
+            rl.update(1.0, dt=0.0)

@@ -1,0 +1,115 @@
+"""Tests for the analytic process models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import FirstOrderProcess, IntegratingProcess, QueueProcessModel
+from repro.errors import ControlError
+
+
+class TestFirstOrderProcess:
+    def test_steady_state_gain(self):
+        proc = FirstOrderProcess(gain=2.0, tau=0.1)
+        for _ in range(200):
+            proc.step(1.0, dt=0.01)
+        assert proc.output == pytest.approx(2.0, rel=0.01)
+
+    def test_time_constant_response(self):
+        # after one time constant the step response reaches ~63%
+        proc = FirstOrderProcess(gain=1.0, tau=1.0)
+        y = 0.0
+        for _ in range(100):
+            y = proc.step(1.0, dt=0.01)
+        assert y == pytest.approx(1 - 2.718281828 ** -1, rel=0.02)
+
+    def test_dead_time_delays_response(self):
+        proc = FirstOrderProcess(gain=1.0, tau=0.05, dead_time=0.5)
+        outputs = [proc.step(1.0, dt=0.01) for _ in range(45)]
+        assert max(outputs) == pytest.approx(0.0, abs=1e-9)
+        for _ in range(200):
+            proc.step(1.0, dt=0.01)
+        assert proc.output > 0.5
+
+    def test_reset(self):
+        proc = FirstOrderProcess(gain=1.0, tau=0.1, y0=0.0)
+        proc.step(1.0, dt=0.1)
+        proc.reset()
+        assert proc.output == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ControlError):
+            FirstOrderProcess(gain=1.0, tau=0.0)
+        with pytest.raises(ControlError):
+            FirstOrderProcess(gain=1.0, tau=1.0, dead_time=-1.0)
+        proc = FirstOrderProcess(gain=1.0, tau=1.0)
+        with pytest.raises(ControlError):
+            proc.step(1.0, dt=0.0)
+
+
+class TestIntegratingProcess:
+    def test_integrates_input(self):
+        proc = IntegratingProcess(gain=2.0)
+        for _ in range(10):
+            proc.step(1.0, dt=0.1)
+        assert proc.output == pytest.approx(2.0)
+
+    def test_leak_limits_growth(self):
+        leaky = IntegratingProcess(gain=1.0, leak=1.0)
+        for _ in range(5000):
+            leaky.step(1.0, dt=0.01)
+        assert leaky.output == pytest.approx(1.0, rel=0.05)
+
+    def test_reset(self):
+        proc = IntegratingProcess(gain=1.0, y0=3.0)
+        proc.step(1.0, dt=1.0)
+        proc.reset()
+        assert proc.output == 3.0
+
+
+class TestQueueProcessModel:
+    def test_queue_grows_with_positive_increment(self):
+        q = QueueProcessModel(capacity=100, drain_rate_pps=1000, rtt=0.0)
+        q.step(1.0, dt=0.01)   # 1000 pkts/s * 1 * 0.01 s = 10 packets
+        assert q.output == pytest.approx(10.0)
+
+    def test_queue_clips_at_capacity(self):
+        q = QueueProcessModel(capacity=50, drain_rate_pps=1000, rtt=0.0)
+        for _ in range(100):
+            q.step(1.0, dt=0.01)
+        assert q.output == 50.0
+        assert q.overflows > 0
+
+    def test_queue_never_negative(self):
+        q = QueueProcessModel(capacity=50, drain_rate_pps=1000, rtt=0.0, q0=5.0)
+        for _ in range(100):
+            q.step(-1.0, dt=0.01)
+        assert q.output == 0.0
+
+    def test_rtt_delays_controller_action(self):
+        q = QueueProcessModel(capacity=100, drain_rate_pps=1000, rtt=0.05)
+        outputs = [q.step(1.0, dt=0.01) for _ in range(5)]
+        assert outputs[0] == 0.0  # nothing happens before one RTT of feedback delay
+        for _ in range(10):
+            q.step(1.0, dt=0.01)
+        assert q.output > 0.0
+
+    def test_occupancy_fraction(self):
+        q = QueueProcessModel(capacity=200, drain_rate_pps=1000, rtt=0.0)
+        q.step(1.0, dt=0.02)
+        assert q.occupancy_fraction == pytest.approx(0.1)
+
+    def test_reset(self):
+        q = QueueProcessModel(capacity=100, drain_rate_pps=1000, rtt=0.0)
+        q.step(1.0, dt=0.1)
+        q.reset()
+        assert q.output == 0.0
+        assert q.overflows == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ControlError):
+            QueueProcessModel(capacity=0, drain_rate_pps=1, rtt=0.0)
+        with pytest.raises(ControlError):
+            QueueProcessModel(capacity=1, drain_rate_pps=0, rtt=0.0)
+        with pytest.raises(ControlError):
+            QueueProcessModel(capacity=1, drain_rate_pps=1, rtt=-0.1)

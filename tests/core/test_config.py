@@ -1,0 +1,91 @@
+"""Tests for the restricted slow-start configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import PAPER_RULE, PIDGains
+from repro.core import DEFAULT_ULTIMATE, RestrictedSlowStartConfig, default_gains
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_setpoint(self):
+        assert RestrictedSlowStartConfig().setpoint_fraction == 0.9
+
+    def test_default_gains_resolved(self):
+        cfg = RestrictedSlowStartConfig()
+        gains = cfg.resolved_gains()
+        assert gains.kp > 0
+
+    def test_explicit_gains_passed_through(self):
+        gains = PIDGains(kp=0.5)
+        cfg = RestrictedSlowStartConfig(gains=gains)
+        assert cfg.resolved_gains() is gains
+
+    def test_growth_never_more_aggressive_than_standard(self):
+        assert RestrictedSlowStartConfig().max_increment_per_ack == 1.0
+
+    def test_trimming_allowed_by_default(self):
+        assert RestrictedSlowStartConfig().min_increment_per_ack < 0.0
+
+    def test_guard_enabled_by_default(self):
+        assert RestrictedSlowStartConfig().hard_setpoint_guard
+
+
+class TestDefaultGains:
+    def test_gains_follow_paper_rule(self):
+        gains = default_gains(rtt=0.060)
+        # Kp = 0.33*Kc, Ti = 0.5*Tc = rtt, Td = 0.33*Tc
+        assert gains.kp == pytest.approx(0.33 * DEFAULT_ULTIMATE.kc)
+        assert gains.ti == pytest.approx(0.060)
+        assert gains.td == pytest.approx(0.33 * 0.12, rel=1e-6)
+
+    def test_gains_scale_with_rtt(self):
+        short = default_gains(rtt=0.010)
+        long = default_gains(rtt=0.100)
+        assert short.ti < long.ti
+        assert short.kp == pytest.approx(long.kp)
+
+    def test_alternate_rule(self):
+        classic = default_gains(rtt=0.06, rule="zn_classic_pid")
+        paper = default_gains(rtt=0.06, rule=PAPER_RULE)
+        assert classic.kp > paper.kp
+
+    def test_invalid_rtt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_gains(rtt=0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(setpoint_fraction=0.0),
+        dict(setpoint_fraction=1.5),
+        dict(max_increment_per_ack=0.0),
+        dict(min_increment_per_ack=2.0, max_increment_per_ack=1.0),
+        dict(derivative_filter_tau=-1.0),
+        dict(min_control_interval=-0.1),
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RestrictedSlowStartConfig(**kwargs)
+
+    def test_replace(self):
+        cfg = RestrictedSlowStartConfig()
+        other = cfg.replace(setpoint_fraction=0.8)
+        assert other.setpoint_fraction == 0.8
+        assert cfg.setpoint_fraction == 0.9
+
+    def test_for_path_builds_gains(self):
+        cfg = RestrictedSlowStartConfig.for_path(rtt=0.03)
+        assert cfg.gains is not None
+        assert cfg.gains.ti == pytest.approx(0.03)
+
+    def test_for_path_forwards_overrides(self):
+        cfg = RestrictedSlowStartConfig.for_path(rtt=0.03, setpoint_fraction=0.7)
+        assert cfg.setpoint_fraction == 0.7
+
+    def test_frozen(self):
+        cfg = RestrictedSlowStartConfig()
+        with pytest.raises(Exception):
+            cfg.setpoint_fraction = 0.5  # type: ignore[misc]

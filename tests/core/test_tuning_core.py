@@ -1,0 +1,82 @@
+"""Tests for the packet-level and fluid-model gain auto-tuning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control import PAPER_RULE, TUNING_RULES
+from repro.core import RestrictedSlowStartConfig, autotune_gains, autotune_gains_fluid
+from repro.core.tuning import evaluate_p_gain
+from repro.units import Mbps
+from repro.workloads import PathConfig
+
+#: A very small path so the packet-level tuning experiments stay fast.
+TINY_PATH = PathConfig(
+    bottleneck_rate_bps=Mbps(5),
+    rtt=0.02,
+    ifq_capacity_packets=15,
+    router_buffer_packets=60,
+    ack_path_buffer_packets=200,
+    receiver_ifq_capacity_packets=200,
+    rwnd_factor=5.0,
+)
+
+
+class TestFluidTuning:
+    def test_returns_positive_gains(self, small_path):
+        result = autotune_gains_fluid(small_path)
+        assert result.gains.kp > 0
+        assert result.gains.ki > 0
+        assert result.gains.kd > 0
+        assert result.method == "fluid_relay"
+
+    def test_rule_applied(self, small_path):
+        result = autotune_gains_fluid(small_path, rule=PAPER_RULE)
+        a, b, c = TUNING_RULES[PAPER_RULE]
+        assert result.gains.kp == pytest.approx(a * result.ultimate.kc)
+        assert result.gains.ti == pytest.approx(b * result.ultimate.tc)
+
+    def test_period_scales_with_rtt(self):
+        short = autotune_gains_fluid(PathConfig(rtt=0.02))
+        long = autotune_gains_fluid(PathConfig(rtt=0.1))
+        assert long.ultimate.tc > short.ultimate.tc
+
+    def test_summary_dict(self, small_path):
+        result = autotune_gains_fluid(small_path)
+        summary = result.summary()
+        assert {"Kc", "Tc", "Kp", "Ki", "Kd", "rule", "method"} <= set(summary)
+
+    def test_fluid_gains_work_end_to_end(self, small_path):
+        """Gains from the fluid tuner avoid stalls on the packet simulator."""
+        from repro.core import RestrictedSlowStart
+        from repro.sim import Simulator
+        from repro.workloads import build_dumbbell
+
+        tuned = autotune_gains_fluid(small_path)
+        config = RestrictedSlowStartConfig(gains=tuned.gains)
+        sim = Simulator(seed=4)
+        scenario = build_dumbbell(sim, small_path, n_flows=1)
+        app, _ = scenario.add_bulk_flow(cc=lambda ctx: RestrictedSlowStart(ctx, config))
+        sim.run(until=4.0)
+        assert app.stats.SendStall == 0
+        assert app.goodput_bps() > 0.5 * small_path.bottleneck_rate_bps
+
+
+class TestPacketLevelTuning:
+    def test_low_gain_does_not_oscillate(self):
+        result = evaluate_p_gain(0.05, config=TINY_PATH, duration=2.0)
+        assert not result.sustained
+
+    def test_high_gain_produces_queue_activity(self):
+        # With a very high proportional gain the queue repeatedly overshoots
+        # and drains; the analyzer must at least find peaks.
+        result = evaluate_p_gain(8.0, config=TINY_PATH, duration=3.0)
+        assert result.n_peaks >= 1
+
+    @pytest.mark.slow
+    def test_autotune_gains_converges(self):
+        result = autotune_gains(config=TINY_PATH, duration=3.0, kp_initial=0.5,
+                                max_iterations=10, refine_steps=1)
+        assert result.gains.kp > 0
+        assert result.ultimate.tc > 0
+        assert len(result.history) >= 1

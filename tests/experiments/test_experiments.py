@@ -1,0 +1,169 @@
+"""Tests for the per-experiment modules (scaled-down configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    all_experiments,
+    flow_mix,
+    get_experiment,
+    render_baselines,
+    render_fairness,
+    render_figure1,
+    render_sweep,
+    render_throughput,
+    render_tuning_ablation,
+    run_baseline_comparison,
+    run_fairness,
+    run_figure1,
+    run_throughput_comparison,
+    run_tuning_ablation,
+)
+from repro.experiments.sweeps import ifq_size_sweep, setpoint_sweep
+from repro.errors import ExperimentError
+
+from ..conftest import SMALL_PATH
+
+# Shared scaled-down experiment settings so the suite stays fast.
+FAST = dict(config=SMALL_PATH, duration=3.0, seed=2)
+
+
+class TestFigure1:
+    def test_shape_of_figure1(self):
+        result = run_figure1(duration=3.0, config=SMALL_PATH, seed=2,
+                             sample_interval=0.5)
+        assert result.shape_holds()
+        assert result.standard_total >= 1
+        assert result.proposed_total == 0
+        # cumulative series are monotone and end at the totals
+        assert (np.diff(result.standard_cumulative_stalls) >= 0).all()
+        assert result.standard_cumulative_stalls[-1] == result.standard_total
+        assert result.proposed_cumulative_stalls[-1] == result.proposed_total
+
+    def test_render_mentions_both_algorithms(self):
+        result = run_figure1(duration=2.0, config=SMALL_PATH, seed=2)
+        text = render_figure1(result)
+        assert "standard" in text.lower()
+        assert "restricted" in text.lower() or "proposed" in text.lower()
+
+
+class TestThroughput:
+    def test_restricted_wins(self):
+        result = run_throughput_comparison(**FAST)
+        assert result.shape_holds()
+        assert result.improvement_percent > 10.0
+
+    def test_render_reports_improvement(self):
+        result = run_throughput_comparison(**FAST)
+        text = render_throughput(result)
+        assert "improvement" in text
+        assert "40%" in text or "40" in text
+
+
+class TestSweeps:
+    def test_ifq_sweep_rows(self):
+        result = ifq_size_sweep(sizes=(10, 60), duration=2.0, seed=2,
+                                base_config=SMALL_PATH, max_workers=1)
+        assert len(result.rows) == 2
+        small = result.row_for(10)
+        large = result.row_for(60)
+        # a tiny IFQ hurts standard TCP; a large one (>= BDP) removes stalls
+        assert small["reno_send_stalls"] >= large["reno_send_stalls"]
+        assert {"improvement_percent", "restricted_goodput_bps"} <= set(small)
+        assert "ifq_capacity_packets" in render_sweep(result)
+
+    def test_setpoint_sweep_rows(self):
+        result = setpoint_sweep(setpoints=(0.5, 0.9), duration=2.0, seed=2,
+                                base_config=SMALL_PATH, max_workers=1)
+        assert len(result.rows) == 2
+        low = result.row_for(0.5)
+        high = result.row_for(0.9)
+        assert low["restricted_goodput_bps"] <= high["restricted_goodput_bps"] * 1.05
+        assert high["restricted_send_stalls"] == 0
+
+    def test_row_for_unknown_value(self):
+        result = setpoint_sweep(setpoints=(0.9,), duration=1.0, seed=2,
+                                base_config=SMALL_PATH, max_workers=1)
+        with pytest.raises(ExperimentError):
+            result.row_for(0.1)
+
+    def test_column_accessor(self):
+        result = setpoint_sweep(setpoints=(0.8, 0.9), duration=1.0, seed=2,
+                                base_config=SMALL_PATH, max_workers=1)
+        assert len(result.column("restricted_goodput_bps")) == 2
+
+
+class TestTuningAblation:
+    def test_rules_compared(self):
+        result = run_tuning_ablation(rules=("allcock_modified", "zn_classic_pid"),
+                                     include_relay_tuned=True, duration=2.5,
+                                     config=SMALL_PATH, seed=2, max_workers=1)
+        assert len(result.rows) == 3
+        labels = {row["rule"] for row in result.rows}
+        assert "allcock_modified" in labels
+        assert any(label.startswith("relay_tuned") for label in labels)
+        assert result.best_rule() in labels
+        assert "tuning" in render_tuning_ablation(result).lower()
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_tuning_ablation(rules=("nope",), config=SMALL_PATH, duration=1.0)
+
+
+class TestBaselines:
+    def test_all_algorithms_run(self):
+        result = run_baseline_comparison(
+            algorithms=("reno", "limited_slow_start", "restricted"),
+            duration=2.5, config=SMALL_PATH, seed=2, max_workers=1)
+        assert len(result.rows) == 3
+        assert result.row_for("restricted")["send_stalls"] == 0
+        ranking = result.ranking()
+        assert ranking[0] == "restricted"
+        assert "ranking" in render_baselines(result)
+
+    def test_row_for_unknown(self):
+        result = run_baseline_comparison(algorithms=("reno",), duration=1.0,
+                                         config=SMALL_PATH, max_workers=1)
+        with pytest.raises(ExperimentError):
+            result.row_for("cubic")
+
+
+class TestFairness:
+    def test_flow_mix_construction(self):
+        specs = flow_mix(4, "half")
+        assert [s.cc for s in specs] == ["restricted", "reno", "restricted", "reno"]
+        assert [s.cc for s in flow_mix(2, "standard")] == ["reno", "reno"]
+        with pytest.raises(ExperimentError):
+            flow_mix(2, "nonsense")
+        with pytest.raises(ExperimentError):
+            flow_mix(0, "standard")
+
+    def test_fairness_rows(self):
+        result = run_fairness(flow_counts=(2,), mixes=("standard", "half"),
+                              duration=2.5, config=SMALL_PATH, seed=2)
+        assert len(result.rows) == 2
+        half = result.row_for(2, "half")
+        assert 0.3 <= half["jain_index"] <= 1.0
+        assert half["restricted_share"] is not None
+        assert "Jain" in render_fairness(result)
+
+
+class TestRegistry:
+    def test_every_experiment_registered(self):
+        ids = {spec.experiment_id for spec in all_experiments()}
+        assert ids == {f"E{i}" for i in range(1, 11)}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e1").paper_artifact == "Figure 1"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E99")
+
+    def test_specs_point_to_existing_benchmarks(self):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for spec in all_experiments():
+            assert (root / spec.benchmark).exists(), spec.benchmark

@@ -1,0 +1,85 @@
+"""Tests for parallel sweep execution and report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    comparison_table,
+    cumulative_stall_series,
+    default_worker_count,
+    map_runs,
+    multi_flow_table,
+    render_series,
+    run_comparison,
+    run_multi_flow,
+    run_single_flow,
+    run_single_flow_batch,
+)
+from repro.workloads import BulkFlowSpec
+
+from ..conftest import SMALL_PATH
+
+
+class TestMapRuns:
+    def test_serial_execution(self):
+        results = map_runs(lambda x, y: x + y,
+                           [dict(x=1, y=2), dict(x=3, y=4)], max_workers=1)
+        assert results == [3, 7]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            map_runs(lambda: None, [], max_workers=1)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_parallel_single_flow_batch(self):
+        # two very short runs across two worker processes
+        kwargs = [dict(cc="reno", config=SMALL_PATH, duration=0.8, seed=s)
+                  for s in (1, 2)]
+        results = run_single_flow_batch(kwargs, max_workers=2)
+        assert len(results) == 2
+        assert all(r.flow.bytes_acked > 0 for r in results)
+
+    def test_parallel_matches_serial(self):
+        kwargs = [dict(cc="reno", config=SMALL_PATH, duration=0.8, seed=7)]
+        serial = run_single_flow_batch(kwargs, max_workers=1)[0]
+        parallel = run_single_flow_batch(kwargs, max_workers=2)[0]
+        assert serial.flow.bytes_acked == parallel.flow.bytes_acked
+
+
+class TestReportRendering:
+    def test_comparison_table(self):
+        comparison = run_comparison(("reno", "restricted"), config=SMALL_PATH,
+                                    duration=2.0, seed=2)
+        table = comparison_table(comparison, title="headline")
+        text = table.render()
+        assert "reno" in text and "restricted" in text
+        assert "baseline" in text
+        assert "%" in text
+
+    def test_multi_flow_table(self):
+        result = run_multi_flow([BulkFlowSpec(cc="reno"), BulkFlowSpec(cc="reno")],
+                                config=SMALL_PATH, duration=2.0)
+        text = multi_flow_table(result).render()
+        assert "aggregate" in text
+        assert "jain" in text.lower()
+
+    def test_cumulative_stall_series(self):
+        run = run_single_flow("reno", config=SMALL_PATH, duration=2.0, seed=2)
+        times, series = cumulative_stall_series(run, sample_interval=0.5)
+        assert len(times) == len(series)
+        assert series[-1] == run.flow.send_stalls
+        assert (np.diff(series) >= 0).all()
+
+    def test_render_series_compact(self):
+        text = render_series("stalls", np.array([0.0, 1.0, 2.0]),
+                             np.array([0.0, 1.0, 1.0]))
+        assert text.startswith("stalls:")
+        assert "0s:0" in text
+
+    def test_render_series_empty(self):
+        assert "empty" in render_series("x", np.array([]), np.array([]))

@@ -1,0 +1,91 @@
+"""Tests for result serialisation."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import run_single_flow
+from repro.experiments.results_io import (
+    SCHEMA_VERSION,
+    load_result,
+    save_result,
+    to_jsonable,
+)
+from repro.experiments.sweeps import setpoint_sweep
+
+from ..conftest import SMALL_PATH
+
+
+class TestToJsonable:
+    def test_numpy_arrays_become_lists(self):
+        out = to_jsonable({"a": np.array([1.0, 2.0])})
+        assert out == {"a": [1.0, 2.0]}
+
+    def test_numpy_scalars_become_python(self):
+        out = to_jsonable(np.float64(1.5))
+        assert isinstance(out, float)
+
+    def test_infinities_are_encoded(self):
+        assert to_jsonable(math.inf) == "Infinity"
+        assert to_jsonable(-math.inf) == "-Infinity"
+
+    def test_nested_structures(self):
+        out = to_jsonable({"x": [(1, 2), {"y": np.array([3])}]})
+        assert out == {"x": [[1, 2], {"y": [3]}]}
+
+
+class TestSaveLoadRoundtrip:
+    def test_single_flow_roundtrip(self, tmp_path):
+        result = run_single_flow("reno", config=SMALL_PATH, duration=1.0, seed=1)
+        path = save_result(result, tmp_path / "run.json")
+        assert path.exists()
+        loaded = load_result(path)
+        assert loaded["kind"] == "single_flow"
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["payload"]["flow"]["algorithm"] == "reno"
+        assert loaded["payload"]["flow"]["bytes_acked"] == result.flow.bytes_acked
+
+    def test_sweep_roundtrip(self, tmp_path):
+        sweep = setpoint_sweep(setpoints=(0.9,), duration=1.0, seed=1,
+                               base_config=SMALL_PATH, max_workers=1)
+        path = save_result(sweep, tmp_path / "sweep.json")
+        loaded = load_result(path)
+        assert loaded["kind"] == "sweep"
+        assert loaded["payload"]["rows"][0]["setpoint_fraction"] == 0.9
+
+    def test_file_is_valid_json(self, tmp_path):
+        result = run_single_flow("reno", config=SMALL_PATH, duration=0.5, seed=1)
+        path = save_result(result, tmp_path / "r.json")
+        json.loads(path.read_text())
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            save_result({"not": "a result"}, tmp_path / "x.json")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_result(tmp_path / "nope.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError):
+            load_result(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"kind": "single_flow", "schema_version": 0,
+                                    "payload": {}}))
+        with pytest.raises(ExperimentError):
+            load_result(path)
+
+    def test_non_result_document_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ExperimentError):
+            load_result(path)

@@ -1,0 +1,94 @@
+"""Tests for the Host node, IFQ probe and UDP demultiplexing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.host import Host
+from repro.net import FlowId, Packet
+from repro.units import Mbps
+from repro.workloads import build_dumbbell
+
+
+class TestInterfaceAccess:
+    def test_host_without_interface_rejects_access(self, sim):
+        host = Host(sim, "lonely", 1)
+        with pytest.raises(TopologyError):
+            _ = host.default_interface
+
+    def test_send_without_interface_fails_softly(self, sim):
+        host = Host(sim, "lonely", 1)
+        assert not host.send_packet(Packet(100, 1, 2))
+        assert host.unroutable_packets == 1
+
+    def test_ifq_probe_without_interface(self, sim):
+        host = Host(sim, "lonely", 1)
+        assert host.ifq_probe() == (0, None)
+
+    def test_ifq_probe_reflects_queue(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        qlen, capacity = sender.ifq_probe()
+        assert qlen == 0
+        assert capacity == small_scenario.config.ifq_capacity_packets
+
+    def test_ifq_properties(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        assert sender.ifq_qlen == 0
+        assert sender.ifq_capacity == small_scenario.config.ifq_capacity_packets
+
+    def test_default_interface_is_first(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        assert sender.default_interface is sender.interfaces[0]
+
+
+class TestUDPReception:
+    def test_udp_bytes_counted(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        sender.send_packet(Packet(1200, sender.address, receiver.address))
+        sim.run()
+        assert receiver.udp_packets_received == 1
+        assert receiver.udp_bytes_received == 1200
+
+    def test_udp_listener_callback(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        got = []
+        receiver.register_udp_listener(9999, lambda pkt: got.append(pkt.size_bytes))
+        flow = FlowId(sender.address, receiver.address, 0, 9999)
+        sender.send_packet(Packet(700, sender.address, receiver.address, flow=flow))
+        sim.run()
+        assert got == [700]
+
+    def test_udp_to_unregistered_port_only_counted(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        flow = FlowId(sender.address, receiver.address, 0, 1234)
+        sender.send_packet(Packet(700, sender.address, receiver.address, flow=flow))
+        sim.run()
+        assert receiver.udp_packets_received == 1
+
+
+class TestIFQOverflowAtHost:
+    def test_overflowing_ifq_returns_false(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        capacity = small_scenario.config.ifq_capacity_packets
+        results = [
+            sender.send_packet(Packet(1500, sender.address, receiver.address))
+            for _ in range(capacity + 10)
+        ]
+        assert not all(results)
+        assert sum(results) >= capacity
+
+    def test_stall_listener_fires_for_host_nic(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        stalls = []
+        sender.default_interface.stall_listeners.append(
+            lambda iface, pkt: stalls.append(sim.now))
+        capacity = small_scenario.config.ifq_capacity_packets
+        for _ in range(capacity + 5):
+            sender.send_packet(Packet(1500, sender.address, receiver.address))
+        assert len(stalls) >= 1

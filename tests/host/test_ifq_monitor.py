@@ -1,0 +1,57 @@
+"""Tests for the IFQ monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host import IFQMonitor
+from repro.net import Packet
+
+
+class TestIFQMonitor:
+    def test_samples_occupancy_over_time(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        monitor = IFQMonitor(sim, sender.default_interface, interval=0.01)
+        monitor.start()
+        sim.run(until=0.1)
+        times, occ = monitor.as_arrays()
+        assert len(times) == len(occ) >= 10
+        assert (occ == 0).all()
+
+    def test_records_stall_times(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        monitor = IFQMonitor(sim, sender.default_interface, interval=0.01)
+        monitor.start()
+        capacity = small_scenario.config.ifq_capacity_packets
+        for _ in range(capacity + 3):
+            sender.send_packet(Packet(1500, sender.address, receiver.address))
+        assert monitor.stall_count >= 1
+        assert all(t == 0.0 for t in monitor.stall_times)
+
+    def test_peak_and_mean(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        receiver = small_scenario.receivers[0]
+        monitor = IFQMonitor(sim, sender.default_interface, interval=0.001)
+        monitor.start()
+        for _ in range(10):
+            sender.send_packet(Packet(1500, sender.address, receiver.address))
+        sim.run(until=0.02)
+        assert monitor.peak_occupancy >= 1
+        assert monitor.mean_occupancy() > 0
+
+    def test_stop_halts_sampling(self, sim, small_scenario):
+        sender = small_scenario.senders[0]
+        monitor = IFQMonitor(sim, sender.default_interface, interval=0.01)
+        monitor.start()
+        sim.run(until=0.05)
+        n = len(monitor.occupancy)
+        monitor.stop()
+        sim.run(until=0.2)
+        assert len(monitor.occupancy) == n
+
+    def test_empty_monitor_statistics(self, sim, small_scenario):
+        monitor = IFQMonitor(sim, small_scenario.senders[0].default_interface)
+        assert monitor.peak_occupancy == 0
+        assert monitor.mean_occupancy() == 0.0
+        assert monitor.stall_count == 0

@@ -1,0 +1,78 @@
+"""Tests for the Web100-style counter set."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.instrumentation import Web100Stats
+
+
+class TestCounters:
+    def test_signal_recording(self):
+        stats = Web100Stats()
+        stats.record_signal("SendStall", 1.5)
+        stats.record_signal("SendStall", 2.5)
+        stats.record_signal("CongestionSignals", 3.0)
+        assert stats.SendStall == 2
+        assert stats.CongestionSignals == 1
+        assert stats.stall_times() == [1.5, 2.5]
+        assert stats.congestion_times() == [3.0]
+
+    def test_unknown_signal_name_creates_list(self):
+        stats = Web100Stats()
+        stats.record_signal("Timeouts", 4.0)
+        assert stats.Timeouts == 1
+        assert stats.signal_times["Timeouts"] == [4.0]
+
+    def test_cwnd_gauges(self):
+        stats = Web100Stats()
+        stats.observe_cwnd(10_000)
+        stats.observe_cwnd(5_000)
+        assert stats.CurCwnd == 5_000
+        assert stats.MaxCwnd == 10_000
+
+    def test_ssthresh_gauges(self):
+        stats = Web100Stats()
+        stats.observe_ssthresh(100_000.0)
+        stats.observe_ssthresh(50_000.0)
+        stats.observe_ssthresh(70_000.0)
+        assert stats.CurSsthresh == 70_000.0
+        assert stats.MinSsthresh == 50_000.0
+
+    def test_rtt_observation(self):
+        stats = Web100Stats()
+        stats.observe_rtt(0.06, 0.061, 0.3)
+        stats.observe_rtt(0.08, 0.065, 0.31)
+        stats.observe_rtt(0.05, 0.063, 0.32)
+        assert stats.MinRTT == 0.05
+        assert stats.MaxRTT == 0.08
+        assert stats.SampledRTT == 0.05
+        assert stats.CountRTT == 3
+        assert stats.SmoothedRTT == 0.063
+
+    def test_snapshot_excludes_signal_log(self):
+        stats = Web100Stats()
+        stats.record_signal("SendStall", 1.0)
+        snap = stats.snapshot()
+        assert snap["SendStall"] == 1
+        assert "signal_times" not in snap
+
+    def test_snapshot_is_plain_dict_copy(self):
+        stats = Web100Stats()
+        snap = stats.snapshot()
+        snap["PktsOut"] = 99
+        assert stats.PktsOut == 0
+
+    def test_goodput(self):
+        stats = Web100Stats()
+        stats.ThruBytesAcked = 1_000_000
+        assert stats.goodput_bps(8.0) == pytest.approx(1e6)
+        assert stats.goodput_bps(0.0) == 0.0
+
+    def test_initial_values(self):
+        stats = Web100Stats()
+        assert math.isinf(stats.CurSsthresh)
+        assert math.isinf(stats.MinRTT)
+        assert stats.MaxCwnd == 0

@@ -1,0 +1,102 @@
+"""Tests for link loss models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    Packet,
+)
+
+
+def packets(n):
+    return [Packet(1500, 1, 2) for _ in range(n)]
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        rng = np.random.default_rng(1)
+        model = NoLoss()
+        assert not any(model.should_drop(p, rng) for p in packets(100))
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self):
+        rng = np.random.default_rng(1)
+        model = BernoulliLoss(0.0)
+        assert not any(model.should_drop(p, rng) for p in packets(200))
+
+    def test_one_probability_always_drops(self):
+        rng = np.random.default_rng(1)
+        model = BernoulliLoss(1.0)
+        assert all(model.should_drop(p, rng) for p in packets(50))
+
+    def test_rate_approximately_matches_p(self):
+        rng = np.random.default_rng(7)
+        model = BernoulliLoss(0.1)
+        drops = sum(model.should_drop(p, rng) for p in packets(20_000))
+        assert 0.08 < drops / 20_000 < 0.12
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5)
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(-0.1)
+
+
+class TestGilbertElliott:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(1.5, 0.5)
+
+    def test_all_good_never_drops(self):
+        rng = np.random.default_rng(3)
+        model = GilbertElliottLoss(0.0, 1.0, loss_good=0.0, loss_bad=1.0)
+        assert not any(model.should_drop(p, rng) for p in packets(100))
+
+    def test_bad_state_produces_bursts(self):
+        rng = np.random.default_rng(3)
+        model = GilbertElliottLoss(0.05, 0.2, loss_good=0.0, loss_bad=1.0)
+        drops = [model.should_drop(p, rng) for p in packets(5000)]
+        total = sum(drops)
+        assert total > 0
+        # burstiness: at least one run of >= 2 consecutive drops
+        runs = max(len(list(filter(None, chunk)))
+                   for chunk in (drops[i:i + 5] for i in range(0, 5000, 5)))
+        assert runs >= 2
+
+    def test_reset_restores_good_state(self):
+        model = GilbertElliottLoss(1.0, 0.0)
+        rng = np.random.default_rng(1)
+        model.should_drop(Packet(100, 1, 2), rng)
+        assert model.in_bad_state
+        model.reset()
+        assert not model.in_bad_state
+
+    def test_loss_rate_between_good_and_bad(self):
+        rng = np.random.default_rng(11)
+        model = GilbertElliottLoss(0.01, 0.05, loss_good=0.0, loss_bad=0.5)
+        rate = sum(model.should_drop(p, rng) for p in packets(20000)) / 20000
+        assert 0.0 < rate < 0.5
+
+
+class TestDeterministicLoss:
+    def test_drops_exact_indices(self):
+        rng = np.random.default_rng(1)
+        model = DeterministicLoss([1, 3])
+        results = [model.should_drop(p, rng) for p in packets(5)]
+        assert results == [False, True, False, True, False]
+
+    def test_reset_restarts_counting(self):
+        rng = np.random.default_rng(1)
+        model = DeterministicLoss([0])
+        assert model.should_drop(Packet(100, 1, 2), rng)
+        assert not model.should_drop(Packet(100, 1, 2), rng)
+        model.reset()
+        assert model.should_drop(Packet(100, 1, 2), rng)

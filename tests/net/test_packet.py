@@ -1,0 +1,69 @@
+"""Tests for packets, addresses and flow identifiers."""
+
+from __future__ import annotations
+
+from repro.net import PROTO_TCP, PROTO_UDP, AddressAllocator, FlowId, Packet
+
+
+class TestAddressAllocator:
+    def test_addresses_are_unique_and_positive(self):
+        alloc = AddressAllocator()
+        addrs = [alloc.allocate(f"n{i}") for i in range(10)]
+        assert len(set(addrs)) == 10
+        assert all(a >= 1 for a in addrs)
+
+    def test_name_lookup(self):
+        alloc = AddressAllocator()
+        addr = alloc.allocate("sender0")
+        assert alloc.name_of(addr) == "sender0"
+        assert alloc.name_of(9999) == ""
+
+    def test_len_counts_allocations(self):
+        alloc = AddressAllocator()
+        alloc.allocate()
+        alloc.allocate()
+        assert len(alloc) == 2
+
+
+class TestFlowId:
+    def test_reversed_swaps_endpoints(self):
+        flow = FlowId(1, 2, 100, 200)
+        rev = flow.reversed()
+        assert rev == FlowId(2, 1, 200, 100)
+
+    def test_double_reverse_is_identity(self):
+        flow = FlowId(3, 4, 5, 6)
+        assert flow.reversed().reversed() == flow
+
+    def test_hashable_and_usable_as_key(self):
+        d = {FlowId(1, 2, 3, 4): "x"}
+        assert d[FlowId(1, 2, 3, 4)] == "x"
+
+    def test_str_format(self):
+        assert str(FlowId(1, 2, 10, 20)) == "1:10->2:20"
+
+
+class TestPacket:
+    def test_basic_fields(self):
+        p = Packet(1500, src=1, dst=2, protocol=PROTO_UDP, created_at=0.5)
+        assert p.size_bytes == 1500
+        assert p.size_bits == 12000
+        assert p.src == 1 and p.dst == 2
+        assert p.protocol == PROTO_UDP
+
+    def test_uids_are_unique(self):
+        uids = {Packet(100, 1, 2).uid for _ in range(50)}
+        assert len(uids) == 50
+
+    def test_age(self):
+        p = Packet(100, 1, 2, created_at=1.0)
+        assert p.age(3.5) == 2.5
+
+    def test_default_protocol_is_udp(self):
+        assert Packet(100, 1, 2).protocol == PROTO_UDP
+
+    def test_hops_start_at_zero(self):
+        assert Packet(100, 1, 2).hops == 0
+
+    def test_protocol_constants_differ(self):
+        assert PROTO_TCP != PROTO_UDP

@@ -1,0 +1,182 @@
+"""Tests for packet queues (drop-tail, RED, infinite)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net import DropTailQueue, InfiniteQueue, Packet, REDQueue
+
+
+def make_packet(size=1500):
+    return Packet(size, src=1, dst=2)
+
+
+class TestDropTailQueue:
+    def test_enqueue_dequeue_fifo(self):
+        q = DropTailQueue(10)
+        packets = [make_packet() for _ in range(5)]
+        for p in packets:
+            assert q.enqueue(p)
+        out = [q.dequeue() for _ in range(5)]
+        assert [p.uid for p in out] == [p.uid for p in packets]
+
+    def test_rejects_when_full(self):
+        q = DropTailQueue(2)
+        assert q.enqueue(make_packet())
+        assert q.enqueue(make_packet())
+        assert not q.enqueue(make_packet())
+        assert q.stats.dropped == 1
+
+    def test_capacity_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(0)
+
+    def test_byte_capacity_enforced(self):
+        q = DropTailQueue(100, capacity_bytes=3000)
+        assert q.enqueue(make_packet(1500))
+        assert q.enqueue(make_packet(1500))
+        assert not q.enqueue(make_packet(1500))
+
+    def test_byte_accounting(self):
+        q = DropTailQueue(10)
+        q.enqueue(make_packet(1000))
+        q.enqueue(make_packet(500))
+        assert q.bytes_queued == 1500
+        q.dequeue()
+        assert q.bytes_queued == 500
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(5).dequeue() is None
+
+    def test_peek_does_not_remove(self):
+        q = DropTailQueue(5)
+        p = make_packet()
+        q.enqueue(p)
+        assert q.peek() is p
+        assert len(q) == 1
+
+    def test_occupancy_fraction(self):
+        q = DropTailQueue(10)
+        for _ in range(5):
+            q.enqueue(make_packet())
+        assert q.occupancy_fraction() == pytest.approx(0.5)
+
+    def test_is_full_flag(self):
+        q = DropTailQueue(1)
+        assert not q.is_full
+        q.enqueue(make_packet())
+        assert q.is_full
+
+    def test_peak_statistics(self):
+        q = DropTailQueue(10)
+        for _ in range(7):
+            q.enqueue(make_packet())
+        for _ in range(7):
+            q.dequeue()
+        assert q.stats.peak_packets == 7
+
+    def test_drop_listener_invoked(self):
+        q = DropTailQueue(1)
+        dropped = []
+        q.drop_listeners.append(lambda queue, pkt: dropped.append(pkt.uid))
+        q.enqueue(make_packet())
+        rejected = make_packet()
+        q.enqueue(rejected)
+        assert dropped == [rejected.uid]
+
+    def test_clear(self):
+        q = DropTailQueue(5)
+        q.enqueue(make_packet())
+        q.clear()
+        assert q.is_empty
+        assert q.bytes_queued == 0
+
+    def test_mean_occupancy_with_clock(self):
+        clock = {"t": 0.0}
+        q = DropTailQueue(10, clock=lambda: clock["t"])
+        q.enqueue(make_packet())
+        clock["t"] = 1.0
+        q.enqueue(make_packet())
+        clock["t"] = 2.0
+        # one packet queued during [0,1), two during [1,2)
+        assert q.stats.mean_occupancy(2.0, q.qlen) == pytest.approx(1.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+    def test_qlen_never_exceeds_capacity(self, ops):
+        q = DropTailQueue(5)
+        for op in ops:
+            if op == 0:
+                q.enqueue(make_packet())
+            else:
+                q.dequeue()
+            assert 0 <= len(q) <= 5
+            assert q.bytes_queued >= 0
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=60))
+    def test_conservation(self, capacity, arrivals):
+        q = DropTailQueue(capacity)
+        for _ in range(arrivals):
+            q.enqueue(make_packet())
+        assert q.stats.enqueued + q.stats.dropped == arrivals
+        assert q.stats.enqueued == len(q)
+
+
+class TestInfiniteQueue:
+    def test_never_drops(self):
+        q = InfiniteQueue()
+        for _ in range(1000):
+            assert q.enqueue(make_packet())
+        assert q.stats.dropped == 0
+        assert len(q) == 1000
+
+    def test_occupancy_fraction_is_zero(self):
+        q = InfiniteQueue()
+        q.enqueue(make_packet())
+        assert q.occupancy_fraction() == 0.0
+
+
+class TestREDQueue:
+    def make_red(self, capacity=50, min_th=5, max_th=15, **kwargs):
+        return REDQueue(capacity, min_th, max_th,
+                        rng=np.random.default_rng(1), **kwargs)
+
+    def test_no_drops_below_min_threshold(self):
+        q = self.make_red()
+        for _ in range(5):
+            assert q.enqueue(make_packet())
+        assert q.early_drops == 0
+
+    def test_early_drops_occur_when_average_high(self):
+        q = self.make_red(capacity=1000, min_th=5, max_th=15, max_p=0.5, weight=1.0)
+        dropped = 0
+        for _ in range(300):
+            if not q.enqueue(make_packet()):
+                dropped += 1
+        assert dropped > 0
+        assert q.early_drops > 0
+
+    def test_forced_drop_when_physically_full(self):
+        q = self.make_red(capacity=3, min_th=1, max_th=3, weight=0.001)
+        for _ in range(10):
+            q.enqueue(make_packet())
+        assert q.forced_drops >= 1
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            REDQueue(10, 8, 5)
+        with pytest.raises(ConfigurationError):
+            REDQueue(10, 0, 5)
+
+    def test_invalid_max_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            REDQueue(10, 2, 5, max_p=0.0)
+
+    def test_average_tracks_occupancy(self):
+        q = self.make_red(weight=1.0)
+        for _ in range(4):
+            q.enqueue(make_packet())
+        assert q.avg == pytest.approx(3.0)  # average observed before each arrival

@@ -1,0 +1,170 @@
+"""Tests for routers and topology/route construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.host import Host
+from repro.net import DropTailQueue, Packet, Router, Topology, default_queue_factory
+from repro.net.interface import NetworkInterface
+from repro.units import Mbps
+
+
+def star_topology(sim):
+    """host_a -- router -- host_b."""
+    topo = Topology(sim)
+    a = Host(sim, "a", 1)
+    b = Host(sim, "b", 2)
+    r = Router("r", 3)
+    for node in (a, b, r):
+        topo.add_node(node)
+    topo.add_link(a, r, Mbps(10), 0.001)
+    topo.add_link(r, b, Mbps(10), 0.001)
+    topo.build_routes()
+    return topo, a, b, r
+
+
+class TestRouter:
+    def test_forwards_toward_destination(self, sim):
+        topo, a, b, r = star_topology(sim)
+        a.send_packet(Packet(1000, src=a.address, dst=b.address))
+        sim.run()
+        assert b.udp_packets_received == 1
+        assert r.packets_forwarded == 1
+
+    def test_packet_addressed_to_router_is_consumed(self, sim):
+        topo, a, b, r = star_topology(sim)
+        a.send_packet(Packet(500, src=a.address, dst=r.address))
+        sim.run()
+        assert r.packets_received == 1
+        assert r.packets_forwarded == 0
+
+    def test_no_route_counts_drop(self, sim):
+        topo, a, b, r = star_topology(sim)
+        a.send_packet(Packet(500, src=a.address, dst=99))
+        sim.run()
+        assert r.no_route_drops == 1
+
+    def test_route_for_unknown_raises(self, sim):
+        r = Router("r", 1)
+        with pytest.raises(RoutingError):
+            r.route_for(42)
+
+    def test_set_route_rejects_foreign_interface(self, sim):
+        topo, a, b, r = star_topology(sim)
+        foreign = a.default_interface
+        with pytest.raises(RoutingError):
+            r.set_route(b.address, foreign)
+
+    def test_router_buffer_overflow_counts_drops(self, sim):
+        topo = Topology(sim)
+        a = Host(sim, "a", 1)
+        b = Host(sim, "b", 2)
+        r = Router("r", 3)
+        for node in (a, b, r):
+            topo.add_node(node)
+        # fast ingress, slow egress with a tiny buffer => router drops
+        topo.add_link(a, r, Mbps(100), 0.0,
+                      queue_factory=default_queue_factory(1000))
+        topo.add_link(r, b, Mbps(1), 0.0,
+                      queue_factory=default_queue_factory(2))
+        topo.build_routes()
+        for _ in range(20):
+            a.send_packet(Packet(1500, src=a.address, dst=b.address))
+        sim.run()
+        assert r.packets_dropped > 0
+        assert b.udp_packets_received < 20
+
+    def test_total_buffer_occupancy(self, sim):
+        topo, a, b, r = star_topology(sim)
+        assert r.total_buffer_occupancy() == 0
+
+
+class TestTopology:
+    def test_duplicate_node_name_rejected(self, sim):
+        topo = Topology(sim)
+        topo.add_node(Host(sim, "x", 1))
+        with pytest.raises(TopologyError):
+            topo.add_node(Host(sim, "x", 2))
+
+    def test_duplicate_address_rejected(self, sim):
+        topo = Topology(sim)
+        topo.add_node(Host(sim, "x", 1))
+        with pytest.raises(TopologyError):
+            topo.add_node(Host(sim, "y", 1))
+
+    def test_link_requires_registered_nodes(self, sim):
+        topo = Topology(sim)
+        a = Host(sim, "a", 1)
+        b = Host(sim, "b", 2)
+        topo.add_node(a)
+        with pytest.raises(TopologyError):
+            topo.add_link(a, b, Mbps(1), 0.001)
+
+    def test_link_creates_two_interfaces(self, sim):
+        topo = Topology(sim)
+        a = Host(sim, "a", 1)
+        b = Host(sim, "b", 2)
+        topo.add_node(a)
+        topo.add_node(b)
+        spec = topo.add_link(a, b, Mbps(1), 0.001)
+        assert spec.iface_ab.node is a
+        assert spec.iface_ba.node is b
+        assert spec.iface_ab.peer_node is b
+        assert spec.iface_ba.peer_node is a
+
+    def test_node_lookup(self, sim):
+        topo, a, b, r = star_topology(sim)
+        assert topo.node("a") is a
+        with pytest.raises(TopologyError):
+            topo.node("nope")
+
+    def test_hosts_and_routers_listing(self, sim):
+        topo, a, b, r = star_topology(sim)
+        assert set(n.name for n in topo.hosts()) == {"a", "b"}
+        assert [n.name for n in topo.routers()] == ["r"]
+
+    def test_interfaces_iteration(self, sim):
+        topo, _, _, _ = star_topology(sim)
+        assert len(list(topo.interfaces())) == 4  # 2 links x 2 directions
+
+    def test_path_rtt(self, sim):
+        topo, a, b, r = star_topology(sim)
+        assert topo.path_rtt("a", "b") == pytest.approx(0.004)
+
+    def test_routes_on_chain_of_routers(self, sim):
+        topo = Topology(sim)
+        a = Host(sim, "a", 1)
+        b = Host(sim, "b", 2)
+        r1 = Router("r1", 3)
+        r2 = Router("r2", 4)
+        for node in (a, b, r1, r2):
+            topo.add_node(node)
+        topo.add_link(a, r1, Mbps(10), 0.001)
+        topo.add_link(r1, r2, Mbps(10), 0.001)
+        topo.add_link(r2, b, Mbps(10), 0.001)
+        topo.build_routes()
+        a.send_packet(Packet(800, src=a.address, dst=b.address))
+        sim.run()
+        assert b.udp_packets_received == 1
+        assert r1.packets_forwarded == 1
+        assert r2.packets_forwarded == 1
+
+    def test_disconnected_topology_rejected(self, sim):
+        topo = Topology(sim)
+        topo.add_node(Host(sim, "a", 1))
+        topo.add_node(Host(sim, "b", 2))
+        with pytest.raises(TopologyError):
+            topo.build_routes()
+
+    def test_interface_to_unknown_neighbor_raises(self, sim):
+        topo, a, b, r = star_topology(sim)
+        with pytest.raises(TopologyError):
+            r.interface_to(999)
+
+    def test_default_queue_factory_capacity(self, sim):
+        factory = default_queue_factory(7)
+        queue = factory(lambda: 0.0, "q")
+        assert isinstance(queue, DropTailQueue)
+        assert queue.capacity_packets == 7

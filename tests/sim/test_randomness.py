@@ -1,0 +1,68 @@
+"""Tests for named random streams."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "loss") == derive_seed(1, "loss")
+
+    def test_depends_on_name(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_depends_on_master(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    def test_seed_fits_64_bits(self, master, name):
+        assert 0 <= derive_seed(master, name) < 2 ** 64
+
+
+class TestRandomStreams:
+    def test_same_stream_instance_returned(self):
+        streams = RandomStreams(7)
+        assert streams.get("x") is streams.get("x")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(7).get("traffic").integers(0, 100, 10)
+        b = RandomStreams(7).get("traffic").integers(0, 100, 10)
+        assert list(a) == list(b)
+
+    def test_independent_of_creation_order(self):
+        s1 = RandomStreams(7)
+        s1.get("a")
+        first = s1.get("b").random(4)
+        s2 = RandomStreams(7)
+        second = s2.get("b").random(4)  # "a" never created here
+        assert list(first) == list(second)
+
+    def test_names_listing(self):
+        streams = RandomStreams(1)
+        streams.get("b")
+        streams.get("a")
+        assert streams.names() == ["a", "b"]
+
+    def test_contains(self):
+        streams = RandomStreams(1)
+        assert "x" not in streams
+        streams.get("x")
+        assert "x" in streams
+
+    def test_reset_single(self):
+        streams = RandomStreams(1)
+        first = streams.get("x").random(3)
+        streams.reset("x")
+        second = streams.get("x").random(3)
+        assert list(first) == list(second)
+
+    def test_reset_all(self):
+        streams = RandomStreams(1)
+        streams.get("x")
+        streams.get("y")
+        streams.reset()
+        assert streams.names() == []

@@ -1,0 +1,359 @@
+"""Unit tests for the congestion-control algorithms (window arithmetic only)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.tcp import TCPOptions
+from repro.tcp.cc import (
+    CCContext,
+    CubicCC,
+    HyStartCC,
+    LimitedSlowStartCC,
+    NewRenoCC,
+    RenoCC,
+    available_algorithms,
+    cc_factory,
+    create_cc,
+    register_cc,
+)
+
+MSS = 1000
+
+
+def make_ctx(sim=None, ifq=None, **option_overrides):
+    options = TCPOptions(mss=MSS, rwnd_bytes=10_000_000, **option_overrides)
+    sim = sim if sim is not None else Simulator(seed=1)
+    probe = (lambda: ifq) if ifq is not None else None
+    return sim, CCContext(sim, options, ifq_probe=probe)
+
+
+class TestCCContext:
+    def test_exposes_mss_and_clock(self):
+        sim, ctx = make_ctx()
+        assert ctx.mss == MSS
+        assert ctx.now == sim.now
+
+    def test_ifq_state_default(self):
+        _, ctx = make_ctx()
+        assert ctx.ifq_state() == (0, None)
+
+    def test_ifq_state_probe(self):
+        _, ctx = make_ctx(ifq=(42, 100))
+        assert ctx.ifq_state() == (42, 100)
+
+
+class TestRenoSlowStart:
+    def test_initial_window(self):
+        _, ctx = make_ctx(initial_cwnd_segments=2)
+        cc = RenoCC(ctx)
+        assert cc.cwnd == 2.0
+        assert math.isinf(cc.ssthresh)
+        assert cc.in_slow_start
+
+    def test_grows_one_segment_per_acked_segment(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.on_ack(MSS, 0.05, 2 * MSS)
+        assert cc.cwnd == pytest.approx(3.0)
+
+    def test_doubling_per_round(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        # ACK a full window's worth of segments => window doubles
+        start = cc.cwnd
+        for _ in range(int(start)):
+            cc.on_ack(MSS, 0.05, int(cc.cwnd) * MSS)
+        assert cc.cwnd == pytest.approx(2 * start)
+
+    def test_growth_caps_at_ssthresh_then_linear(self):
+        _, ctx = make_ctx(initial_ssthresh_segments=4)
+        cc = RenoCC(ctx)
+        cc.on_ack(2 * MSS, 0.05, 2 * MSS)   # reaches ssthresh exactly
+        assert cc.cwnd == pytest.approx(4.0)
+        cc.on_ack(MSS, 0.05, 4 * MSS)
+        assert cc.cwnd == pytest.approx(4.25)
+        assert not cc.in_slow_start
+
+    def test_congestion_avoidance_one_segment_per_rtt(self):
+        _, ctx = make_ctx(initial_ssthresh_segments=2)
+        cc = RenoCC(ctx)
+        cc.ssthresh = 2.0
+        cc.cwnd = 10.0
+        for _ in range(10):
+            cc.on_ack(MSS, 0.05, 10 * MSS)
+        assert cc.cwnd == pytest.approx(11.0, rel=0.02)
+
+
+class TestRenoDecrease:
+    def test_enter_recovery_halves_flight(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 20.0
+        cc.on_enter_recovery(in_flight_bytes=20 * MSS)
+        assert cc.ssthresh == pytest.approx(10.0)
+        assert cc.cwnd == pytest.approx(13.0)   # ssthresh + 3
+        assert cc.reductions == 1
+
+    def test_dupack_inflation(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 10.0
+        cc.on_dupack_in_recovery()
+        assert cc.cwnd == 11.0
+
+    def test_partial_ack_deflation(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 10.0
+        cc.on_partial_ack(acked_bytes=3 * MSS)
+        assert cc.cwnd == pytest.approx(8.0)
+
+    def test_exit_recovery_returns_to_ssthresh(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.ssthresh = 8.0
+        cc.cwnd = 15.0
+        cc.on_exit_recovery()
+        assert cc.cwnd == 8.0
+
+    def test_rto_collapses_to_one_segment(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 30.0
+        cc.on_rto(in_flight_bytes=30 * MSS)
+        assert cc.cwnd == 1.0
+        assert cc.ssthresh == pytest.approx(15.0)
+
+    def test_ssthresh_floor_of_two_segments(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 2.0
+        cc.on_rto(in_flight_bytes=MSS)
+        assert cc.ssthresh == 2.0
+
+    def test_local_congestion_reacts_like_congestion(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 40.0
+        cc.on_local_congestion(qlen=100, capacity=100, in_flight_bytes=40 * MSS)
+        assert cc.ssthresh == pytest.approx(20.0)
+        assert cc.cwnd == pytest.approx(20.0)
+        assert not cc.in_slow_start
+
+    def test_clamp_to_flight(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 50.0
+        cc.on_clamp_to_flight(in_flight_bytes=10 * MSS)
+        assert cc.cwnd == pytest.approx(11.0)
+
+    def test_after_idle_halves_ca_window(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.ssthresh = 5.0
+        cc.cwnd = 40.0
+        cc.after_idle(idle_time=10.0, rto=1.0)
+        assert cc.cwnd == pytest.approx(20.0)
+
+    def test_after_idle_noop_when_not_idle_long(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.ssthresh = 5.0
+        cc.cwnd = 40.0
+        cc.after_idle(idle_time=0.1, rto=1.0)
+        assert cc.cwnd == 40.0
+
+    @given(st.floats(min_value=1.0, max_value=1000.0))
+    def test_cwnd_never_below_minimum_after_events(self, start_cwnd):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = start_cwnd
+        cc.on_enter_recovery(int(start_cwnd) * MSS)
+        cc.on_partial_ack(MSS)
+        cc.on_exit_recovery()
+        cc.on_rto(int(cc.cwnd) * MSS)
+        assert cc.cwnd >= cc.min_cwnd
+        assert cc.ssthresh >= 2.0
+        cc.validate()
+
+
+class TestByteCounting:
+    def test_cwnd_bytes_property(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        cc.cwnd = 12.5
+        assert cc.cwnd_bytes == 12_500
+
+    def test_ssthresh_bytes_infinite(self):
+        _, ctx = make_ctx()
+        cc = RenoCC(ctx)
+        assert math.isinf(cc.ssthresh_bytes)
+
+
+class TestNewReno:
+    def test_same_growth_as_reno(self):
+        _, ctx1 = make_ctx()
+        _, ctx2 = make_ctx()
+        reno, newreno = RenoCC(ctx1), NewRenoCC(ctx2)
+        for _ in range(10):
+            reno.on_ack(MSS, 0.05, 10 * MSS)
+            newreno.on_ack(MSS, 0.05, 10 * MSS)
+        assert reno.cwnd == pytest.approx(newreno.cwnd)
+
+    def test_registry_name(self):
+        assert NewRenoCC.name == "newreno"
+
+
+class TestLimitedSlowStart:
+    def test_standard_growth_below_max_ssthresh(self):
+        _, ctx = make_ctx()
+        cc = LimitedSlowStartCC(ctx, max_ssthresh_segments=100)
+        cc.cwnd = 50.0
+        cc.on_ack(MSS, 0.05, 50 * MSS)
+        assert cc.cwnd == pytest.approx(51.0)
+
+    def test_throttled_growth_above_max_ssthresh(self):
+        _, ctx = make_ctx()
+        cc = LimitedSlowStartCC(ctx, max_ssthresh_segments=100)
+        cc.cwnd = 400.0
+        cc.on_ack(MSS, 0.05, 400 * MSS)
+        # K = 400 / 50 = 8 -> +1/8 segment
+        assert cc.cwnd == pytest.approx(400.125)
+
+    def test_growth_rate_decreases_with_window(self):
+        _, ctx = make_ctx()
+        cc = LimitedSlowStartCC(ctx, max_ssthresh_segments=100)
+        cc.cwnd = 200.0
+        cc.on_ack(MSS, 0.05, 0)
+        g1 = cc.cwnd - 200.0
+        cc.cwnd = 800.0
+        cc.on_ack(MSS, 0.05, 0)
+        g2 = cc.cwnd - 800.0
+        assert g2 < g1
+
+    def test_invalid_max_ssthresh_rejected(self):
+        _, ctx = make_ctx()
+        with pytest.raises(ConfigurationError):
+            LimitedSlowStartCC(ctx, max_ssthresh_segments=0)
+
+
+class TestHyStart:
+    def test_exits_slow_start_on_rtt_increase(self):
+        sim, ctx = make_ctx()
+        cc = HyStartCC(ctx)
+        cc.cwnd = 50.0
+        # first round: baseline RTT 50 ms
+        for _ in range(10):
+            cc.on_ack(MSS, 0.050, 50 * MSS)
+        sim._now = 0.06  # advance past the round boundary
+        for _ in range(10):
+            cc.on_ack(MSS, 0.050, 50 * MSS)
+        sim._now = 0.2
+        # later round: RTT grew by far more than eta
+        for _ in range(10):
+            cc.on_ack(MSS, 0.120, 50 * MSS)
+        assert cc.hystart_exits >= 1
+        assert not math.isinf(cc.ssthresh)
+
+    def test_no_exit_with_flat_rtt(self):
+        sim, ctx = make_ctx()
+        cc = HyStartCC(ctx)
+        for i in range(50):
+            sim._now = i * 0.01
+            cc.on_ack(MSS, 0.050, 10 * MSS)
+        assert cc.hystart_exits == 0
+        assert math.isinf(cc.ssthresh)
+
+
+class TestCubic:
+    def test_slow_start_like_reno(self):
+        _, ctx = make_ctx()
+        cc = CubicCC(ctx)
+        cc.on_ack(MSS, 0.05, MSS)
+        assert cc.cwnd == pytest.approx(3.0)
+
+    def test_decrease_uses_beta(self):
+        _, ctx = make_ctx()
+        cc = CubicCC(ctx)
+        cc.cwnd = 100.0
+        cc.ssthresh = 50.0
+        cc.on_enter_recovery(in_flight_bytes=100 * MSS)
+        assert cc.ssthresh == pytest.approx(70.0)
+
+    def test_window_growth_after_reduction_is_concave(self):
+        sim, ctx = make_ctx()
+        cc = CubicCC(ctx)
+        cc.ssthresh = 10.0
+        cc.cwnd = 100.0
+        cc.on_enter_recovery(in_flight_bytes=100 * MSS)
+        cc.on_exit_recovery()
+        # simulate ACK-clocked rounds of 50 ms each: cwnd ACKs per round
+        round_growth = []
+        for step in range(40):
+            sim._now = 0.05 * (step + 1)
+            before = cc.cwnd
+            for _ in range(int(cc.cwnd)):
+                cc.on_ack(MSS, 0.05, int(cc.cwnd) * MSS)
+            round_growth.append(cc.cwnd - before)
+        # concave region: the window approaches (but does not blow past) w_max
+        # and the per-round growth shrinks as it gets closer
+        assert 70.0 < cc.cwnd <= 105.0
+        assert round_growth[-1] < max(round_growth[:10])
+
+    def test_local_congestion_resets_epoch(self):
+        _, ctx = make_ctx()
+        cc = CubicCC(ctx)
+        cc.cwnd = 80.0
+        cc.ssthresh = 40.0
+        cc.epoch_start = 1.0
+        cc.on_local_congestion(90, 100, 80 * MSS)
+        assert cc.epoch_start is None
+        assert cc.cwnd < 80.0
+
+
+class TestRegistry:
+    def test_builtin_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in ("reno", "newreno", "limited_slow_start", "hystart", "cubic"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        _, ctx = make_ctx()
+        cc = create_cc("reno", ctx)
+        assert isinstance(cc, RenoCC)
+
+    def test_create_with_kwargs(self):
+        _, ctx = make_ctx()
+        cc = create_cc("limited_slow_start", ctx, max_ssthresh_segments=42)
+        assert cc.max_ssthresh == 42
+
+    def test_factory_binding(self):
+        _, ctx = make_ctx()
+        factory = cc_factory("cubic")
+        assert isinstance(factory(ctx), CubicCC)
+
+    def test_unknown_name_rejected(self):
+        _, ctx = make_ctx()
+        with pytest.raises(ConfigurationError):
+            create_cc("bogus", ctx)
+        with pytest.raises(ConfigurationError):
+            cc_factory("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_cc("reno", RenoCC)
+
+    def test_overwrite_allowed_when_requested(self):
+        register_cc("reno", RenoCC, overwrite=True)
+        assert "reno" in available_algorithms()
+
+    def test_restricted_registered_after_core_import(self):
+        import repro.core  # noqa: F401 - registration side effect
+        assert "restricted" in available_algorithms()

@@ -1,0 +1,239 @@
+"""Integration tests for the TCP connection over the simulated network.
+
+These run short bulk transfers over the scaled-down path from ``conftest``
+and assert handshake behaviour, reliable in-order delivery, ACK generation,
+window accounting and the send-stall machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host import BulkSenderApp, SinkApp
+from repro.sim import Simulator
+from repro.tcp import ConnState, CongState, LocalCongestionPolicy, TCPOptions
+from repro.tcp.cc import cc_factory
+from repro.units import Mbps
+from repro.workloads import PathConfig, build_dumbbell
+
+
+def make_transfer(sim, config, total_bytes=None, cc="reno", options=None, start_time=0.0):
+    scenario = build_dumbbell(sim, config, n_flows=1)
+    opts = options if options is not None else config.tcp_options()
+    sink = SinkApp(scenario.receivers[0], 7000, options=opts)
+    app = BulkSenderApp(
+        sim, scenario.senders[0], scenario.receivers[0].address, 7000,
+        total_bytes=total_bytes, start_time=start_time, options=opts,
+        cc_factory=cc_factory(cc),
+    )
+    return scenario, app, sink
+
+
+class TestHandshake:
+    def test_connection_establishes(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path, total_bytes=10_000)
+        sim.run(until=1.0)
+        assert app.connection.state is ConnState.ESTABLISHED
+
+    def test_server_side_established(self, sim, small_path):
+        _, app, sink = make_transfer(sim, small_path, total_bytes=10_000)
+        sim.run(until=1.0)
+        assert len(sink.connections) == 1
+        assert sink.connections[0].state is ConnState.ESTABLISHED
+
+    def test_handshake_takes_about_one_rtt(self, sim, small_path):
+        established = []
+        _, app, _ = make_transfer(sim, small_path, total_bytes=10_000)
+        app.connection.on_established = lambda: established.append(sim.now)
+        sim.run(until=1.0)
+        assert len(established) == 1
+        assert small_path.rtt * 0.9 < established[0] < small_path.rtt * 2.5
+
+    def test_syn_consumes_one_sequence_number(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path, total_bytes=10_000)
+        sim.run(until=1.0)
+        assert app.connection.snd_una >= 1
+
+    def test_handshake_rtt_sample_seeds_estimator(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path, total_bytes=10_000)
+        sim.run(until=1.0)
+        assert app.connection.rto_estimator.srtt is not None
+
+
+class TestDataTransfer:
+    def test_all_bytes_delivered_and_acked(self, sim, small_path):
+        total = 200_000
+        _, app, sink = make_transfer(sim, small_path, total_bytes=total)
+        sim.run(until=5.0)
+        assert sink.bytes_received == total
+        assert app.stats.ThruBytesAcked == total
+        assert app.completed
+        assert app.completion_time is not None
+
+    def test_no_retransmissions_on_clean_path(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path, total_bytes=100_000)
+        sim.run(until=5.0)
+        assert app.stats.PktsRetrans == 0
+        assert app.stats.Timeouts == 0
+
+    def test_delivery_is_in_order(self, sim, small_path):
+        deliveries = []
+        scenario, app, sink = make_transfer(sim, small_path, total_bytes=50_000)
+        conn_holder = {}
+
+        def on_conn(conn):
+            conn_holder["conn"] = conn
+        sim.run(until=3.0)
+        server_conn = sink.connections[0]
+        # in-order delivery implies receiver never buffered out-of-order data
+        assert server_conn.ooo_segments == {}
+        assert server_conn.bytes_delivered == 50_000
+
+    def test_goodput_reasonable_for_path(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path)
+        sim.run(until=3.0)
+        goodput = app.goodput_bps()
+        assert 0.2 * small_path.bottleneck_rate_bps < goodput <= small_path.bottleneck_rate_bps
+
+    def test_in_flight_never_exceeds_flow_control_or_peak_window(self, sim, small_path):
+        # Note: in-flight data may exceed the *current* cwnd right after a
+        # window reduction (data already on the wire is not recalled), but it
+        # must never exceed the receiver window nor the largest congestion
+        # window ever granted.
+        _, app, _ = make_transfer(sim, small_path)
+        conn = app.connection
+        violations = []
+
+        def check(now):
+            limit = min(conn.stats.MaxCwnd, conn.peer_rwnd) + conn.options.mss
+            if conn.bytes_in_flight > limit:
+                violations.append((now, conn.bytes_in_flight, limit))
+        from repro.sim.timers import PeriodicTask
+        PeriodicTask(sim, 0.01, check).start()
+        sim.run(until=2.0)
+        assert violations == []
+
+    def test_delayed_start_time(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path, total_bytes=20_000, start_time=0.5)
+        sim.run(until=0.4)
+        assert app.stats.DataPktsOut == 0
+        sim.run(until=3.0)
+        assert app.completed
+
+    def test_delayed_acks_reduce_ack_count(self, sim, small_path):
+        _, app, sink = make_transfer(sim, small_path, total_bytes=200_000)
+        sim.run(until=5.0)
+        server = sink.connections[0]
+        # with delack every 2 segments the receiver sends roughly half as many
+        # ACKs as it receives data segments
+        assert server.stats.AckPktsOut < 0.75 * server.stats.DataPktsIn
+
+    def test_disabled_delayed_ack_acks_every_segment(self, sim, small_path):
+        opts = small_path.tcp_options(delayed_ack=False)
+        _, app, sink = make_transfer(sim, small_path, total_bytes=100_000, options=opts)
+        sim.run(until=5.0)
+        server = sink.connections[0]
+        assert server.stats.AckPktsOut >= server.stats.DataPktsIn
+
+
+class TestSendStalls:
+    def test_standard_tcp_stalls_on_small_ifq(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path)  # unlimited transfer
+        sim.run(until=3.0)
+        assert app.stats.SendStall >= 1
+        assert app.stats.OtherReductions >= 1
+
+    def test_stall_forces_exit_from_slow_start(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path)
+        sim.run(until=3.0)
+        cc = app.connection.cc
+        assert cc.ssthresh < float("inf")
+
+    def test_stall_times_recorded(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path)
+        sim.run(until=3.0)
+        times = app.stats.stall_times()
+        assert len(times) == app.stats.SendStall
+        assert all(0 < t <= 3.0 for t in times)
+
+    def test_ignore_policy_does_not_reduce_window(self, sim, small_path):
+        opts = small_path.tcp_options(
+            local_congestion_policy=LocalCongestionPolicy.IGNORE)
+        _, app, _ = make_transfer(sim, small_path, options=opts)
+        sim.run(until=3.0)
+        assert app.stats.SendStall >= 1
+        assert app.stats.OtherReductions == 0
+
+    def test_clamp_policy_keeps_slow_start(self, sim, small_path):
+        opts = small_path.tcp_options(
+            local_congestion_policy=LocalCongestionPolicy.CLAMP_ONLY)
+        _, app, _ = make_transfer(sim, small_path, options=opts)
+        sim.run(until=1.0)
+        import math
+        assert math.isinf(app.connection.cc.ssthresh)
+
+    def test_treat_as_congestion_enters_cwr(self, sim, small_path):
+        _, app, _ = make_transfer(sim, small_path)
+        states = []
+        conn = app.connection
+        original = conn._set_cong_state
+
+        def spy(new_state):
+            states.append(new_state)
+            original(new_state)
+        conn._set_cong_state = spy
+        sim.run(until=3.0)
+        assert CongState.CWR in states
+
+    def test_transfer_still_completes_despite_stalls(self, sim, small_path):
+        _, app, sink = make_transfer(sim, small_path, total_bytes=500_000)
+        sim.run(until=10.0)
+        assert app.completed
+        assert sink.bytes_received == 500_000
+
+
+class TestFlowControl:
+    def test_respects_small_receiver_window(self, sim, small_path):
+        opts = small_path.tcp_options(rwnd_bytes=10_000)
+        _, app, _ = make_transfer(sim, small_path, options=opts)
+        sim.run(until=2.0)
+        # throughput limited to roughly rwnd per RTT
+        expected_max = 10_000 * 8 / small_path.rtt * 1.5
+        assert app.goodput_bps() < expected_max
+
+    def test_max_burst_limits_segments_per_ack(self, sim, small_path):
+        opts = small_path.tcp_options(max_burst_segments=2)
+        _, app, _ = make_transfer(sim, small_path, total_bytes=100_000, options=opts)
+        sim.run(until=5.0)
+        assert app.stats.ThruBytesAcked == 100_000
+
+
+class TestStackDemux:
+    def test_two_concurrent_connections_are_independent(self, sim, small_path):
+        scenario = build_dumbbell(sim, small_path, n_flows=2)
+        opts = small_path.tcp_options()
+        sinks = [SinkApp(scenario.receivers[i], 7000 + i, options=opts) for i in range(2)]
+        apps = [
+            BulkSenderApp(sim, scenario.senders[i], scenario.receivers[i].address,
+                          7000 + i, total_bytes=50_000, options=opts,
+                          cc_factory=cc_factory("reno"))
+            for i in range(2)
+        ]
+        sim.run(until=5.0)
+        assert all(app.completed for app in apps)
+        assert all(s.bytes_received == 50_000 for s in sinks)
+
+    def test_segment_to_unknown_port_is_dropped(self, sim, small_path):
+        scenario, app, sink = make_transfer(sim, small_path, total_bytes=10_000)
+        receiver = scenario.receivers[0]
+        before = receiver.stack.segments_dropped_no_connection
+        sim.run(until=1.0)
+        # regular traffic should not produce drops
+        assert receiver.stack.segments_dropped_no_connection == before
+
+    def test_ephemeral_ports_are_unique(self, sim, small_path):
+        scenario = build_dumbbell(sim, small_path, n_flows=1)
+        sender = scenario.senders[0]
+        c1 = sender.stack.connect(scenario.receivers[0].address, 80)
+        c2 = sender.stack.connect(scenario.receivers[0].address, 80)
+        assert c1.flow.src_port != c2.flow.src_port

@@ -1,0 +1,128 @@
+"""Loss-recovery tests: fast retransmit, RTO recovery, random loss robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host import BulkSenderApp, SinkApp
+from repro.net.lossmodels import BernoulliLoss, DeterministicLoss
+from repro.tcp.cc import cc_factory
+from repro.workloads import build_dumbbell
+
+
+def make_lossy_transfer(sim, config, loss_model, total_bytes=300_000, cc="reno"):
+    scenario = build_dumbbell(sim, config, n_flows=1, bottleneck_loss=loss_model)
+    opts = config.tcp_options()
+    sink = SinkApp(scenario.receivers[0], 7000, options=opts)
+    app = BulkSenderApp(
+        sim, scenario.senders[0], scenario.receivers[0].address, 7000,
+        total_bytes=total_bytes, options=opts, cc_factory=cc_factory(cc),
+    )
+    return scenario, app, sink
+
+
+class TestFastRetransmit:
+    def test_single_drop_triggers_fast_retransmit(self, sim, small_path):
+        # drop the 30th data packet crossing the bottleneck
+        _, app, sink = make_lossy_transfer(sim, small_path, DeterministicLoss([30]),
+                                           total_bytes=150_000)
+        sim.run(until=10.0)
+        assert app.completed
+        assert sink.bytes_received == 150_000
+        assert app.stats.FastRetran >= 1
+        assert app.stats.PktsRetrans >= 1
+        assert app.stats.Timeouts == 0
+
+    def test_fast_retransmit_halves_window(self, sim, small_path):
+        _, app, _ = make_lossy_transfer(sim, small_path, DeterministicLoss([30]),
+                                        total_bytes=150_000)
+        sim.run(until=10.0)
+        assert app.connection.cc.ssthresh < float("inf")
+        assert app.stats.CongestionSignals >= 1
+
+    def test_multiple_isolated_drops_recovered(self, sim, small_path):
+        _, app, sink = make_lossy_transfer(
+            sim, small_path, DeterministicLoss([25, 60, 100]), total_bytes=200_000)
+        sim.run(until=15.0)
+        assert app.completed
+        assert sink.bytes_received == 200_000
+
+    def test_burst_drop_recovered(self, sim, small_path):
+        # several consecutive packets lost in one window -> NewReno partial ACKs
+        _, app, sink = make_lossy_transfer(
+            sim, small_path, DeterministicLoss([40, 41, 42]), total_bytes=200_000)
+        sim.run(until=20.0)
+        assert app.completed
+        assert sink.bytes_received == 200_000
+
+    def test_dupacks_counted(self, sim, small_path):
+        _, app, _ = make_lossy_transfer(sim, small_path, DeterministicLoss([30]),
+                                        total_bytes=150_000)
+        sim.run(until=10.0)
+        assert app.stats.DupAcksIn >= 3
+
+
+class TestTimeoutRecovery:
+    def test_lost_syn_is_retransmitted(self, sim, small_path):
+        # drop the very first packet (the SYN)
+        _, app, sink = make_lossy_transfer(sim, small_path, DeterministicLoss([0]),
+                                           total_bytes=50_000)
+        sim.run(until=10.0)
+        assert app.completed
+        assert sink.bytes_received == 50_000
+
+    def test_tail_loss_recovers_via_rto(self, sim, small_path):
+        # lose a packet near the end of the transfer where few dupacks arrive
+        total = 30 * small_path.mss
+        _, app, sink = make_lossy_transfer(sim, small_path, DeterministicLoss([29]),
+                                           total_bytes=total)
+        sim.run(until=15.0)
+        assert app.completed
+        assert sink.bytes_received == total
+        assert app.stats.Timeouts >= 1
+
+    def test_rto_collapses_window(self, sim, small_path):
+        total = 30 * small_path.mss
+        _, app, _ = make_lossy_transfer(sim, small_path, DeterministicLoss([29]),
+                                        total_bytes=total)
+        sim.run(until=15.0)
+        assert app.stats.MinSsthresh < float("inf")
+
+    def test_rto_backoff_survives_repeated_loss_of_same_segment(self, sim, small_path):
+        # the same retransmission is dropped twice before getting through
+        total = 12 * small_path.mss
+        _, app, sink = make_lossy_transfer(
+            sim, small_path, DeterministicLoss([11, 12, 13]), total_bytes=total)
+        sim.run(until=30.0)
+        assert app.completed
+        assert sink.bytes_received == total
+
+
+class TestRandomLoss:
+    @pytest.mark.parametrize("cc", ["reno", "newreno", "cubic"])
+    def test_transfer_completes_under_random_loss(self, sim, small_path, cc):
+        _, app, sink = make_lossy_transfer(sim, small_path, BernoulliLoss(0.01),
+                                           total_bytes=150_000, cc=cc)
+        sim.run(until=30.0)
+        assert app.completed, f"{cc} did not finish under 1% loss"
+        assert sink.bytes_received == 150_000
+
+    def test_goodput_degrades_with_loss(self, small_path):
+        from repro.sim import Simulator
+
+        def run(p):
+            sim = Simulator(seed=5)
+            _, app, _ = make_lossy_transfer(sim, small_path, BernoulliLoss(p),
+                                            total_bytes=None)
+            sim.run(until=5.0)
+            return app.goodput_bps()
+
+        assert run(0.0) > run(0.05)
+
+    def test_restricted_survives_random_loss(self, sim, small_path):
+        import repro.core  # noqa: F401 - ensure "restricted" is registered
+        _, app, sink = make_lossy_transfer(sim, small_path, BernoulliLoss(0.005),
+                                           total_bytes=150_000, cc="restricted")
+        sim.run(until=30.0)
+        assert app.completed
+        assert sink.bytes_received == 150_000

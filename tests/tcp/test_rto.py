@@ -1,0 +1,117 @@
+"""Tests for the RFC 6298 RTO estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tcp import RTOEstimator
+
+
+class TestInitialState:
+    def test_initial_rto_used_before_samples(self):
+        est = RTOEstimator(initial_rto=1.0)
+        assert est.rto == 1.0
+        assert est.srtt is None
+
+    def test_initial_rto_clamped_to_min(self):
+        est = RTOEstimator(initial_rto=0.05, min_rto=0.2)
+        assert est.rto == 0.2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTOEstimator(min_rto=2.0, max_rto=1.0)
+        with pytest.raises(ConfigurationError):
+            RTOEstimator(initial_rto=0.0)
+
+
+class TestFirstSample:
+    def test_first_sample_initialises_srtt(self):
+        est = RTOEstimator(min_rto=0.0001)
+        est.update(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        # RTO = srtt + 4*rttvar = 0.3
+        assert est.rto == pytest.approx(0.3)
+
+    def test_rto_respects_min(self):
+        est = RTOEstimator(min_rto=0.2)
+        est.update(0.001)
+        assert est.rto == 0.2
+
+    def test_negative_sample_rejected(self):
+        est = RTOEstimator()
+        with pytest.raises(ConfigurationError):
+            est.update(-0.1)
+
+
+class TestSmoothing:
+    def test_constant_rtt_converges(self):
+        est = RTOEstimator(min_rto=0.0001)
+        for _ in range(100):
+            est.update(0.060)
+        assert est.srtt == pytest.approx(0.060, rel=1e-3)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_rto_tracks_increase_in_rtt(self):
+        est = RTOEstimator(min_rto=0.0001)
+        for _ in range(20):
+            est.update(0.050)
+        low = est.rto
+        for _ in range(20):
+            est.update(0.200)
+        assert est.rto > low
+
+    def test_sample_counter(self):
+        est = RTOEstimator()
+        for _ in range(5):
+            est.update(0.1)
+        assert est.samples == 5
+
+    @given(st.lists(st.floats(min_value=1e-4, max_value=5.0), min_size=1, max_size=200))
+    def test_rto_always_within_bounds(self, samples):
+        est = RTOEstimator(min_rto=0.2, max_rto=60.0)
+        for s in samples:
+            est.update(s)
+            assert 0.2 <= est.rto <= 60.0
+
+    @given(st.floats(min_value=1e-3, max_value=10.0))
+    def test_rto_at_least_srtt(self, rtt):
+        est = RTOEstimator(min_rto=0.001, max_rto=120.0)
+        est.update(rtt)
+        assert est.rto >= est.srtt
+
+
+class TestBackoff:
+    def test_backoff_doubles(self):
+        est = RTOEstimator(initial_rto=1.0)
+        assert est.backoff() == pytest.approx(2.0)
+        assert est.backoff() == pytest.approx(4.0)
+        assert est.backoff_count == 2
+
+    def test_backoff_capped_at_max(self):
+        est = RTOEstimator(initial_rto=40.0, max_rto=60.0)
+        est.backoff()
+        assert est.rto == 60.0
+        est.backoff()
+        assert est.rto == 60.0
+
+    def test_sample_resets_backoff_count(self):
+        est = RTOEstimator()
+        est.update(0.1)
+        est.backoff()
+        est.update(0.1)
+        assert est.backoff_count == 0
+
+
+class TestReset:
+    def test_reset_restores_initial_state(self):
+        est = RTOEstimator(initial_rto=1.0)
+        est.update(0.1)
+        est.backoff()
+        est.reset()
+        assert est.srtt is None
+        assert est.rto == 1.0
+        assert est.samples == 0

@@ -1,0 +1,100 @@
+"""Tests for TCP segments and endpoint options."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import PROTO_TCP, FlowId
+from repro.tcp import TCPOptions, TCPSegment
+from repro.tcp.state import LocalCongestionPolicy
+
+
+def make_segment(**kwargs):
+    defaults = dict(src=1, dst=2, flow=FlowId(1, 2, 10, 20), seq=100, ack=50,
+                    payload_bytes=1000)
+    defaults.update(kwargs)
+    return TCPSegment(**defaults)
+
+
+class TestTCPSegment:
+    def test_wire_size_includes_headers(self):
+        seg = make_segment(payload_bytes=1000, header_bytes=52)
+        assert seg.size_bytes == 1052
+        assert seg.protocol == PROTO_TCP
+
+    def test_seq_space_counts_payload(self):
+        assert make_segment(payload_bytes=500).seq_space == 500
+
+    def test_syn_and_fin_consume_sequence_space(self):
+        assert make_segment(payload_bytes=0, syn=True).seq_space == 1
+        assert make_segment(payload_bytes=0, fin=True).seq_space == 1
+        assert make_segment(payload_bytes=10, syn=True, fin=True).seq_space == 12
+
+    def test_end_seq(self):
+        seg = make_segment(seq=100, payload_bytes=200)
+        assert seg.end_seq == 300
+
+    def test_pure_ack_detection(self):
+        assert make_segment(payload_bytes=0).is_pure_ack
+        assert not make_segment(payload_bytes=1).is_pure_ack
+        assert not make_segment(payload_bytes=0, syn=True).is_pure_ack
+
+    def test_timestamp_fields(self):
+        seg = make_segment(ts_val=1.5, ts_ecr=1.0)
+        assert seg.ts_val == 1.5
+        assert seg.ts_ecr == 1.0
+
+    def test_retransmission_flag_default_false(self):
+        assert not make_segment().retransmission
+
+
+class TestTCPOptions:
+    def test_defaults_are_sane(self):
+        opts = TCPOptions()
+        assert opts.mss > 0
+        assert opts.initial_cwnd_segments >= 1
+        assert opts.local_congestion_policy is LocalCongestionPolicy.TREAT_AS_CONGESTION
+        assert math.isinf(opts.initial_ssthresh_bytes)
+
+    def test_segment_bytes(self):
+        opts = TCPOptions(mss=1000, header_bytes=40)
+        assert opts.segment_bytes == 1040
+
+    def test_initial_ssthresh_bytes_finite(self):
+        opts = TCPOptions(initial_ssthresh_segments=10, mss=1000)
+        assert opts.initial_ssthresh_bytes == 10_000
+
+    def test_replace_creates_modified_copy(self):
+        opts = TCPOptions()
+        other = opts.replace(mss=500)
+        assert other.mss == 500
+        assert opts.mss != 500
+
+    @pytest.mark.parametrize("field,value", [
+        ("mss", 0),
+        ("header_bytes", -1),
+        ("initial_cwnd_segments", 0),
+        ("initial_ssthresh_segments", 1),
+        ("rwnd_bytes", 10),
+        ("delack_segments", 0),
+        ("dupack_threshold", 0),
+        ("min_rto", 0.0),
+        ("initial_rto", 0.0),
+        ("stall_retry_interval", 0.0),
+        ("max_burst_segments", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            TCPOptions(**{field: value})
+
+    def test_min_rto_must_not_exceed_max(self):
+        with pytest.raises(ConfigurationError):
+            TCPOptions(min_rto=5.0, max_rto=1.0)
+
+    def test_policies_enumerated(self):
+        assert {p.value for p in LocalCongestionPolicy} == {
+            "treat_as_congestion", "clamp_only", "ignore"
+        }

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "E1", "--duration", "5"])
+        assert args.experiment == "E1"
+        assert args.duration == 5.0
+
+    def test_global_overrides(self):
+        args = build_parser().parse_args(
+            ["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20", "list"])
+        assert args.bandwidth_mbps == 20.0
+        assert args.rtt_ms == 40.0
+        assert args.ifq == 20
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("E1", "E2", "E10"):
+            assert experiment_id in out
+
+    def test_compare_on_small_path(self, capsys):
+        code = main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "compare", "--duration", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reno" in out and "restricted" in out
+        assert "improvement" in out
+
+    def test_tune_prints_gains(self, capsys):
+        assert main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "tune"]) == 0
+        out = capsys.readouterr().out
+        assert "Kp" in out and "Kc" in out
+
+    def test_run_figure1_small(self, capsys, tmp_path):
+        output = tmp_path / "e1.json"
+        code = main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "run", "E1", "--duration", "2", "-o", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        # figure-1 results are dataclass-backed but not registered for JSON
+        # persistence; the CLI must degrade gracefully either way
+        if output.exists():
+            json.loads(output.read_text())
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "E42"]) == 2
+        assert "error" in capsys.readouterr().err

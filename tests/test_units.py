@@ -1,0 +1,155 @@
+"""Unit tests for :mod:`repro.units`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+class TestRates:
+    def test_bps_identity(self):
+        assert units.bps(123.0) == 123.0
+
+    def test_kbps(self):
+        assert units.Kbps(1) == 1e3
+
+    def test_mbps(self):
+        assert units.Mbps(100) == 100e6
+
+    def test_gbps(self):
+        assert units.Gbps(2.5) == 2.5e9
+
+    def test_rate_ordering(self):
+        assert units.Kbps(1) < units.Mbps(1) < units.Gbps(1)
+
+
+class TestSizes:
+    def test_decimal_sizes(self):
+        assert units.KB(1) == 1e3
+        assert units.MB(1) == 1e6
+        assert units.GB(1) == 1e9
+
+    def test_binary_sizes(self):
+        assert units.KiB(1) == 1024
+        assert units.MiB(1) == 1024 ** 2
+        assert units.GiB(1) == 1024 ** 3
+
+    def test_binary_larger_than_decimal(self):
+        assert units.KiB(1) > units.KB(1)
+
+
+class TestTimes:
+    def test_us(self):
+        assert units.us(1) == pytest.approx(1e-6)
+
+    def test_ms(self):
+        assert units.ms(60) == pytest.approx(0.060)
+
+    def test_seconds_identity(self):
+        assert units.seconds(2.5) == 2.5
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120.0
+
+
+class TestConversions:
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(10) == 80
+
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(80) == 10
+
+    def test_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(1234.5)) == pytest.approx(1234.5)
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_roundtrip_property(self, nbytes):
+        assert units.bits_to_bytes(units.bytes_to_bits(nbytes)) == pytest.approx(nbytes)
+
+
+class TestTransmissionTime:
+    def test_known_value(self):
+        # 1500 bytes at 100 Mbit/s = 120 microseconds
+        assert units.transmission_time(1500, units.Mbps(100)) == pytest.approx(120e-6)
+
+    def test_zero_bytes(self):
+        assert units.transmission_time(0, units.Mbps(1)) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            units.transmission_time(1500, 0)
+
+    @given(st.floats(min_value=1, max_value=1e7),
+           st.floats(min_value=1e3, max_value=1e10))
+    def test_scales_linearly_with_size(self, nbytes, rate):
+        t1 = units.transmission_time(nbytes, rate)
+        t2 = units.transmission_time(2 * nbytes, rate)
+        assert t2 == pytest.approx(2 * t1)
+
+
+class TestBDP:
+    def test_paper_path_bdp(self):
+        # 100 Mbit/s x 60 ms = 750 kB
+        assert units.bandwidth_delay_product_bytes(units.Mbps(100), 0.060) == pytest.approx(750_000)
+
+    def test_bdp_packets(self):
+        bdp_pkts = units.bandwidth_delay_product_packets(units.Mbps(100), 0.060)
+        assert bdp_pkts == pytest.approx(500, rel=0.01)
+
+    def test_bdp_zero_rtt(self):
+        assert units.bandwidth_delay_product_bytes(units.Mbps(100), 0.0) == 0.0
+
+    def test_bdp_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            units.bandwidth_delay_product_bytes(-1.0, 0.06)
+
+    def test_bdp_packets_rejects_bad_packet_size(self):
+        with pytest.raises(ConfigurationError):
+            units.bandwidth_delay_product_packets(units.Mbps(10), 0.06, packet_bytes=0)
+
+
+class TestThroughput:
+    def test_throughput(self):
+        assert units.throughput_bps(1_000_000, 8.0) == pytest.approx(1e6)
+
+    def test_throughput_rejects_zero_duration(self):
+        with pytest.raises(ConfigurationError):
+            units.throughput_bps(1000, 0.0)
+
+
+class TestFormatting:
+    def test_format_rate_mbit(self):
+        assert units.format_rate(94.32e6) == "94.32 Mbit/s"
+
+    def test_format_rate_gbit(self):
+        assert "Gbit/s" in units.format_rate(2.5e9)
+
+    def test_format_rate_small(self):
+        assert units.format_rate(10.0).endswith("bit/s")
+
+    def test_format_bytes(self):
+        assert units.format_bytes(12.5e6) == "12.50 MB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(42) == "42 B"
+
+    def test_format_time_seconds(self):
+        assert units.format_time(12.0) == "12.00 s"
+
+    def test_format_time_ms(self):
+        assert units.format_time(0.060) == "60.0 ms"
+
+    def test_format_time_us(self):
+        assert units.format_time(120e-6) == "120.0 us"
+
+
+class TestConstants:
+    def test_segment_size_composition(self):
+        assert units.DEFAULT_SEGMENT_BYTES == units.DEFAULT_MSS + units.DEFAULT_HEADER_BYTES
+
+    def test_ack_is_header_only(self):
+        assert units.ACK_BYTES == units.DEFAULT_HEADER_BYTES

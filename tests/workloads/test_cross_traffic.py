@@ -1,0 +1,63 @@
+"""Tests for cross-traffic attachment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.host import CBRSource, OnOffSource, PoissonSource
+from repro.workloads import add_cross_traffic, build_dumbbell
+
+
+class TestAddCrossTraffic:
+    def test_dedicated_host_pair_created(self, sim, small_path):
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        n_before = len(scen.topology.nodes)
+        source = add_cross_traffic(scen, kind="cbr", rate_fraction=0.2)
+        assert isinstance(source, CBRSource)
+        assert len(scen.topology.nodes) == n_before + 2
+
+    def test_shared_sender_nic(self, sim, small_path):
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        n_before = len(scen.topology.nodes)
+        source = add_cross_traffic(scen, kind="cbr", rate_fraction=0.1,
+                                   share_sender_nic=True)
+        assert len(scen.topology.nodes) == n_before
+        assert source.host is scen.sender(0)
+
+    def test_traffic_actually_flows(self, sim, small_path):
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        add_cross_traffic(scen, kind="cbr", rate_fraction=0.3)
+        sim.run(until=1.0)
+        # last receiver host added is the cross-traffic sink
+        sink = scen.receivers[-1]
+        assert sink.udp_bytes_received > 0
+
+    def test_poisson_and_onoff_kinds(self, sim, small_path):
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        assert isinstance(add_cross_traffic(scen, kind="poisson", rate_fraction=0.1),
+                          PoissonSource)
+        assert isinstance(add_cross_traffic(scen, kind="onoff", rate_fraction=0.1),
+                          OnOffSource)
+
+    def test_unknown_kind_rejected(self, sim, small_path):
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        with pytest.raises(ConfigurationError):
+            add_cross_traffic(scen, kind="bursty")
+
+    def test_invalid_rate_fraction(self, sim, small_path):
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        with pytest.raises(ConfigurationError):
+            add_cross_traffic(scen, rate_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            add_cross_traffic(scen, rate_fraction=1.5)
+
+    def test_cross_traffic_shares_sender_ifq_and_causes_stalls(self, sim, small_path):
+        """Cross traffic on the sending host competes for the IFQ — the
+        host-level congestion scenario the paper's introduction describes."""
+        import repro.core  # noqa: F401
+        scen = build_dumbbell(sim, small_path, n_flows=1)
+        add_cross_traffic(scen, kind="cbr", rate_fraction=0.9, share_sender_nic=True)
+        app, _ = scen.add_bulk_flow(cc="reno")
+        sim.run(until=3.0)
+        assert app.stats.SendStall >= 1
