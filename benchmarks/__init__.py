@@ -1,0 +1,5 @@
+"""Benchmark suite (pytest-benchmark harness).
+
+A real package so that the benchmark modules' ``from .conftest import ...``
+works under pytest's rootdir collection (``python -m pytest benchmarks/``).
+"""

@@ -36,9 +36,14 @@ def jain_fairness_index(values: Sequence[float]) -> float:
         raise ExperimentError("fairness index needs at least one value")
     if np.any(arr < 0):
         raise ExperimentError("fairness index inputs must be non-negative")
-    denom = arr.size * float(np.sum(arr ** 2))
-    if denom == 0.0:
+    peak = float(arr.max())
+    if peak == 0.0:
         return 1.0
+    # The index is scale-invariant; normalising by the peak keeps the
+    # squared terms away from subnormal underflow (tiny throughputs would
+    # otherwise push the ratio outside [1/n, 1]).
+    arr = arr / peak
+    denom = arr.size * float(np.sum(arr ** 2))
     return float(np.sum(arr)) ** 2 / denom
 
 

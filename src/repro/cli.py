@@ -42,7 +42,9 @@ from .workloads import PathConfig
 
 __all__ = ["main", "build_parser"]
 
-#: How to render each experiment's result type, keyed by experiment id.
+#: How to render each experiment's result type, keyed by *base* experiment
+#: id.  Fluid fast-path variants ("E1F", ...) resolve through their base id
+#: (same result dataclasses).
 _RENDERERS: dict[str, Callable] = {
     "E1": render_figure1,
     "E2": render_throughput,
@@ -75,13 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Restricted Slow-Start for TCP — reproduction toolkit",
     )
-    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="simulation seed (default 1; validate defaults "
+                             "to its tolerance-tuned seed)")
     parser.add_argument("--bandwidth-mbps", type=float, default=None,
                         help="bottleneck/NIC rate override (Mbit/s)")
     parser.add_argument("--rtt-ms", type=float, default=None,
                         help="round-trip time override (ms)")
     parser.add_argument("--ifq", type=int, default=None,
                         help="interface-queue capacity override (packets)")
+    parser.add_argument("--backend", choices=("packet", "fluid"), default=None,
+                        help="simulation engine: event-driven packet engine "
+                             "(ground truth, the default) or the fluid-model "
+                             "fast path (per-RTT difference equations, "
+                             "~100x faster)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the registered experiments")
@@ -100,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     tune = sub.add_parser("tune", help="derive controller gains for a path")
     tune.add_argument("--rule", default="allcock_modified")
 
+    validate = sub.add_parser(
+        "validate", help="cross-validate the fluid fast path against the packet engine")
+    validate.add_argument("--duration", type=float, default=3.0)
+    validate.add_argument("--points", type=int, default=None,
+                          help="limit the validation grid to the first N points")
+
     return parser
 
 
@@ -112,23 +127,25 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment)
-    kwargs = {}
+    if args.backend is not None:
+        if spec.pinned_backend is not None and args.backend != spec.pinned_backend:
+            print(f"error: experiment {spec.experiment_id} is the "
+                  f"{spec.pinned_backend} fast-path variant; run {spec.base_id} "
+                  f"for the {args.backend} engine", file=sys.stderr)
+            return 2
+        if (spec.pinned_backend is None and args.backend != "packet"
+                and not spec.backend_aware):
+            print(f"error: experiment {spec.experiment_id} does not support "
+                  f"--backend {args.backend} (packet only)", file=sys.stderr)
+            return 2
+    kwargs = {"seed": args.seed if args.seed is not None else 1,
+              spec.config_kwarg: _path_config(args)}
     if args.duration is not None:
-        if spec.experiment_id == "E10":
-            kwargs["max_duration"] = args.duration
-        else:
-            kwargs["duration"] = args.duration
-    config = _path_config(args)
-    if spec.experiment_id in ("E3", "E4", "E5", "E6"):
-        kwargs["base_config"] = config
-    else:
-        kwargs["config"] = config
-    if spec.experiment_id not in ("E9",):
-        kwargs.setdefault("seed", args.seed)
-    else:
-        kwargs["seed"] = args.seed
+        kwargs[spec.duration_kwarg] = args.duration
+    if spec.pinned_backend is None and args.backend is not None and spec.backend_aware:
+        kwargs["backend"] = args.backend
     result = spec.runner(**kwargs)
-    renderer = _RENDERERS.get(spec.experiment_id)
+    renderer = _RENDERERS.get(spec.base_id or spec.experiment_id)
     if renderer is not None:
         print(renderer(result))
     if args.output:
@@ -143,7 +160,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _path_config(args)
     comparison = run_comparison(tuple(args.algorithms), config=config,
-                                duration=args.duration, seed=args.seed)
+                                duration=args.duration,
+                                seed=args.seed if args.seed is not None else 1,
+                                backend=args.backend or "packet")
     print(comparison_table(comparison, title="algorithm comparison").render())
     if "restricted" in args.algorithms and "reno" in args.algorithms:
         print(f"\nimprovement of restricted over reno: "
@@ -151,7 +170,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    # Delegate to the single implementation of the gate.  The gate runs a
+    # fixed, tolerance-tuned grid on both backends with its own seed, so the
+    # global path/backend flags cannot apply — reject them loudly rather
+    # than validating something other than what the user asked for.
+    ignored = [flag for flag, value in (
+        ("--bandwidth-mbps", args.bandwidth_mbps),
+        ("--rtt-ms", args.rtt_ms),
+        ("--ifq", args.ifq),
+        ("--backend", args.backend),
+    ) if value is not None]
+    if ignored:
+        print(f"error: validate runs the fixed cross-validation grid on both "
+              f"backends; {', '.join(ignored)} cannot apply", file=sys.stderr)
+        return 2
+    from .fluid.validate import main as validate_main
+
+    argv = ["--duration", str(args.duration)]
+    if args.points is not None:
+        argv += ["--points", str(args.points)]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    return validate_main(argv)
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
+    if args.backend is not None:
+        print("error: tune always derives gains via fluid relay tuning; "
+              "--backend cannot apply", file=sys.stderr)
+        return 2
     config = _path_config(args)
     result = autotune_gains_fluid(config, rule=args.rule)
     for key, value in result.summary().items():
@@ -172,6 +220,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_compare(args)
         if args.command == "tune":
             return _cmd_tune(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

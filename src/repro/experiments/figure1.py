@@ -62,11 +62,14 @@ def run_figure1(
     config: PathConfig | None = None,
     seed: int = 1,
     sample_interval: float = 1.0,
+    backend: str = "packet",
 ) -> Figure1Result:
     """Regenerate Figure 1 (cumulative send-stall signals vs time)."""
     cfg = config if config is not None else PathConfig()
-    standard = run_single_flow(cc=STANDARD, config=cfg, duration=duration, seed=seed)
-    proposed = run_single_flow(cc=PROPOSED, config=cfg, duration=duration, seed=seed)
+    standard = run_single_flow(cc=STANDARD, config=cfg, duration=duration, seed=seed,
+                               backend=backend)
+    proposed = run_single_flow(cc=PROPOSED, config=cfg, duration=duration, seed=seed,
+                               backend=backend)
     times, std_series = cumulative_stall_series(standard, sample_interval)
     _, prop_series = cumulative_stall_series(proposed, sample_interval)
     n = min(len(std_series), len(prop_series), len(times))

@@ -51,8 +51,20 @@ def map_runs(
         return [f.result() for f in futures]
 
 
-def run_single_flow_batch(kwargs_list: Sequence[dict], max_workers: int | None = None):
-    """Parallel batch of :func:`repro.experiments.runner.run_single_flow`."""
+def run_single_flow_batch(
+    kwargs_list: Sequence[dict],
+    max_workers: int | None = None,
+    backend: str | None = None,
+):
+    """Parallel batch of :func:`repro.experiments.runner.run_single_flow`.
+
+    ``backend`` (``"packet"`` or ``"fluid"``) is applied as the default for
+    every run in the batch; per-run ``backend`` keys take precedence.  Fluid
+    results are plain dataclasses + NumPy arrays, so they cross process
+    boundaries exactly like packet results.
+    """
+    if backend is not None:
+        kwargs_list = [{"backend": backend, **kwargs} for kwargs in kwargs_list]
     return map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
 
 

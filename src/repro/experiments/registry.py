@@ -9,6 +9,7 @@ module that wraps each one.  Examples and ad-hoc scripts can iterate over
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 from ..errors import ExperimentError
@@ -37,38 +38,52 @@ class ExperimentSpec:
     description: str
     runner: Callable
     benchmark: str
+    #: Whether the runner accepts ``backend="packet"|"fluid"``.
+    backend_aware: bool = False
+    #: Keyword the runner takes the path configuration under.
+    config_kwarg: str = "config"
+    #: Keyword the runner takes the duration under.
+    duration_kwarg: str = "duration"
+    #: Backend this spec is pinned to (fluid variants), ``None`` = selectable.
+    pinned_backend: str | None = None
+    #: Experiment id of the packet counterpart for pinned variants.
+    base_id: str | None = None
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     "E1": ExperimentSpec(
         "E1", "Figure 1",
         "Cumulative send-stall signals over time, standard vs restricted",
-        run_figure1, "benchmarks/bench_figure1.py",
+        run_figure1, "benchmarks/bench_figure1.py", backend_aware=True,
     ),
     "E2": ExperimentSpec(
         "E2", "Section 4 headline",
         "Bulk-transfer throughput, standard vs restricted (~40% in the paper)",
-        run_throughput_comparison, "benchmarks/bench_throughput.py",
+        run_throughput_comparison, "benchmarks/bench_throughput.py", backend_aware=True,
     ),
     "E3": ExperimentSpec(
         "E3", "ablation",
         "Interface-queue (txqueuelen) size sweep",
-        ifq_size_sweep, "benchmarks/bench_ifq_sweep.py",
+        ifq_size_sweep, "benchmarks/bench_ifq_sweep.py", backend_aware=True,
+        config_kwarg="base_config",
     ),
     "E4": ExperimentSpec(
         "E4", "ablation",
         "Round-trip-time sweep",
-        rtt_sweep, "benchmarks/bench_rtt_sweep.py",
+        rtt_sweep, "benchmarks/bench_rtt_sweep.py", backend_aware=True,
+        config_kwarg="base_config",
     ),
     "E5": ExperimentSpec(
         "E5", "ablation",
         "Bottleneck bandwidth sweep",
-        bandwidth_sweep, "benchmarks/bench_bandwidth_sweep.py",
+        bandwidth_sweep, "benchmarks/bench_bandwidth_sweep.py", backend_aware=True,
+        config_kwarg="base_config",
     ),
     "E6": ExperimentSpec(
         "E6", "ablation",
         "Controller set-point sweep (paper fixes 90% of the IFQ)",
-        setpoint_sweep, "benchmarks/bench_setpoint_sweep.py",
+        setpoint_sweep, "benchmarks/bench_setpoint_sweep.py", backend_aware=True,
+        config_kwarg="base_config",
     ),
     "E7": ExperimentSpec(
         "E7", "ablation",
@@ -88,9 +103,31 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
     "E10": ExperimentSpec(
         "E10", "extension",
         "Transfer-size (completion-time) sweep",
-        transfer_size_sweep, "benchmarks/bench_transfer_size.py",
+        transfer_size_sweep, "benchmarks/bench_transfer_size.py", backend_aware=True,
+        config_kwarg="base_config", duration_kwarg="max_duration",
     ),
 }
+
+#: Fluid fast-path variants of the backend-aware experiments: the same
+#: runner pinned to ``backend="fluid"``, registered as ``<id>F`` so sweeps
+#: can be listed, scripted and regenerated on the fast path (cross-validated
+#: against the packet engine by ``benchmarks/bench_fluid_vs_packet.py``).
+EXPERIMENTS.update({
+    f"{spec.experiment_id}F": ExperimentSpec(
+        f"{spec.experiment_id}F",
+        spec.paper_artifact,
+        f"{spec.description} (fluid fast path)",
+        partial(spec.runner, backend="fluid"),
+        "benchmarks/bench_fluid_vs_packet.py",
+        backend_aware=False,
+        config_kwarg=spec.config_kwarg,
+        duration_kwarg=spec.duration_kwarg,
+        pinned_backend="fluid",
+        base_id=spec.experiment_id,
+    )
+    for spec in list(EXPERIMENTS.values())
+    if spec.backend_aware
+})
 
 
 def get_experiment(experiment_id: str) -> ExperimentSpec:

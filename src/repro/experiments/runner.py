@@ -118,6 +118,8 @@ class SingleFlowResult:
     acked_times: np.ndarray
     acked_bytes: np.ndarray
     events_processed: int
+    #: Which engine produced this result ("packet" or "fluid").
+    backend: str = "packet"
 
     @property
     def goodput_bps(self) -> float:
@@ -178,6 +180,7 @@ def run_single_flow(
     local_congestion_policy: LocalCongestionPolicy | None = None,
     trace_interval: float = 0.05,
     run_past_duration_until_complete: bool = False,
+    backend: str = "packet",
 ) -> SingleFlowResult:
     """Run one bulk transfer and collect everything the experiments report.
 
@@ -206,7 +209,25 @@ def run_single_flow(
     run_past_duration_until_complete:
         With a finite ``total_bytes``, keep simulating (up to 10× duration)
         until the transfer completes — used by the transfer-size sweep.
+    backend:
+        ``"packet"`` runs the event-driven engine (ground truth);
+        ``"fluid"`` runs the per-RTT difference-equation fast path
+        (:mod:`repro.fluid`), typically ≥100× faster and validated against
+        the packet engine by :mod:`repro.fluid.validate`.
     """
+    if backend == "fluid":
+        from ..fluid.backend import run_single_flow_fluid
+
+        return run_single_flow_fluid(
+            cc=cc, config=config, duration=duration, seed=seed,
+            total_bytes=total_bytes, cc_kwargs=cc_kwargs, rss_config=rss_config,
+            local_congestion_policy=local_congestion_policy,
+            trace_interval=trace_interval,
+            run_past_duration_until_complete=run_past_duration_until_complete,
+        )
+    if backend != "packet":
+        raise ExperimentError(
+            f"unknown backend {backend!r}; choose 'packet' or 'fluid'")
     if duration <= 0:
         raise ExperimentError("duration must be positive")
     cfg = config if config is not None else PathConfig()

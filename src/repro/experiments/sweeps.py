@@ -81,8 +81,10 @@ def _comparison_row(param_name: str, param_value, results: dict[str, object]) ->
 
 
 def _run_comparison_point(param_name: str, param_value, duration: float, seed: int,
-                          configs: dict[str, dict], max_workers: int | None) -> dict:
-    kwargs_list = [dict(cc=algo, duration=duration, seed=seed, **configs[algo])
+                          configs: dict[str, dict], max_workers: int | None,
+                          backend: str = "packet") -> dict:
+    kwargs_list = [dict(cc=algo, duration=duration, seed=seed, backend=backend,
+                        **configs[algo])
                    for algo in SWEEP_ALGORITHMS]
     results = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
     return _comparison_row(param_name, param_value, dict(zip(SWEEP_ALGORITHMS, results)))
@@ -98,6 +100,7 @@ def ifq_size_sweep(
     seed: int = 1,
     base_config: PathConfig | None = None,
     max_workers: int | None = None,
+    backend: str = "packet",
 ) -> SweepResult:
     """Sweep the sender ``txqueuelen`` (E3)."""
     base = base_config if base_config is not None else PathConfig()
@@ -106,7 +109,8 @@ def ifq_size_sweep(
         cfg = base.replace(ifq_capacity_packets=int(size))
         configs = {algo: dict(config=cfg) for algo in SWEEP_ALGORITHMS}
         result.rows.append(_run_comparison_point(
-            "ifq_capacity_packets", int(size), duration, seed, configs, max_workers))
+            "ifq_capacity_packets", int(size), duration, seed, configs, max_workers,
+            backend=backend))
     return result
 
 
@@ -120,6 +124,7 @@ def rtt_sweep(
     seed: int = 1,
     base_config: PathConfig | None = None,
     max_workers: int | None = None,
+    backend: str = "packet",
 ) -> SweepResult:
     """Sweep the path round-trip time (E4)."""
     base = base_config if base_config is not None else PathConfig()
@@ -133,7 +138,7 @@ def rtt_sweep(
                                rss_config=RestrictedSlowStartConfig.for_path(float(rtt))),
         }
         result.rows.append(_run_comparison_point("rtt", float(rtt), duration, seed,
-                                                 configs, max_workers))
+                                                 configs, max_workers, backend=backend))
     return result
 
 
@@ -147,6 +152,7 @@ def bandwidth_sweep(
     seed: int = 1,
     base_config: PathConfig | None = None,
     max_workers: int | None = None,
+    backend: str = "packet",
 ) -> SweepResult:
     """Sweep the bottleneck (and NIC) rate (E5)."""
     base = base_config if base_config is not None else PathConfig()
@@ -155,7 +161,8 @@ def bandwidth_sweep(
         cfg = base.replace(bottleneck_rate_bps=Mbps(rate))
         configs = {algo: dict(config=cfg) for algo in SWEEP_ALGORITHMS}
         result.rows.append(_run_comparison_point("bottleneck_mbps", float(rate), duration,
-                                                 seed, configs, max_workers))
+                                                 seed, configs, max_workers,
+                                                 backend=backend))
     return result
 
 
@@ -169,6 +176,7 @@ def setpoint_sweep(
     seed: int = 1,
     base_config: PathConfig | None = None,
     max_workers: int | None = None,
+    backend: str = "packet",
 ) -> SweepResult:
     """Sweep the PID set point (the paper fixes 0.9) — restricted only (E6)."""
     base = base_config if base_config is not None else PathConfig()
@@ -177,7 +185,7 @@ def setpoint_sweep(
     for sp in setpoints:
         rss = RestrictedSlowStartConfig.for_path(base.rtt).replace(setpoint_fraction=float(sp))
         kwargs_list.append(dict(cc="restricted", config=base, duration=duration,
-                                seed=seed, rss_config=rss))
+                                seed=seed, rss_config=rss, backend=backend))
     runs = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
     for sp, run in zip(setpoints, runs):
         result.rows.append({
@@ -201,6 +209,7 @@ def transfer_size_sweep(
     base_config: PathConfig | None = None,
     max_duration: float = 60.0,
     max_workers: int | None = None,
+    backend: str = "packet",
 ) -> SweepResult:
     """Completion time of finite transfers under both algorithms (E10)."""
     base = base_config if base_config is not None else PathConfig()
@@ -208,7 +217,8 @@ def transfer_size_sweep(
     for size in sizes_bytes:
         kwargs_list = [
             dict(cc=algo, config=base, duration=max_duration, seed=seed,
-                 total_bytes=int(size), run_past_duration_until_complete=False)
+                 total_bytes=int(size), run_past_duration_until_complete=False,
+                 backend=backend)
             for algo in SWEEP_ALGORITHMS
         ]
         runs = dict(zip(SWEEP_ALGORITHMS, map_runs(run_single_flow, kwargs_list,

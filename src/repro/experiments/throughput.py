@@ -53,6 +53,7 @@ def run_throughput_comparison(
     duration: float = 25.0,
     config: PathConfig | None = None,
     seed: int = 1,
+    backend: str = "packet",
 ) -> ThroughputResult:
     """Run the paired standard-vs-restricted bulk transfer."""
     comparison = run_comparison(
@@ -61,6 +62,7 @@ def run_throughput_comparison(
         config=config,
         duration=duration,
         seed=seed,
+        backend=backend,
     )
     return ThroughputResult(comparison=comparison, duration=duration)
 

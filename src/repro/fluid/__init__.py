@@ -1,0 +1,54 @@
+"""Fluid-model fast path for parameter sweeps.
+
+A per-round-trip difference-equation model of cwnd growth, IFQ occupancy,
+bottleneck queueing and loss for the algorithms the paper evaluates (Reno,
+restricted slow-start, limited slow-start).  No per-packet events: a 25 s
+run costs thousands of arithmetic steps instead of millions of events,
+which makes the E3–E5 style sweeps cheap while the packet engine remains
+the ground truth (see :mod:`repro.fluid.validate` for the agreement gate).
+
+Select it anywhere the experiment harness runs a single flow::
+
+    from repro.experiments import run_single_flow
+
+    fast = run_single_flow("restricted", duration=25.0, backend="fluid")
+"""
+
+from .backend import FLUID_BACKEND, run_single_flow_fluid
+from .model import (
+    FLUID_ALGORITHMS,
+    FluidFlowModel,
+    FluidGrowthRule,
+    FluidRunResult,
+    LimitedSlowStartFluid,
+    RenoFluid,
+    RestrictedFluid,
+    fluid_growth_rule,
+)
+from .validate import (
+    DEFAULT_TOLERANCE,
+    Tolerance,
+    ValidationReport,
+    ValidationRow,
+    cross_validate,
+    default_grid,
+)
+
+__all__ = [
+    "FLUID_BACKEND",
+    "FLUID_ALGORITHMS",
+    "run_single_flow_fluid",
+    "FluidFlowModel",
+    "FluidGrowthRule",
+    "FluidRunResult",
+    "RenoFluid",
+    "RestrictedFluid",
+    "LimitedSlowStartFluid",
+    "fluid_growth_rule",
+    "cross_validate",
+    "default_grid",
+    "Tolerance",
+    "DEFAULT_TOLERANCE",
+    "ValidationReport",
+    "ValidationRow",
+]

@@ -1,0 +1,109 @@
+"""Fluid fast-path backend with the packet backend's result interface.
+
+:func:`run_single_flow_fluid` mirrors the signature of
+:func:`repro.experiments.runner.run_single_flow` and returns the same
+:class:`~repro.experiments.runner.SingleFlowResult` dataclass, so renderers,
+sweeps, parallel batches and JSON persistence work identically on both
+backends.  Quantities the fluid abstraction does not model (RTO timeouts,
+per-segment retransmission detail) are reported as zero; the cross-validation
+harness (:mod:`repro.fluid.validate`) documents which fields are comparable
+and within what tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import RestrictedSlowStartConfig
+from ..errors import ExperimentError
+from ..tcp.state import LocalCongestionPolicy
+from ..workloads.scenarios import PathConfig
+from .model import FluidFlowModel, FluidRunResult, fluid_growth_rule
+
+__all__ = ["run_single_flow_fluid", "FLUID_BACKEND"]
+
+#: Backend name used throughout the experiment harness.
+FLUID_BACKEND = "fluid"
+
+
+def run_single_flow_fluid(
+    cc: str = "reno",
+    config: PathConfig | None = None,
+    duration: float = 25.0,
+    seed: int = 1,
+    total_bytes: int | None = None,
+    cc_kwargs: dict | None = None,
+    rss_config: RestrictedSlowStartConfig | None = None,
+    local_congestion_policy: LocalCongestionPolicy | None = None,
+    trace_interval: float = 0.05,
+    run_past_duration_until_complete: bool = False,
+):
+    """Fluid-model equivalent of :func:`repro.experiments.runner.run_single_flow`.
+
+    ``trace_interval`` is accepted for signature parity; the fluid series
+    are sampled once per round trip (the model's native resolution).
+    """
+    from ..experiments.runner import FlowResult, SingleFlowResult
+
+    if duration <= 0:
+        raise ExperimentError("duration must be positive")
+    cfg = config if config is not None else PathConfig()
+    options = cfg.tcp_options()
+    if local_congestion_policy is not None:
+        options = options.replace(local_congestion_policy=local_congestion_policy)
+
+    rule = fluid_growth_rule(cc, cfg, cc_kwargs=cc_kwargs, rss_config=rss_config)
+    model = FluidFlowModel(cfg, rule, options=options, seed=seed,
+                           total_bytes=total_bytes)
+    raw: FluidRunResult = model.run(
+        duration, run_past_duration_until_complete=run_past_duration_until_complete)
+
+    flow = FlowResult(
+        name="flow0",
+        algorithm=cc,
+        duration=raw.duration,
+        bytes_acked=raw.bytes_acked,
+        goodput_bps=raw.goodput_bps,
+        send_stalls=raw.send_stalls,
+        stall_times=list(raw.stall_times),
+        congestion_signals=raw.congestion_signals,
+        timeouts=0,
+        fast_retransmits=raw.fast_retransmits,
+        pkts_retrans=raw.pkts_retrans,
+        other_reductions=raw.other_reductions,
+        max_cwnd_bytes=int(raw.max_cwnd * cfg.mss),
+        final_cwnd_segments=raw.final_cwnd,
+        final_ssthresh_segments=raw.final_ssthresh,
+        smoothed_rtt=cfg.rtt,
+        min_rtt=cfg.rtt,
+        completion_time=raw.completion_time,
+        web100={
+            "backend": FLUID_BACKEND,
+            "ThruBytesAcked": raw.bytes_acked,
+            "SendStall": raw.send_stalls,
+            "OtherReductions": raw.other_reductions,
+            "CongestionSignals": raw.congestion_signals,
+            "FastRetran": raw.fast_retransmits,
+            "MaxCwnd": int(raw.max_cwnd * cfg.mss),
+        },
+    )
+    return SingleFlowResult(
+        config=cfg,
+        duration=raw.duration,
+        seed=seed,
+        flow=flow,
+        ifq_times=np.asarray(raw.times, dtype=float),
+        ifq_occupancy=np.asarray(raw.ifq_occupancy, dtype=float),
+        ifq_peak=int(round(raw.ifq_peak)),
+        # each modelled stall is (at least) one rejected enqueue; reporting
+        # it here keeps fluid sweep rows from reading as "no drops" at
+        # operating points where the packet engine rejects packets
+        ifq_drops=raw.send_stalls,
+        bottleneck_drops=raw.pkts_retrans,
+        cwnd_times=np.asarray(raw.times, dtype=float),
+        cwnd_segments=np.asarray(raw.cwnd_segments, dtype=float),
+        acked_times=np.asarray(raw.times, dtype=float),
+        acked_bytes=np.asarray(raw.acked_bytes, dtype=float),
+        events_processed=raw.steps,
+        backend=FLUID_BACKEND,
+    )

@@ -1,0 +1,603 @@
+"""Per-RTT fluid (difference-equation) model of a single bulk TCP flow.
+
+The packet-level engine processes every segment, ACK and queue operation as
+a discrete event — millions of events for one 25 s run on the paper's path.
+For parameter sweeps (the dominant cost of the IFQ/RTT/bandwidth ablations)
+that fidelity is wasted: the quantities the experiments report (goodput,
+send-stall counts, IFQ peaks) are governed by per-round-trip window
+arithmetic.  This module integrates exactly that arithmetic directly, one
+round trip at a time, so a 25 s run costs thousands of arithmetic steps
+instead of millions of events.
+
+Model
+-----
+Let ``W`` be the congestion window (segments), ``pipe`` the path
+bandwidth-delay product (segments) and ``cap`` the sender IFQ capacity
+(packets).  Because the sender NIC runs at the bottleneck rate (the paper's
+testbed), the interface queue is where both the slow-start burst *and* the
+standing queue live.  Per round trip:
+
+* **goodput** — ``A = min(W, pipe)`` segments are acknowledged;
+* **growth**  — the congestion-control rule grants ``ΔW`` additional
+  segments over the round (``ΔW = A`` in standard slow-start, ``A/W`` in
+  congestion avoidance, the PID output for restricted slow-start, ``A/K``
+  for RFC 3742 limited slow-start);
+* **IFQ occupancy** — every granted segment is injected above the ACK
+  clock, so the within-round occupancy peak is the carried occupancy plus
+  the cumulative growth; at the end of the round the spare NIC capacity
+  ``max(pipe - W, 0)`` drains the burst back down to the standing queue
+  ``clamp(W - pipe, 0, cap)``;
+* **send-stall** — the occupancy crossing ``cap`` is a send-stall; under the
+  stock policy (``TREAT_AS_CONGESTION``) the window collapses to half the
+  flight size and growth freezes for one round (the CWR episode), exactly
+  mirroring :meth:`repro.tcp.cc.base.CongestionControl.on_local_congestion`;
+* **network loss** — a standing queue beyond the IFQ plus the router buffer
+  overflows the bottleneck; the model reacts like one fast-retransmit
+  (halve, freeze one round).
+
+Growth is applied in sub-round chunks so that the restricted-slow-start
+controller — the *real* :class:`repro.control.pid.PIDController`, fed the
+modelled occupancy fraction — samples the occupancy ramp at a resolution
+comparable to the packet-level ACK clock.
+
+The model is deterministic by construction (pure arithmetic, no random
+streams): ``seed`` is carried through to results for interface parity with
+the packet backend but does not influence the dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import RestrictedSlowStartConfig
+from ..control.pid import PIDController
+from ..errors import ConfigurationError, ExperimentError
+from ..tcp.options import TCPOptions
+from ..tcp.state import LocalCongestionPolicy
+from ..workloads.scenarios import PathConfig
+
+__all__ = [
+    "FluidGrowthRule",
+    "RenoFluid",
+    "LimitedSlowStartFluid",
+    "RestrictedFluid",
+    "FluidRunResult",
+    "FluidFlowModel",
+    "fluid_growth_rule",
+    "FLUID_ALGORITHMS",
+]
+
+#: Tolerance below the IFQ capacity at which an occupancy crossing counts as
+#: a stall (the packet queue rejects the segment that would exceed ``cap``).
+_STALL_EPS = 1e-9
+
+#: Noise margin on the sustained-queue rejection boundary: the regulated
+#: equilibrium asymptotes to the set point from below, so a small margin
+#: keeps floating-point creep from reading as a boundary crossing while a
+#: genuine crossing (whole packets) still registers decisively.
+_SUSTAIN_MARGIN = 0.25
+
+#: Hard bound on sub-round growth chunks per round (keeps the restricted
+#: controller's cost bounded on huge windows).
+_MAX_CHUNKS = 256
+
+#: Lower bound on sub-round chunks (even coarse rules sample a few times).
+_MIN_CHUNKS = 4
+
+
+# ---------------------------------------------------------------------------
+# growth rules
+# ---------------------------------------------------------------------------
+
+class FluidGrowthRule:
+    """Window-growth rule evaluated on acknowledged-segment chunks.
+
+    Subclasses implement :meth:`increment`, returning the window increment
+    (segments, may be negative for trimming controllers) granted for a chunk
+    of ``acked`` acknowledged segments while the congestion window is below
+    ``ssthresh``.  Congestion-avoidance growth above ``ssthresh`` is shared
+    Reno arithmetic handled by the model itself.
+    """
+
+    #: Registry name of the packet-level algorithm this rule mirrors.
+    name = "base"
+
+    def increment(self, acked: float, cwnd: float, occupancy_fraction: float,
+                  capacity: int, dt: float) -> float:
+        raise NotImplementedError
+
+    def grain(self, capacity: int) -> float:
+        """Preferred acknowledged-segment chunk size for occupancy sampling.
+
+        Rules that do not sense the queue can integrate a whole round in a
+        few coarse chunks (stall crossings are resolved exactly either way);
+        queue-sensing rules override this to sample finely.
+        """
+        return math.inf
+
+    def sustained_queue_ceiling(self, capacity: int) -> float | None:
+        """Level a queue-sensing rule pins the sustained occupancy at.
+
+        ``None`` means unregulated growth (the queue creeps until it hits
+        the rejection boundary).  The restricted controller's hard guard
+        pins the sustained queue at the set point, which decides — as a
+        property of the *configuration* — whether delayed-ACK bursts on top
+        of the regulated queue can ever overrun the capacity.
+        """
+        return None
+
+    def on_reduction(self) -> None:
+        """A window reduction happened (stall, loss or timeout)."""
+
+
+class RenoFluid(FluidGrowthRule):
+    """Standard slow-start: one segment per acknowledged segment."""
+
+    name = "reno"
+
+    def increment(self, acked: float, cwnd: float, occupancy_fraction: float,
+                  capacity: int, dt: float) -> float:
+        return acked
+
+
+class LimitedSlowStartFluid(FluidGrowthRule):
+    """RFC 3742: growth throttled to ``max_ssthresh / 2`` per round."""
+
+    name = "limited_slow_start"
+
+    def __init__(self, max_ssthresh_segments: float = 100.0) -> None:
+        if max_ssthresh_segments <= 0:
+            raise ConfigurationError("max_ssthresh_segments must be positive")
+        self.max_ssthresh = float(max_ssthresh_segments)
+
+    def increment(self, acked: float, cwnd: float, occupancy_fraction: float,
+                  capacity: int, dt: float) -> float:
+        if cwnd <= self.max_ssthresh:
+            return acked
+        k = max(int(cwnd / (0.5 * self.max_ssthresh)), 1)
+        return acked / k
+
+
+class RestrictedFluid(FluidGrowthRule):
+    """The paper's PID-restricted slow-start, driving the real controller.
+
+    The same :class:`~repro.control.pid.PIDController` the packet-level
+    algorithm deploys is fed the fluid occupancy fraction, so gains tuned
+    for one backend are directly meaningful in the other.
+    """
+
+    name = "restricted"
+
+    def __init__(self, config: RestrictedSlowStartConfig | None = None,
+                 ack_quantum: float = 2.0) -> None:
+        self.config = config if config is not None else RestrictedSlowStartConfig()
+        #: Segments acknowledged per delayed ACK: the packet-level controller
+        #: cannot react on a finer granularity, so neither should the model —
+        #: this is what lets the fluid backend reproduce the stalls the real
+        #: controller suffers when the set-point headroom shrinks below one
+        #: ACK's worth of growth (tiny IFQs).
+        self.ack_quantum = float(ack_quantum)
+        gains = self.config.resolved_gains()
+        self.pid = PIDController(
+            gains,
+            setpoint=self.config.setpoint_fraction,
+            output_min=self.config.min_increment_per_ack,
+            output_max=self.config.max_increment_per_ack,
+            derivative_filter_tau=self.config.derivative_filter_tau,
+        )
+        self.controller_invocations = 0
+
+    def grain(self, capacity: int) -> float:
+        # Sample the occupancy ramp at roughly the resolution of the set
+        # point's headroom so the guard and the derivative term engage
+        # before a saturated controller can push the queue from below the
+        # set point past the capacity in a single chunk.
+        headroom = max((1.0 - self.config.setpoint_fraction) * capacity, 1.0)
+        return max(headroom / 2.0, 1.0)
+
+    def increment(self, acked: float, cwnd: float, occupancy_fraction: float,
+                  capacity: int, dt: float) -> float:
+        output = self.pid.update(occupancy_fraction, dt)
+        self.controller_invocations += 1
+        guard = self.config.hard_setpoint_guard
+        if guard and occupancy_fraction >= self.config.setpoint_fraction:
+            output = min(output, 0.0)
+        delta = output * acked
+        if guard and delta > 0.0 and capacity > 0:
+            # The packet-level controller re-evaluates every delayed ACK, so
+            # it can overshoot the set-point boundary by at most one ACK's
+            # grant before the guard engages.  Bound the coarser fluid chunk
+            # the same way, or a saturated controller could leap from below
+            # the set point straight past it in a single chunk.
+            headroom = (self.config.setpoint_fraction - occupancy_fraction) * capacity
+            delta = min(delta, max(headroom, 0.0) + output * self.ack_quantum)
+        return delta
+
+    def sustained_queue_ceiling(self, capacity: int) -> float | None:
+        if not self.config.hard_setpoint_guard:
+            return None
+        return self.config.setpoint_fraction * capacity
+
+    def on_reduction(self) -> None:
+        if self.config.reset_integral_on_congestion:
+            self.pid.reset()
+
+
+#: Fluid growth rules by packet-registry algorithm name.  ``newreno`` maps
+#: onto the Reno rule: the two differ only in loss recovery, which the fluid
+#: abstraction collapses into a single halve-and-freeze reaction.
+FLUID_ALGORITHMS = {
+    "reno": RenoFluid,
+    "newreno": RenoFluid,
+    "limited_slow_start": LimitedSlowStartFluid,
+    "restricted": RestrictedFluid,
+}
+
+
+def fluid_growth_rule(cc: str, config: PathConfig,
+                      cc_kwargs: dict | None = None,
+                      rss_config: RestrictedSlowStartConfig | None = None) -> FluidGrowthRule:
+    """Build the fluid growth rule mirroring packet algorithm ``cc``."""
+    try:
+        rule_cls = FLUID_ALGORITHMS[cc]
+    except KeyError:
+        raise ExperimentError(
+            f"the fluid backend does not model {cc!r}; "
+            f"supported: {sorted(FLUID_ALGORITHMS)} (use backend='packet')"
+        ) from None
+    if rule_cls is RestrictedFluid:
+        rss = rss_config if rss_config is not None else RestrictedSlowStartConfig.for_path(config.rtt)
+        quantum = float(config.tcp_options().delack_segments)
+        return RestrictedFluid(rss, ack_quantum=quantum)
+    return rule_cls(**(cc_kwargs or {}))
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FluidRunResult:
+    """Raw series and counters produced by :meth:`FluidFlowModel.run`."""
+
+    config: PathConfig
+    algorithm: str
+    duration: float
+    seed: int
+    times: np.ndarray
+    cwnd_segments: np.ndarray
+    ifq_occupancy: np.ndarray
+    acked_bytes: np.ndarray
+    bytes_acked: int
+    goodput_bps: float
+    ifq_peak: float
+    send_stalls: int
+    stall_times: list[float] = field(default_factory=list)
+    congestion_signals: int = 0
+    fast_retransmits: int = 0
+    other_reductions: int = 0
+    pkts_retrans: int = 0
+    final_cwnd: float = 0.0
+    final_ssthresh: float = math.inf
+    max_cwnd: float = 0.0
+    completion_time: float | None = None
+    steps: int = 0
+
+
+# ---------------------------------------------------------------------------
+# the model
+# ---------------------------------------------------------------------------
+
+class FluidFlowModel:
+    """Difference-equation integrator for one bulk flow on a dumbbell path.
+
+    Parameters
+    ----------
+    config:
+        Path parameters (same :class:`PathConfig` the packet backend uses).
+    rule:
+        Slow-start growth rule (see :func:`fluid_growth_rule`).
+    options:
+        Endpoint options; defaults to ``config.tcp_options()`` exactly like
+        the packet scenario builder.
+    seed:
+        Recorded in the result for interface parity; the fluid model is
+        deterministic and does not consume random numbers.
+    """
+
+    def __init__(
+        self,
+        config: PathConfig,
+        rule: FluidGrowthRule,
+        options: TCPOptions | None = None,
+        seed: int = 1,
+        total_bytes: int | None = None,
+    ) -> None:
+        self.config = config
+        self.rule = rule
+        self.options = options if options is not None else config.tcp_options()
+        self.seed = int(seed)
+        self.total_bytes = total_bytes
+
+        self.pipe = config.bdp_packets
+        self.capacity = int(config.ifq_capacity_packets)
+        self.router_buffer = int(config.router_buffer_packets)
+        self.rwnd_segments = self.options.rwnd_bytes / self.options.mss
+        self.mss = self.options.mss
+        #: Transient queue excursion above the fluid occupancy caused by
+        #: delayed-ACK re-clocking bursts: each ACK releases
+        #: ``delack_segments`` back-to-back segments, momentarily parking
+        #: ``delack_segments - 1`` extra packets in the IFQ.  A standing
+        #: queue within this margin of the capacity stalls in the packet
+        #: engine even when the controller grants no growth at all.
+        self.ack_jitter = max(float(self.options.delack_segments) - 1.0, 0.0)
+
+        # --- dynamic state ------------------------------------------------
+        self.cwnd = float(self.options.initial_cwnd_segments)
+        if self.options.initial_ssthresh_segments is None:
+            self.ssthresh = math.inf
+        else:
+            self.ssthresh = float(self.options.initial_ssthresh_segments)
+        self.queue = 0.0
+        self.bytes_acked = 0
+        self.freeze_rounds = 0
+        self.steps = 0
+
+        # --- counters -----------------------------------------------------
+        self.send_stalls = 0
+        self.stall_times: list[float] = []
+        self.congestion_signals = 0
+        self.fast_retransmits = 0
+        self.other_reductions = 0
+        self.pkts_retrans = 0
+        self.ifq_peak = 0.0
+        self.max_cwnd = self.cwnd
+        self.completion_time: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> float:
+        """Effective send window (segments)."""
+        return min(self.cwnd, self.rwnd_segments)
+
+    def _flight_segments(self) -> float:
+        """Data in flight when the IFQ saturates (pipe plus queued excess)."""
+        return min(self.window, self.pipe + min(self.queue, float(self.capacity)))
+
+    def _standing_queue(self) -> float:
+        """Steady-state IFQ occupancy implied by the current window."""
+        return min(max(self.window - self.pipe, 0.0), float(self.capacity))
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def _reduce_on_stall(self, now: float) -> None:
+        """Stock reaction to a send-stall (``on_local_congestion`` + CWR)."""
+        self.send_stalls += 1
+        self.stall_times.append(now)
+        policy = self.options.local_congestion_policy
+        if policy == LocalCongestionPolicy.TREAT_AS_CONGESTION:
+            flight = self._flight_segments()
+            self.ssthresh = max(flight / 2.0, 2.0)
+            self.cwnd = max(self.ssthresh, 1.0)
+            self.other_reductions += 1
+            self.freeze_rounds = 1
+            self.rule.on_reduction()
+        elif policy == LocalCongestionPolicy.CLAMP_ONLY:
+            self.cwnd = max(min(self.cwnd, self._flight_segments() + 1.0), 1.0)
+            self.other_reductions += 1
+            self.rule.on_reduction()
+        # LocalCongestionPolicy.IGNORE: no window reaction; the queue simply
+        # saturates and the surplus growth is discarded.
+
+    def _reduce_on_loss(self) -> None:
+        """Bottleneck overflow: one fast-retransmit episode (halve, freeze)."""
+        self.congestion_signals += 1
+        self.fast_retransmits += 1
+        self.pkts_retrans += 1
+        flight = self._flight_segments()
+        self.ssthresh = max(flight / 2.0, 2.0)
+        self.cwnd = max(self.ssthresh, 1.0)
+        self.freeze_rounds = 1
+        self.rule.on_reduction()
+
+    # ------------------------------------------------------------------
+    # growth within one round
+    # ------------------------------------------------------------------
+    def _grow(self, acked: float, dt: float) -> float:
+        """Apply one chunk of window growth; returns the net packets injected
+        above the ACK clock (the IFQ burst contribution; negative when a
+        trimming controller lets the queue drain)."""
+        before = self.cwnd
+        if self.cwnd < self.ssthresh:
+            delta = self.rule.increment(
+                acked, self.cwnd,
+                self.queue / self.capacity if self.capacity else 0.0,
+                self.capacity, dt)
+            if delta < 0.0:
+                # trimming controller: pull the window back (restricted
+                # slow-start holding the standing queue at the set point);
+                # the withheld injection lets the queue drain by the same amount
+                floor = max(1.0, float(self.options.initial_cwnd_segments))
+                self.cwnd = max(self.cwnd + delta, floor)
+                return self.cwnd - before
+            grown = self.cwnd + delta
+            if grown > self.ssthresh:
+                # finish slow-start exactly at ssthresh, remainder grows
+                # linearly (the RenoCC crossover rule)
+                overshoot = grown - self.ssthresh
+                self.cwnd = self.ssthresh + overshoot / max(self.ssthresh, 1.0)
+            else:
+                self.cwnd = grown
+        else:
+            # congestion avoidance: ~one segment per round trip
+            self.cwnd += acked / max(self.cwnd, 1.0)
+        self.max_cwnd = max(self.max_cwnd, self.cwnd)
+        return max(self.cwnd - before, 0.0)
+
+    def _run_round(self, now: float, rtt: float, fraction: float = 1.0) -> float:
+        """Advance one (possibly partial) round trip; returns acked segments."""
+        window = self.window
+        span = rtt * fraction
+        full_round = min(window, self.pipe) * fraction
+        acked_segments = full_round
+        if self.total_bytes is not None:
+            remaining = max(self.total_bytes - self.bytes_acked, 0) / self.mss
+            acked_segments = min(acked_segments, remaining)
+        if acked_segments <= 0.0:
+            return 0.0
+
+        stalled = False
+        frozen = self.freeze_rounds > 0
+        if frozen:
+            # CWR / recovery episode: the window is frozen for this round
+            self.freeze_rounds -= 1
+        else:
+            grain = self.rule.grain(self.capacity)
+            if math.isfinite(grain) and grain > 0:
+                chunks = int(math.ceil(acked_segments / grain))
+            else:
+                chunks = _MIN_CHUNKS
+            chunks = min(max(chunks, _MIN_CHUNKS), _MAX_CHUNKS)
+            chunk = acked_segments / chunks
+            dt = span / chunks
+            for i in range(chunks):
+                self.steps += 1
+                injected = self._grow(chunk, dt)
+                self.queue = max(self.queue + injected, 0.0)
+                self.ifq_peak = max(self.ifq_peak, min(self.queue + self.ack_jitter,
+                                                       float(self.capacity)))
+                # A growth burst overrunning the whole queue is an enqueue
+                # rejection.  (A persistent near-full queue is the second
+                # rejection mode; it is checked on the end-of-round sustained
+                # level below, so transient grant spikes the trim immediately
+                # pulls back do not count.)
+                if self.queue > self.capacity - _STALL_EPS:
+                    self.queue = min(self.queue, float(self.capacity))
+                    self._reduce_on_stall(now + dt * (i + 1))
+                    stalled = True
+                    if self.options.local_congestion_policy != LocalCongestionPolicy.IGNORE:
+                        break
+            if stalled and self.options.local_congestion_policy == LocalCongestionPolicy.IGNORE:
+                # surplus growth was discarded at the full queue
+                self.queue = min(self.queue, float(self.capacity))
+
+        # End of round: excess occupancy relaxes toward the standing level
+        # the window implies.  With the NIC at the bottleneck rate the fluid
+        # queue obeys  q̇ = (C/pipe)·((W − q) − pipe),  i.e. exponential
+        # relaxation toward ``W − pipe`` with a one-round-trip time
+        # constant: bursts drain fully while the pipe has slack and a
+        # standing queue persists once the window exceeds the pipe.  The
+        # relaxation only ever *drains*: occupancy rises exclusively through
+        # granted injections above the ACK clock (a window in excess of
+        # ``pipe + q`` parks in ACK-path slack, not in the IFQ — observed on
+        # the packet engine, where the guard pins the queue at the set point
+        # while cwnd keeps creeping).
+        target = self.window - self.pipe
+        if self.queue > target:
+            self.queue = max(target + (self.queue - target) * math.exp(-fraction), 0.0)
+        self.queue = min(self.queue, float(self.capacity))
+        self.ifq_peak = max(self.ifq_peak, self.queue)
+
+        # Second rejection mode: a *sustained* queue so close to the
+        # capacity that routine delayed-ACK re-clocking bursts
+        # (``delack_segments`` back-to-back packets) strictly overrun it.
+        # Measured on the packet engine: a standing queue of
+        # ``setpoint·cap`` stalls when ``setpoint·cap + delack > cap``
+        # (e.g. 9+2 > 10) and does not when it lands exactly on the
+        # capacity (18+2 = 20).  For a guard-pinned controller the
+        # sustained level is the rule's *ceiling* — the fluid trajectory's
+        # sub-packet overshoot of that ceiling carries no information, so
+        # the rejection decision uses the ceiling itself.
+        if not stalled and not frozen:
+            sustained = min(self.queue, max(self.window - self.pipe, 0.0))
+            delack = float(self.options.delack_segments)
+            boundary = self.capacity - delack
+            ceiling = (self.rule.sustained_queue_ceiling(self.capacity)
+                       if self.cwnd < self.ssthresh else None)
+            if ceiling is not None:
+                rejects = (ceiling > boundary + _STALL_EPS
+                           and sustained >= ceiling - _SUSTAIN_MARGIN)
+            else:
+                rejects = sustained > boundary + _SUSTAIN_MARGIN
+            if rejects:
+                self._reduce_on_stall(now + span)
+
+        # bottleneck overflow: standing data beyond IFQ + router buffer
+        overflow = max(self.window - self.pipe, 0.0) - self.capacity - self.router_buffer
+        if overflow > 0.0 and self.freeze_rounds == 0:
+            self._reduce_on_loss()
+
+        self.bytes_acked += int(round(acked_segments * self.mss))
+        if (self.total_bytes is not None and self.completion_time is None
+                and self.bytes_acked >= self.total_bytes):
+            # the transfer finished partway through this round
+            used = acked_segments / full_round if full_round > 0 else 1.0
+            self.completion_time = now + span * min(used, 1.0)
+        return acked_segments
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float,
+            run_past_duration_until_complete: bool = False) -> FluidRunResult:
+        """Integrate the model for ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ExperimentError("duration must be positive")
+        rtt = self.config.rtt
+        horizon = duration
+        if run_past_duration_until_complete and self.total_bytes is not None:
+            horizon = duration * 10.0
+
+        times = [0.0]
+        cwnds = [self.cwnd]
+        queues = [0.0]
+        acked = [0.0]
+
+        # the three-way handshake costs one round trip before data flows
+        now = rtt
+        while now < horizon - 1e-12:
+            span = min(rtt, horizon - now)
+            self._run_round(now, rtt, fraction=span / rtt)
+            now += span
+            times.append(now)
+            cwnds.append(self.cwnd)
+            queues.append(self.queue)
+            acked.append(float(self.bytes_acked))
+            if self.total_bytes is not None and self.completion_time is not None:
+                break
+
+        # Goodput follows the packet backend's accounting: completed finite
+        # transfers are measured up to the completion time, everything else
+        # over the full integration horizon.
+        elapsed = max(now, min(duration, horizon))
+        if self.completion_time is not None:
+            goodput_window = self.completion_time
+        else:
+            goodput_window = elapsed
+        goodput = self.bytes_acked * 8.0 / goodput_window if goodput_window > 0 else 0.0
+        return FluidRunResult(
+            config=self.config,
+            algorithm=self.rule.name,
+            duration=elapsed,
+            seed=self.seed,
+            times=np.asarray(times, dtype=float),
+            cwnd_segments=np.asarray(cwnds, dtype=float),
+            ifq_occupancy=np.asarray(queues, dtype=float),
+            acked_bytes=np.asarray(acked, dtype=float),
+            bytes_acked=self.bytes_acked,
+            goodput_bps=goodput,
+            ifq_peak=self.ifq_peak,
+            send_stalls=self.send_stalls,
+            stall_times=list(self.stall_times),
+            congestion_signals=self.congestion_signals,
+            fast_retransmits=self.fast_retransmits,
+            other_reductions=self.other_reductions,
+            pkts_retrans=self.pkts_retrans,
+            final_cwnd=self.cwnd,
+            final_ssthresh=self.ssthresh,
+            max_cwnd=self.max_cwnd,
+            completion_time=self.completion_time,
+            steps=self.steps,
+        )

@@ -1,0 +1,251 @@
+"""Cross-validation of the fluid fast path against the packet engine.
+
+The fluid backend is only useful if it lands where the packet engine lands
+on the quantities the experiments report.  This module runs *both* backends
+over a grid of :class:`PathConfig` points and checks, per point and per
+algorithm:
+
+* **goodput** — relative agreement within ``goodput_rtol`` (default 25 %;
+  measured agreement on the default grid is well inside that — the fluid
+  abstraction loses the sub-RTT timing of ACK bursts, delayed-ACK phase and
+  the exact stall instant, each worth a few percent of goodput on short
+  runs);
+* **send-stalls** — both backends must agree on whether the operating point
+  stalls at all, and when both stall the counts must agree within a factor
+  of ``stall_ratio`` (a single packet-level stall episode can emit a couple
+  of ``SendStall`` signals while the fluid model counts episodes);
+* **IFQ peak** — absolute agreement within ``ifq_peak_atol`` packets or
+  ``ifq_peak_rtol`` of the queue capacity, whichever is larger.
+
+The default grid spans the IFQ/RTT/bandwidth axes of experiments E3–E5 at
+test scale (see :func:`repro.testing.small_path_variants`), so the same
+check doubles as the regression gate for both backends: a change that moves
+either engine away from the other fails the comparison.
+
+Run ``python -m repro.fluid.validate`` for a smoke check (used by CI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ExperimentError
+from ..workloads.scenarios import PathConfig
+
+__all__ = [
+    "Tolerance",
+    "ValidationRow",
+    "ValidationReport",
+    "cross_validate",
+    "default_grid",
+    "DEFAULT_TOLERANCE",
+    "VALIDATED_ALGORITHMS",
+]
+
+#: Algorithms whose fluid counterparts are validated.
+VALIDATED_ALGORITHMS = ("reno", "restricted", "limited_slow_start")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Agreement thresholds between the two backends."""
+
+    goodput_rtol: float = 0.25
+    stall_ratio: float = 4.0
+    stall_abs: int = 2
+    ifq_peak_atol: float = 4.0
+    ifq_peak_rtol: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.goodput_rtol <= 0 or self.stall_ratio < 1 or self.ifq_peak_atol < 0:
+            raise ExperimentError("nonsensical tolerance values")
+
+
+#: The documented tolerance the test suite and CI smoke check enforce.
+DEFAULT_TOLERANCE = Tolerance()
+
+
+@dataclass
+class ValidationRow:
+    """Fluid-vs-packet comparison at one (config, algorithm) point."""
+
+    algorithm: str
+    config: PathConfig
+    packet_goodput_bps: float
+    fluid_goodput_bps: float
+    packet_send_stalls: int
+    fluid_send_stalls: int
+    packet_ifq_peak: int
+    fluid_ifq_peak: int
+    packet_events: int
+    fluid_steps: int
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def goodput_rel_error(self) -> float:
+        if self.packet_goodput_bps <= 0:
+            return float("inf") if self.fluid_goodput_bps > 0 else 0.0
+        return abs(self.fluid_goodput_bps - self.packet_goodput_bps) / self.packet_goodput_bps
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class ValidationReport:
+    """All rows of a cross-validation run."""
+
+    duration: float
+    seed: int
+    tolerance: Tolerance
+    rows: list[ValidationRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def failures(self) -> list[str]:
+        out = []
+        for row in self.rows:
+            for failure in row.failures:
+                out.append(f"{row.algorithm} @ {_label(row.config)}: {failure}")
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"fluid-vs-packet cross-validation — {len(self.rows)} points, "
+            f"duration={self.duration:.1f}s, seed={self.seed}, "
+            f"goodput rtol={self.tolerance.goodput_rtol:.0%}",
+        ]
+        for row in self.rows:
+            status = "ok  " if row.ok else "FAIL"
+            lines.append(
+                f"  [{status}] {row.algorithm:18s} {_label(row.config):28s} "
+                f"goodput {row.fluid_goodput_bps / 1e6:6.2f} vs "
+                f"{row.packet_goodput_bps / 1e6:6.2f} Mbit/s "
+                f"(err {row.goodput_rel_error:5.1%})  "
+                f"stalls {row.fluid_send_stalls:3d} vs {row.packet_send_stalls:3d}  "
+                f"ifq peak {row.fluid_ifq_peak:3d} vs {row.packet_ifq_peak:3d}"
+            )
+        if not self.ok:
+            lines.append("failures:")
+            lines.extend(f"  - {f}" for f in self.failures())
+        return "\n".join(lines)
+
+
+def _label(cfg: PathConfig) -> str:
+    return (f"{cfg.bottleneck_rate_bps / 1e6:.0f}Mbit/{cfg.rtt * 1e3:.0f}ms/"
+            f"ifq{cfg.ifq_capacity_packets}")
+
+
+def default_grid() -> list[PathConfig]:
+    """The validation grid (≥6 points spanning the E3–E5 sweep axes)."""
+    from ..testing import small_path_variants
+
+    return small_path_variants()
+
+
+def _check(row: ValidationRow, tol: Tolerance) -> None:
+    if row.goodput_rel_error > tol.goodput_rtol:
+        row.failures.append(
+            f"goodput differs by {row.goodput_rel_error:.1%} "
+            f"(> {tol.goodput_rtol:.0%}): fluid {row.fluid_goodput_bps:.0f} "
+            f"vs packet {row.packet_goodput_bps:.0f} bps"
+        )
+    p, f = row.packet_send_stalls, row.fluid_send_stalls
+    if (p == 0) != (f == 0):
+        if max(p, f) > tol.stall_abs:
+            row.failures.append(f"stall disagreement: fluid {f} vs packet {p}")
+    elif p > 0 and f > 0:
+        ratio = max(p, f) / max(min(p, f), 1)
+        if ratio > tol.stall_ratio and abs(p - f) > tol.stall_abs:
+            row.failures.append(
+                f"stall counts differ by {ratio:.1f}x (> {tol.stall_ratio:.0f}x): "
+                f"fluid {f} vs packet {p}"
+            )
+    cap = row.config.ifq_capacity_packets
+    peak_tol = max(tol.ifq_peak_atol, tol.ifq_peak_rtol * cap)
+    if abs(row.fluid_ifq_peak - row.packet_ifq_peak) > peak_tol:
+        row.failures.append(
+            f"IFQ peak differs by more than {peak_tol:.1f} packets: "
+            f"fluid {row.fluid_ifq_peak} vs packet {row.packet_ifq_peak}"
+        )
+
+
+def cross_validate(
+    grid: Sequence[PathConfig] | None = None,
+    algorithms: Sequence[str] = VALIDATED_ALGORITHMS,
+    duration: float = 3.0,
+    seed: int = 2,
+    tolerance: Tolerance = DEFAULT_TOLERANCE,
+    max_workers: int | None = 0,
+) -> ValidationReport:
+    """Run both backends over ``grid`` × ``algorithms`` and compare.
+
+    ``max_workers`` fans the (expensive) packet runs out over processes;
+    the default runs serially, which is what the test suite wants.
+    """
+    from ..experiments.parallel import map_runs
+    from ..experiments.runner import run_single_flow
+
+    points = list(grid) if grid is not None else default_grid()
+    if not points:
+        raise ExperimentError("validation grid must not be empty")
+
+    report = ValidationReport(duration=duration, seed=seed, tolerance=tolerance)
+    kwargs_list = [
+        dict(cc=cc, config=cfg, duration=duration, seed=seed, backend=backend)
+        for cfg in points
+        for cc in algorithms
+        for backend in ("packet", "fluid")
+    ]
+    results = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
+    for i in range(0, len(results), 2):
+        packet, fluid = results[i], results[i + 1]
+        row = ValidationRow(
+            algorithm=packet.flow.algorithm,
+            config=packet.config,
+            packet_goodput_bps=packet.goodput_bps,
+            fluid_goodput_bps=fluid.goodput_bps,
+            packet_send_stalls=packet.flow.send_stalls,
+            fluid_send_stalls=fluid.flow.send_stalls,
+            packet_ifq_peak=packet.ifq_peak,
+            fluid_ifq_peak=fluid.ifq_peak,
+            packet_events=packet.events_processed,
+            fluid_steps=fluid.events_processed,
+            failures=[],
+        )
+        _check(row, tolerance)
+        report.rows.append(row)
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Smoke entry point: ``python -m repro.fluid.validate``.
+
+    Also backs the ``repro validate`` CLI subcommand, so there is exactly
+    one implementation of the gate.  The seed defaults to the one the
+    tolerances were tuned at.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description="fluid-vs-packet cross-validation")
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--points", type=int, default=None,
+                        help="limit the grid to the first N points")
+    args = parser.parse_args(argv)
+    grid = default_grid()
+    if args.points is not None:
+        grid = grid[: args.points]
+    # interactive/CI entry point: fan the packet runs out over processes
+    report = cross_validate(grid=grid, duration=args.duration, seed=args.seed,
+                            max_workers=None)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Shared test/validation configurations.
+
+The packet-level test suite and the fluid-vs-packet cross-validation grid
+both need *scaled-down* paths that preserve the paper's qualitative regime
+(slow-start overshoot of the IFQ, send-stalls, restricted-slow-start
+regulation) at a fraction of the event cost of the full-scale ANL–LBNL
+configuration.  Keeping them in the package — rather than in a test-only
+``conftest`` — makes them importable under pytest's rootdir collection (no
+relative imports between test modules) and reusable by the validation
+harness and CI smoke checks.
+"""
+
+from __future__ import annotations
+
+from .units import Mbps
+from .workloads.scenarios import PathConfig
+
+__all__ = ["SMALL_PATH", "TINY_PATH", "small_path_variants"]
+
+
+#: Scaled-down evaluation path used across the test suite.  Chosen so the
+#: IFQ (20 packets) is well below the path BDP (~65 packets), preserving the
+#: paper's qualitative regime (slow-start overruns the IFQ, standard TCP
+#: stalls and needs many RTTs to recover) at ~1/5 of the event cost of the
+#: full-scale 100 Mbit/s / 60 ms configuration.
+SMALL_PATH = PathConfig(
+    bottleneck_rate_bps=Mbps(20),
+    rtt=0.040,
+    ifq_capacity_packets=20,
+    router_buffer_packets=150,
+    ack_path_buffer_packets=600,
+    receiver_ifq_capacity_packets=600,
+    rwnd_factor=4.0,
+)
+
+#: An even smaller path for smoke tests where wall-clock dominates.
+TINY_PATH = SMALL_PATH.replace(
+    bottleneck_rate_bps=Mbps(10),
+    rtt=0.020,
+    ifq_capacity_packets=10,
+)
+
+
+def small_path_variants() -> list[PathConfig]:
+    """Scaled-down ``PathConfig`` points spanning the sweeps' axes.
+
+    Used by the fluid-vs-packet cross-validation grid: the points vary the
+    IFQ size, RTT and bottleneck rate around :data:`SMALL_PATH` the same way
+    experiments E3–E5 do at full scale.
+    """
+    return [
+        SMALL_PATH,
+        SMALL_PATH.replace(ifq_capacity_packets=10),
+        SMALL_PATH.replace(ifq_capacity_packets=60),
+        SMALL_PATH.replace(rtt=0.020),
+        SMALL_PATH.replace(rtt=0.080),
+        SMALL_PATH.replace(bottleneck_rate_bps=Mbps(10)),
+        SMALL_PATH.replace(bottleneck_rate_bps=Mbps(40)),
+    ]

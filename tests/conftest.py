@@ -1,10 +1,11 @@
 """Shared fixtures for the test suite.
 
-Packet-level tests use a *scaled-down* path (10 Mbit/s, 20 ms RTT, 20-packet
-IFQ) so that each test runs in a fraction of a second while exercising the
-same code paths and the same qualitative behaviour (slow-start overshoot of
-the IFQ, send-stalls, restricted slow-start regulation) as the full-scale
-ANL–LBNL configuration used by the benchmarks.
+Packet-level tests use the *scaled-down* path from :mod:`repro.testing`
+(20 Mbit/s, 40 ms RTT, 20-packet IFQ) so that each test runs in a fraction
+of a second while exercising the same code paths and the same qualitative
+behaviour (slow-start overshoot of the IFQ, send-stalls, restricted
+slow-start regulation) as the full-scale ANL–LBNL configuration used by the
+benchmarks.
 """
 
 from __future__ import annotations
@@ -13,23 +14,8 @@ import pytest
 
 from repro.core import RestrictedSlowStartConfig
 from repro.sim import Simulator
-from repro.units import Mbps
+from repro.testing import SMALL_PATH
 from repro.workloads import PathConfig, build_dumbbell
-
-
-# Chosen so the IFQ (20 packets) is well below the path BDP (~66 packets),
-# preserving the paper's qualitative regime (slow-start overruns the IFQ,
-# standard TCP stalls and needs many RTTs to recover) at ~1/5 of the event
-# cost of the full-scale 100 Mbit/s / 60 ms configuration.
-SMALL_PATH = PathConfig(
-    bottleneck_rate_bps=Mbps(20),
-    rtt=0.040,
-    ifq_capacity_packets=20,
-    router_buffer_packets=150,
-    ack_path_buffer_packets=600,
-    receiver_ifq_capacity_packets=600,
-    rwnd_factor=4.0,
-)
 
 
 @pytest.fixture

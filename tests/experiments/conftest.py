@@ -1,0 +1,20 @@
+"""Fixtures shared by the experiment-harness tests.
+
+Historically these modules did ``from ..conftest import SMALL_PATH``, which
+breaks under pytest's default rootdir collection (test modules are imported
+without a parent package).  The canonical scaled-down path now lives in
+:mod:`repro.testing`, importable from anywhere; the ``small_path`` fixture
+is inherited from ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import SMALL_PATH
+
+
+@pytest.fixture
+def fast_kwargs() -> dict:
+    """Shared scaled-down experiment settings keeping the suite fast."""
+    return dict(config=SMALL_PATH, duration=3.0, seed=2)

@@ -24,10 +24,7 @@ from repro.experiments import (
 from repro.experiments.sweeps import ifq_size_sweep, setpoint_sweep
 from repro.errors import ExperimentError
 
-from ..conftest import SMALL_PATH
-
-# Shared scaled-down experiment settings so the suite stays fast.
-FAST = dict(config=SMALL_PATH, duration=3.0, seed=2)
+from repro.testing import SMALL_PATH
 
 
 class TestFigure1:
@@ -50,13 +47,13 @@ class TestFigure1:
 
 
 class TestThroughput:
-    def test_restricted_wins(self):
-        result = run_throughput_comparison(**FAST)
+    def test_restricted_wins(self, fast_kwargs):
+        result = run_throughput_comparison(**fast_kwargs)
         assert result.shape_holds()
         assert result.improvement_percent > 10.0
 
-    def test_render_reports_improvement(self):
-        result = run_throughput_comparison(**FAST)
+    def test_render_reports_improvement(self, fast_kwargs):
+        result = run_throughput_comparison(**fast_kwargs)
         text = render_throughput(result)
         assert "improvement" in text
         assert "40%" in text or "40" in text
@@ -153,7 +150,13 @@ class TestFairness:
 class TestRegistry:
     def test_every_experiment_registered(self):
         ids = {spec.experiment_id for spec in all_experiments()}
-        assert ids == {f"E{i}" for i in range(1, 11)}
+        packet_ids = {f"E{i}" for i in range(1, 11)}
+        assert packet_ids <= ids
+        # every backend-aware experiment also has a fluid fast-path variant
+        fluid_ids = {i for i in ids if i.endswith("F")}
+        assert fluid_ids == {f"{spec.experiment_id}F" for spec in all_experiments()
+                             if spec.backend_aware}
+        assert ids == packet_ids | fluid_ids
 
     def test_lookup_case_insensitive(self):
         assert get_experiment("e1").paper_artifact == "Figure 1"

@@ -20,7 +20,7 @@ from repro.experiments import (
 )
 from repro.workloads import BulkFlowSpec
 
-from ..conftest import SMALL_PATH
+from repro.testing import SMALL_PATH
 
 
 class TestMapRuns:

@@ -18,7 +18,7 @@ from repro.experiments.results_io import (
 )
 from repro.experiments.sweeps import setpoint_sweep
 
-from ..conftest import SMALL_PATH
+from repro.testing import SMALL_PATH
 
 
 class TestToJsonable:

@@ -15,7 +15,7 @@ from repro.experiments import (
 from repro.tcp.state import LocalCongestionPolicy
 from repro.workloads import BulkFlowSpec
 
-from ..conftest import SMALL_PATH
+from repro.testing import SMALL_PATH
 
 
 class TestRunSingleFlow:

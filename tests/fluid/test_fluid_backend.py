@@ -1,0 +1,115 @@
+"""Tests for the fluid backend's integration with the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    SingleFlowResult,
+    get_experiment,
+    run_comparison,
+    run_figure1,
+    run_single_flow,
+    run_throughput_comparison,
+    single_flow_summary,
+)
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.results_io import load_result, save_result
+from repro.experiments.sweeps import ifq_size_sweep, render_sweep
+from repro.testing import SMALL_PATH
+
+
+class TestBackendDispatch:
+    def test_fluid_returns_single_flow_result(self):
+        result = run_single_flow("reno", config=SMALL_PATH, duration=2.0,
+                                 backend="fluid")
+        assert isinstance(result, SingleFlowResult)
+        assert result.backend == "fluid"
+        assert result.flow.algorithm == "reno"
+        assert result.flow.bytes_acked > 0
+        assert len(result.ifq_times) == len(result.ifq_occupancy) > 0
+        assert len(result.cwnd_times) == len(result.cwnd_segments) > 0
+        assert result.events_processed > 0
+
+    def test_packet_results_are_marked(self):
+        result = run_single_flow("reno", config=SMALL_PATH, duration=1.0)
+        assert result.backend == "packet"
+
+    def test_summary_covers_fluid_result(self):
+        result = run_single_flow("restricted", config=SMALL_PATH, duration=2.0,
+                                 backend="fluid")
+        summary = single_flow_summary(result)
+        assert summary["algorithm"] == "restricted"
+        assert summary["goodput_mbps"] > 0
+
+    def test_comparison_threads_backend(self):
+        comparison = run_comparison(("reno", "restricted"), config=SMALL_PATH,
+                                    duration=2.0, seed=2, backend="fluid")
+        assert comparison.runs["reno"].backend == "fluid"
+        assert comparison.improvement_percent("restricted") > 0
+
+
+class TestExperimentsOnFluid:
+    def test_figure1_shape_holds_on_fluid(self):
+        result = run_figure1(duration=3.0, config=SMALL_PATH, seed=2,
+                             sample_interval=0.5, backend="fluid")
+        assert result.shape_holds()
+        assert result.standard_total >= 1
+        assert result.proposed_total == 0
+        assert (np.diff(result.standard_cumulative_stalls) >= 0).all()
+
+    def test_throughput_improvement_on_fluid(self):
+        result = run_throughput_comparison(config=SMALL_PATH, duration=3.0,
+                                           seed=2, backend="fluid")
+        assert result.shape_holds()
+        assert result.improvement_percent > 10.0
+
+    def test_ifq_sweep_on_fluid(self):
+        result = ifq_size_sweep(sizes=(10, 60), duration=2.0, seed=2,
+                                base_config=SMALL_PATH, max_workers=1,
+                                backend="fluid")
+        assert len(result.rows) == 2
+        small, large = result.row_for(10), result.row_for(60)
+        assert small["reno_send_stalls"] >= large["reno_send_stalls"]
+        assert "ifq_capacity_packets" in render_sweep(result)
+
+
+class TestRegistryVariants:
+    def test_fluid_variants_registered(self):
+        for base in ("E1", "E2", "E3", "E4", "E5", "E6", "E10"):
+            variant = f"{base}F"
+            assert variant in EXPERIMENTS, variant
+            assert "fluid" in EXPERIMENTS[variant].description
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e2f").paper_artifact == "Section 4 headline"
+
+    def test_fluid_variant_runs_fast_path(self):
+        spec = get_experiment("E2F")
+        result = spec.runner(config=SMALL_PATH, duration=2.0, seed=2)
+        assert result.comparison.runs["reno"].backend == "fluid"
+
+    def test_backend_aware_flags(self):
+        assert EXPERIMENTS["E2"].backend_aware
+        assert not EXPERIMENTS["E7"].backend_aware
+        assert not EXPERIMENTS["E2F"].backend_aware
+
+
+class TestSerialisation:
+    def test_fluid_result_round_trips_to_json(self, tmp_path):
+        result = run_single_flow("restricted", config=SMALL_PATH, duration=2.0,
+                                 backend="fluid")
+        path = save_result(result, tmp_path / "fluid.json")
+        document = load_result(path)
+        assert document["kind"] == "single_flow"
+        payload = document["payload"]
+        assert payload["backend"] == "fluid"
+        assert payload["flow"]["bytes_acked"] == result.flow.bytes_acked
+        assert payload["ifq_occupancy"] == list(result.ifq_occupancy)
+
+    def test_unknown_backend_raises_before_running(self):
+        with pytest.raises(ExperimentError, match="backend"):
+            run_single_flow("reno", config=SMALL_PATH, duration=1.0,
+                            backend="psychic")
