@@ -11,11 +11,17 @@ experiment harness that regenerates the paper's figure and headline numbers
 
 Quickstart::
 
-    from repro.experiments import run_single_flow
+    from repro.spec import RunSpec, execute
 
-    standard = run_single_flow("reno", duration=25.0)
-    restricted = run_single_flow("restricted", duration=25.0)
+    standard = execute(RunSpec(cc="reno", duration=25.0))
+    restricted = execute(RunSpec(cc="restricted", duration=25.0))
     print(standard.goodput_bps, restricted.goodput_bps)
+
+Every run is described by a declarative, JSON-round-trippable spec
+(:mod:`repro.spec`) dispatched through a backend registry ("packet" —
+event-driven ground truth — or "fluid" — the per-RTT fast path).  The
+legacy keyword entry points (``repro.experiments.run_single_flow`` and
+friends) remain as thin wrappers; see the README's "Spec API" section.
 """
 
 from __future__ import annotations

@@ -9,25 +9,30 @@ Python:
     python -m repro compare --duration 10      # standard vs restricted
     python -m repro run E1 --duration 25       # regenerate Figure 1
     python -m repro run E3 --duration 8 -o e3.json
+    python -m repro spec dump E3 -o e3spec.json   # serialize the spec
+    python -m repro run --spec e3spec.json        # ... and replay it
     python -m repro tune --rule allcock_modified
 
 Experiments that return a renderable result print the same table/series the
 corresponding benchmark prints; ``-o/--output`` additionally saves the raw
-result as JSON via :mod:`repro.experiments.results_io`.
+result (together with its originating spec and cache key) as JSON via
+:mod:`repro.experiments.results_io`.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Callable, Sequence
 
 from .core import autotune_gains_fluid
 from .errors import ReproError
 from .experiments import (
+    all_experiments,
     comparison_table,
     get_experiment,
-    all_experiments,
+    multi_flow_table,
     render_baselines,
     render_fairness,
     render_figure1,
@@ -35,32 +40,51 @@ from .experiments import (
     render_throughput,
     render_tuning_ablation,
     run_comparison,
+    single_flow_summary,
 )
+from .experiments.baselines import BaselineComparisonResult
+from .experiments.fairness import FairnessResult
+from .experiments.figure1 import Figure1Result
 from .experiments.results_io import save_result
+from .experiments.runner import ComparisonResult, MultiFlowResult, SingleFlowResult
+from .experiments.sweeps import SweepResult
+from .experiments.throughput import ThroughputResult
+from .experiments.tuning_ablation import TuningAblationResult
+from .spec import SpecBase, dump_spec, execute, load_spec
 from .units import Mbps
 from .workloads import PathConfig
 
 __all__ = ["main", "build_parser"]
 
-#: How to render each experiment's result type, keyed by *base* experiment
-#: id.  Fluid fast-path variants ("E1F", ...) resolve through their base id
-#: (same result dataclasses).
-_RENDERERS: dict[str, Callable] = {
-    "E1": render_figure1,
-    "E2": render_throughput,
-    "E3": render_sweep,
-    "E4": render_sweep,
-    "E5": render_sweep,
-    "E6": render_sweep,
-    "E7": render_tuning_ablation,
-    "E8": render_baselines,
-    "E9": render_fairness,
-    "E10": render_sweep,
+
+def _render_single_flow(result: SingleFlowResult) -> str:
+    lines = [f"single flow — {result.flow.algorithm} ({result.backend} backend)"]
+    for key, value in single_flow_summary(result).items():
+        rendered = f"{value:.4g}" if isinstance(value, float) else str(value)
+        lines.append(f"{key:20s} {rendered}")
+    return "\n".join(lines)
+
+
+#: How to render each result type the harness can produce.
+_RENDERERS: dict[type, Callable] = {
+    Figure1Result: render_figure1,
+    ThroughputResult: render_throughput,
+    SweepResult: render_sweep,
+    TuningAblationResult: render_tuning_ablation,
+    BaselineComparisonResult: render_baselines,
+    FairnessResult: render_fairness,
+    SingleFlowResult: _render_single_flow,
+    ComparisonResult: lambda r: comparison_table(r, title="algorithm comparison").render(),
+    MultiFlowResult: lambda r: multi_flow_table(r, title="multi-flow run").render(),
 }
 
 
-def _path_config(args: argparse.Namespace) -> PathConfig:
-    config = PathConfig()
+def _render_result(result) -> str | None:
+    renderer = _RENDERERS.get(type(result))
+    return renderer(result) if renderer is not None else None
+
+
+def _path_overrides(args: argparse.Namespace) -> dict:
     overrides = {}
     if args.bandwidth_mbps is not None:
         overrides["bottleneck_rate_bps"] = Mbps(args.bandwidth_mbps)
@@ -68,7 +92,26 @@ def _path_config(args: argparse.Namespace) -> PathConfig:
         overrides["rtt"] = args.rtt_ms / 1e3
     if args.ifq is not None:
         overrides["ifq_capacity_packets"] = args.ifq
-    return config.replace(**overrides) if overrides else config
+    return overrides
+
+
+def _path_config(args: argparse.Namespace) -> PathConfig:
+    overrides = _path_overrides(args)
+    return PathConfig().replace(**overrides) if overrides else PathConfig()
+
+
+def _apply_overrides(spec: SpecBase, args: argparse.Namespace) -> SpecBase:
+    """Apply the explicitly-set CLI flags to a declarative spec."""
+    overrides = _path_overrides(args)
+    if overrides:
+        spec = spec.with_config(spec.path_config.replace(**overrides))
+    if getattr(args, "duration", None) is not None:
+        spec = spec.with_duration(args.duration)
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    if args.backend is not None:
+        spec = spec.with_backend(args.backend)
+    return spec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,12 +138,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the registered experiments")
 
-    run = sub.add_parser("run", help="run one registered experiment (E1..E10)")
-    run.add_argument("experiment", help="experiment id, e.g. E1")
+    run = sub.add_parser(
+        "run", help="run a registered experiment (E1..E10) or a spec file")
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="experiment id, e.g. E1 (omit with --spec)")
+    run.add_argument("--spec", dest="spec_file", default=None,
+                     help="run a declarative spec from this JSON file "
+                          "(see 'repro spec dump')")
     run.add_argument("--duration", type=float, default=None,
                      help="simulated seconds (experiment-specific default)")
     run.add_argument("-o", "--output", default=None,
-                     help="save the raw result as JSON to this path")
+                     help="save the raw result (plus its spec and cache key) "
+                          "as JSON to this path")
+
+    spec_cmd = sub.add_parser(
+        "spec", help="inspect and serialize the declarative experiment specs")
+    spec_sub = spec_cmd.add_subparsers(dest="spec_command", required=True)
+    dump = spec_sub.add_parser(
+        "dump", help="print an experiment's declarative spec as JSON")
+    dump.add_argument("experiment", help="experiment id, e.g. E3")
+    dump.add_argument("--duration", type=float, default=None,
+                      help="override the spec's simulated seconds")
+    dump.add_argument("-o", "--output", default=None,
+                      help="write the spec JSON to this path instead of stdout")
+    spec_sub.add_parser("list", help="list the experiments that carry a spec")
 
     compare = sub.add_parser("compare", help="standard TCP vs restricted slow-start")
     compare.add_argument("--duration", type=float, default=10.0)
@@ -119,41 +180,84 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    for spec in all_experiments():
-        print(f"{spec.experiment_id:4s} {spec.paper_artifact:20s} {spec.description}")
-        print(f"     benchmark: {spec.benchmark}")
+    for entry in all_experiments():
+        print(f"{entry.experiment_id:4s} {entry.paper_artifact:20s} {entry.description}")
+        print(f"     benchmark: {entry.benchmark}")
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    spec = get_experiment(args.experiment)
-    if args.backend is not None:
-        if spec.pinned_backend is not None and args.backend != spec.pinned_backend:
-            print(f"error: experiment {spec.experiment_id} is the "
-                  f"{spec.pinned_backend} fast-path variant; run {spec.base_id} "
-                  f"for the {args.backend} engine", file=sys.stderr)
-            return 2
-        if (spec.pinned_backend is None and args.backend != "packet"
-                and not spec.backend_aware):
-            print(f"error: experiment {spec.experiment_id} does not support "
-                  f"--backend {args.backend} (packet only)", file=sys.stderr)
-            return 2
-    kwargs = {"seed": args.seed if args.seed is not None else 1,
-              spec.config_kwarg: _path_config(args)}
-    if args.duration is not None:
-        kwargs[spec.duration_kwarg] = args.duration
-    if spec.pinned_backend is None and args.backend is not None and spec.backend_aware:
-        kwargs["backend"] = args.backend
-    result = spec.runner(**kwargs)
-    renderer = _RENDERERS.get(spec.base_id or spec.experiment_id)
-    if renderer is not None:
-        print(renderer(result))
-    if args.output:
+def _print_result(result, output: str | None) -> None:
+    text = _render_result(result)
+    if text is not None:
+        print(text)
+    if output:
         try:
-            path = save_result(result, args.output)
+            path = save_result(result, output)
             print(f"\nsaved raw result to {path}")
         except ReproError as exc:
             print(f"\n(could not save result: {exc})")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.spec_file:
+        if args.experiment:
+            print("error: give either an experiment id or --spec, not both",
+                  file=sys.stderr)
+            return 2
+        spec = _apply_overrides(load_spec(args.spec_file), args)
+        result = execute(spec)
+        _print_result(result, args.output)
+        return 0
+    if not args.experiment:
+        print("error: an experiment id or --spec <file.json> is required",
+              file=sys.stderr)
+        return 2
+    entry = get_experiment(args.experiment)
+    if args.backend is not None:
+        if entry.pinned_backend is not None and args.backend != entry.pinned_backend:
+            print(f"error: experiment {entry.experiment_id} is the "
+                  f"{entry.pinned_backend} fast-path variant; run {entry.base_id} "
+                  f"for the {args.backend} engine", file=sys.stderr)
+            return 2
+        if (entry.pinned_backend is None and args.backend != "packet"
+                and not entry.backend_aware):
+            print(f"error: experiment {entry.experiment_id} does not support "
+                  f"--backend {args.backend} (packet only)", file=sys.stderr)
+            return 2
+    # Apply path flags on top of the experiment's own base config (don't
+    # clobber a non-default spec config when no flag was given).
+    overrides = _path_overrides(args)
+    base_config = entry.spec.path_config if entry.spec is not None else PathConfig()
+    result = entry.run(
+        config=base_config.replace(**overrides) if overrides else None,
+        duration=args.duration,
+        seed=args.seed,
+        backend=args.backend if entry.backend_aware else None,
+    )
+    _print_result(result, args.output)
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    if args.spec_command == "list":
+        for entry in all_experiments():
+            if entry.spec is not None:
+                print(f"{entry.experiment_id:4s} {entry.spec.kind:12s} "
+                      f"backend={entry.spec.backend:7s} "
+                      f"cache_key={entry.spec.cache_key()[:12]}")
+        return 0
+    entry = get_experiment(args.experiment)
+    if entry.spec is None:
+        print(f"error: experiment {entry.experiment_id} has no declarative "
+              "spec (legacy runner; see the README's 'Spec API' section)",
+              file=sys.stderr)
+        return 2
+    spec = _apply_overrides(entry.spec, args)
+    if args.output:
+        path = dump_spec(spec, pathlib.Path(args.output))
+        print(f"wrote {entry.experiment_id} spec to {path}")
+    else:
+        print(spec.to_json())
     return 0
 
 
@@ -216,6 +320,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "spec":
+            return _cmd_spec(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "tune":

@@ -18,11 +18,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..spec import ComparisonSpec, RunSpec, execute
 from ..workloads.scenarios import PathConfig
 from .report import cumulative_stall_series, render_series
-from .runner import SingleFlowResult, run_single_flow
+from .runner import ComparisonResult, SingleFlowResult
 
-__all__ = ["Figure1Result", "run_figure1", "render_figure1"]
+__all__ = ["Figure1Result", "figure1_spec", "figure1_from_comparison",
+           "run_figure1", "render_figure1"]
 
 #: Algorithm labels used in the figure (paper's legend: "Standard TCP" /
 #: "Proposed Scheme").
@@ -57,22 +59,31 @@ class Figure1Result:
         )
 
 
-def run_figure1(
+def figure1_spec(
     duration: float = 25.0,
     config: PathConfig | None = None,
     seed: int = 1,
-    sample_interval: float = 1.0,
     backend: str = "packet",
+) -> ComparisonSpec:
+    """The declarative spec behind Figure 1 (standard vs proposed, paired)."""
+    base = RunSpec(cc=STANDARD,
+                   config=config if config is not None else PathConfig(),
+                   duration=duration, seed=seed, backend=backend)
+    return ComparisonSpec(base=base, algorithms=(STANDARD, PROPOSED),
+                          baseline=STANDARD)
+
+
+def figure1_from_comparison(
+    comparison: ComparisonResult, sample_interval: float = 1.0
 ) -> Figure1Result:
-    """Regenerate Figure 1 (cumulative send-stall signals vs time)."""
-    cfg = config if config is not None else PathConfig()
-    standard = run_single_flow(cc=STANDARD, config=cfg, duration=duration, seed=seed,
-                               backend=backend)
-    proposed = run_single_flow(cc=PROPOSED, config=cfg, duration=duration, seed=seed,
-                               backend=backend)
+    """Fold an executed Figure-1 comparison into the figure's curves."""
+    standard = comparison.runs[STANDARD]
+    proposed = comparison.runs[PROPOSED]
     times, std_series = cumulative_stall_series(standard, sample_interval)
     _, prop_series = cumulative_stall_series(proposed, sample_interval)
     n = min(len(std_series), len(prop_series), len(times))
+    duration = (comparison.spec.base.duration if comparison.spec is not None
+                else standard.duration)
     return Figure1Result(
         duration=duration,
         sample_interval=sample_interval,
@@ -82,6 +93,23 @@ def run_figure1(
         standard_run=standard,
         proposed_run=proposed,
     )
+
+
+def run_figure1(
+    duration: float = 25.0,
+    config: PathConfig | None = None,
+    seed: int = 1,
+    sample_interval: float = 1.0,
+    backend: str = "packet",
+) -> Figure1Result:
+    """Regenerate Figure 1 (cumulative send-stall signals vs time).
+
+    .. deprecated::
+        Thin wrapper over ``execute(figure1_spec(...))``.
+    """
+    comparison = execute(figure1_spec(duration=duration, config=config,
+                                      seed=seed, backend=backend))
+    return figure1_from_comparison(comparison, sample_interval=sample_interval)
 
 
 def render_figure1(result: Figure1Result) -> str:

@@ -1,9 +1,10 @@
-"""Process-parallel execution of experiment sweeps.
+"""Process-parallel execution of experiment specs and sweeps.
 
 Packet-level runs are single-threaded, so parameter sweeps (IFQ size, RTT,
-bandwidth, ...) fan out across a process pool.  Everything passed to the
-workers and returned from them is picklable (plain dataclasses and NumPy
-arrays), as required by :mod:`concurrent.futures`.
+bandwidth, ...) fan out across a process pool.  The unit shipped to a
+worker is one declarative spec (:mod:`repro.spec`): specs are plain frozen
+dataclasses and results are dataclasses plus NumPy arrays, so both pickle
+cleanly as required by :mod:`concurrent.futures`.
 
 Set ``max_workers=0`` (or 1) to force serial execution — useful inside
 pytest-benchmark, on machines where forking is undesirable, or when
@@ -14,12 +15,18 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 from ..errors import ExperimentError
-from .runner import run_multi_flow, run_single_flow
+from ..spec import MultiFlowSpec, RunSpec, SpecBase, execute
 
-__all__ = ["default_worker_count", "map_runs", "run_single_flow_batch", "run_multi_flow_batch"]
+__all__ = [
+    "default_worker_count",
+    "map_specs",
+    "map_runs",
+    "run_single_flow_batch",
+    "run_multi_flow_batch",
+]
 
 T = TypeVar("T")
 
@@ -30,6 +37,24 @@ def default_worker_count() -> int:
     return max(cpus // 2, 1)
 
 
+def map_specs(specs: Sequence[SpecBase], max_workers: int | None = None) -> list:
+    """Execute every spec, in input order, optionally across a process pool.
+
+    Each worker receives (pickles) exactly one spec and returns its result.
+    ``max_workers`` of 0 or 1 runs serially in-process; ``None`` uses
+    :func:`default_worker_count`.
+    """
+    if not specs:
+        raise ExperimentError("specs must not be empty")
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers <= 1 or len(specs) == 1:
+        return [execute(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(execute, spec) for spec in specs]
+        return [f.result() for f in futures]
+
+
 def map_runs(
     worker: Callable[..., T],
     kwargs_list: Sequence[dict],
@@ -37,8 +62,10 @@ def map_runs(
 ) -> list[T]:
     """Apply ``worker(**kwargs)`` to every element of ``kwargs_list``.
 
-    Results are returned in input order.  ``max_workers`` of 0 or 1 runs
-    serially in-process; ``None`` uses :func:`default_worker_count`.
+    Generic kwarg fan-out retained for ad-hoc callables; spec-driven code
+    should prefer :func:`map_specs`.  Results are returned in input order.
+    ``max_workers`` of 0 or 1 runs serially in-process; ``None`` uses
+    :func:`default_worker_count`.
     """
     if not kwargs_list:
         raise ExperimentError("kwargs_list must not be empty")
@@ -56,18 +83,47 @@ def run_single_flow_batch(
     max_workers: int | None = None,
     backend: str | None = None,
 ):
-    """Parallel batch of :func:`repro.experiments.runner.run_single_flow`.
+    """Parallel batch of single-flow runs.
+
+    .. deprecated::
+        Thin wrapper that converts each kwargs dictionary into a
+        :class:`repro.spec.RunSpec` and fans out via :func:`map_specs`;
+        new code should build the specs directly.
 
     ``backend`` (``"packet"`` or ``"fluid"``) is applied as the default for
-    every run in the batch; per-run ``backend`` keys take precedence.  Fluid
-    results are plain dataclasses + NumPy arrays, so they cross process
-    boundaries exactly like packet results.
+    every run in the batch; per-run ``backend`` keys take precedence.
+    Unknown keywords and unknown backends fail before any work is submitted.
     """
     if backend is not None:
         kwargs_list = [{"backend": backend, **kwargs} for kwargs in kwargs_list]
-    return map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
+    specs = [RunSpec.from_kwargs(**kwargs) for kwargs in kwargs_list]
+    return map_specs(specs, max_workers=max_workers)
 
 
 def run_multi_flow_batch(kwargs_list: Sequence[dict], max_workers: int | None = None):
-    """Parallel batch of :func:`repro.experiments.runner.run_multi_flow`."""
-    return map_runs(run_multi_flow, kwargs_list, max_workers=max_workers)
+    """Parallel batch of multi-flow runs.
+
+    .. deprecated::
+        Thin wrapper that converts each kwargs dictionary (the historical
+        ``run_multi_flow`` signature, with the flow list under ``"specs"``)
+        into a :class:`repro.spec.MultiFlowSpec` and fans out via
+        :func:`map_specs`.
+    """
+    multi_specs = []
+    for kwargs in kwargs_list:
+        kwargs = dict(kwargs)
+        try:
+            flows = tuple(kwargs.pop("specs"))
+        except KeyError:
+            raise ExperimentError(
+                "each run_multi_flow_batch entry needs a 'specs' flow list"
+            ) from None
+        if kwargs.get("config") is None:
+            kwargs.pop("config", None)
+        try:
+            multi_specs.append(MultiFlowSpec(flows=flows, **kwargs))
+        except TypeError:
+            raise ExperimentError(
+                f"unknown run_multi_flow keyword(s) in {sorted(kwargs)}; "
+                "valid keywords are the MultiFlowSpec fields") from None
+    return map_specs(multi_specs, max_workers=max_workers)

@@ -1,29 +1,41 @@
 """Experiment registry — one entry per table/figure/ablation in DESIGN.md.
 
 Maps the experiment identifiers used throughout the documentation (E1, E2,
-...) to the callables that regenerate them, together with the benchmark
-module that wraps each one.  Examples and ad-hoc scripts can iterate over
-:func:`all_experiments` to drive everything from one place.
+...) to what regenerates them.  Every experiment the spec layer can express
+carries a declarative :mod:`repro.spec` object — the unit of dispatch,
+serialization (``repro spec dump E3``) and caching — and uniform overrides
+(path, duration, seed, backend) are applied through the spec's ``with_*``
+methods, so there are no per-experiment keyword shims.  The fluid fast-path
+variants (``E1F`` ...) are generated from the packet specs via
+``spec.with_backend("fluid")``.
+
+The ablation/extension experiments whose shape the spec layer does not
+model yet (E7 tuning rules, E8 baselines, E9 fairness) keep a legacy
+``runner`` callable with the uniform ``(config=, duration=, seed=)``
+keywords.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import inspect
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable
 
 from ..errors import ExperimentError
+from ..spec import SpecBase, execute
+from ..workloads.scenarios import PathConfig
 from .baselines import run_baseline_comparison
 from .fairness import run_fairness
-from .figure1 import run_figure1
+from .figure1 import figure1_from_comparison, figure1_spec
 from .sweeps import (
-    bandwidth_sweep,
-    ifq_size_sweep,
-    rtt_sweep,
-    setpoint_sweep,
-    transfer_size_sweep,
+    bandwidth_sweep_spec,
+    ifq_sweep_spec,
+    rtt_sweep_spec,
+    setpoint_sweep_spec,
+    transfer_size_sweep_spec,
 )
-from .throughput import run_throughput_comparison
+from .throughput import throughput_from_comparison, throughput_spec
 from .tuning_ablation import run_tuning_ablation
 
 __all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "all_experiments"]
@@ -31,102 +43,181 @@ __all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "all_experiments"]
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """Description of one reproducible experiment."""
+    """Description of one reproducible experiment.
+
+    Exactly one of ``spec`` (a declarative :mod:`repro.spec` object, for
+    spec-expressible experiments) or ``runner`` (a legacy callable taking
+    ``config=``/``duration=``/``seed=``) is set.  ``build_result`` folds an
+    executed spec's raw result into the experiment's result type (e.g. a
+    ``ComparisonResult`` into a ``Figure1Result``).
+    """
 
     experiment_id: str
     paper_artifact: str
     description: str
-    runner: Callable
     benchmark: str
-    #: Whether the runner accepts ``backend="packet"|"fluid"``.
-    backend_aware: bool = False
-    #: Keyword the runner takes the path configuration under.
-    config_kwarg: str = "config"
-    #: Keyword the runner takes the duration under.
-    duration_kwarg: str = "duration"
-    #: Backend this spec is pinned to (fluid variants), ``None`` = selectable.
-    pinned_backend: str | None = None
-    #: Experiment id of the packet counterpart for pinned variants.
+    #: Declarative configuration of the experiment, ``None`` for legacy entries.
+    spec: SpecBase | None = None
+    #: Folds ``execute(spec)``'s result into the experiment's result type.
+    build_result: Callable | None = None
+    #: Legacy callable for experiments without a declarative spec (E7..E9).
+    runner: Callable | None = None
+    #: Experiment id of the packet counterpart for derived (fluid) variants.
     base_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.spec is None) == (self.runner is None):
+            raise ExperimentError(
+                f"experiment {self.experiment_id!r} needs exactly one of "
+                "spec= or runner=")
+
+    # ------------------------------------------------------------------
+    @property
+    def backend_aware(self) -> bool:
+        """Whether the entry accepts backend overrides (``with_backend``)."""
+        return self.spec is not None and self.base_id is None
+
+    @property
+    def pinned_backend(self) -> str | None:
+        """Backend a derived variant is pinned to, ``None`` when selectable."""
+        if self.spec is None or self.base_id is None:
+            return None
+        return self.spec.backend
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        config: PathConfig | None = None,
+        duration: float | None = None,
+        seed: int | None = None,
+        backend: str | None = None,
+        max_workers: int | None = None,
+        **overrides,
+    ):
+        """Execute the experiment with uniform overrides applied.
+
+        For spec-carrying entries the overrides go through the spec's
+        ``with_*`` methods and extra keywords are rejected; legacy entries
+        forward ``config``/``duration``/``seed`` plus any extra keywords to
+        their runner and reject backend selection.
+        """
+        if self.spec is not None:
+            if overrides:
+                raise ExperimentError(
+                    f"unknown override(s) {sorted(overrides)} for spec-driven "
+                    f"experiment {self.experiment_id}")
+            if (backend is not None and self.base_id is not None
+                    and backend != self.pinned_backend):
+                raise ExperimentError(
+                    f"experiment {self.experiment_id} is pinned to the "
+                    f"{self.pinned_backend} backend; run {self.base_id} instead")
+            spec = self.spec
+            if config is not None:
+                spec = spec.with_config(config)
+            if duration is not None:
+                spec = spec.with_duration(duration)
+            if seed is not None:
+                spec = spec.with_seed(seed)
+            if backend is not None:
+                spec = spec.with_backend(backend)
+            result = execute(spec, max_workers=max_workers)
+            return self.build_result(result) if self.build_result else result
+        if backend not in (None, "packet"):
+            raise ExperimentError(
+                f"experiment {self.experiment_id} runs on the packet engine "
+                f"only (got backend {backend!r})")
+        kwargs = {key: value for key, value in
+                  (("config", config), ("duration", duration), ("seed", seed))
+                  if value is not None}
+        kwargs.update(overrides)
+        if max_workers is not None:
+            if "max_workers" not in inspect.signature(self.runner).parameters:
+                raise ExperimentError(
+                    f"experiment {self.experiment_id}'s runner does not "
+                    "accept max_workers")
+            kwargs["max_workers"] = max_workers
+        return self.runner(**kwargs)
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
     "E1": ExperimentSpec(
         "E1", "Figure 1",
         "Cumulative send-stall signals over time, standard vs restricted",
-        run_figure1, "benchmarks/bench_figure1.py", backend_aware=True,
+        "benchmarks/bench_figure1.py",
+        spec=figure1_spec(), build_result=figure1_from_comparison,
     ),
     "E2": ExperimentSpec(
         "E2", "Section 4 headline",
         "Bulk-transfer throughput, standard vs restricted (~40% in the paper)",
-        run_throughput_comparison, "benchmarks/bench_throughput.py", backend_aware=True,
+        "benchmarks/bench_throughput.py",
+        spec=throughput_spec(), build_result=throughput_from_comparison,
     ),
     "E3": ExperimentSpec(
         "E3", "ablation",
         "Interface-queue (txqueuelen) size sweep",
-        ifq_size_sweep, "benchmarks/bench_ifq_sweep.py", backend_aware=True,
-        config_kwarg="base_config",
+        "benchmarks/bench_ifq_sweep.py",
+        spec=ifq_sweep_spec(),
     ),
     "E4": ExperimentSpec(
         "E4", "ablation",
         "Round-trip-time sweep",
-        rtt_sweep, "benchmarks/bench_rtt_sweep.py", backend_aware=True,
-        config_kwarg="base_config",
+        "benchmarks/bench_rtt_sweep.py",
+        spec=rtt_sweep_spec(),
     ),
     "E5": ExperimentSpec(
         "E5", "ablation",
         "Bottleneck bandwidth sweep",
-        bandwidth_sweep, "benchmarks/bench_bandwidth_sweep.py", backend_aware=True,
-        config_kwarg="base_config",
+        "benchmarks/bench_bandwidth_sweep.py",
+        spec=bandwidth_sweep_spec(),
     ),
     "E6": ExperimentSpec(
         "E6", "ablation",
         "Controller set-point sweep (paper fixes 90% of the IFQ)",
-        setpoint_sweep, "benchmarks/bench_setpoint_sweep.py", backend_aware=True,
-        config_kwarg="base_config",
+        "benchmarks/bench_setpoint_sweep.py",
+        spec=setpoint_sweep_spec(),
     ),
     "E7": ExperimentSpec(
         "E7", "ablation",
         "Ziegler-Nichols tuning-rule comparison",
-        run_tuning_ablation, "benchmarks/bench_tuning_rules.py",
+        "benchmarks/bench_tuning_rules.py",
+        runner=run_tuning_ablation,
     ),
     "E8": ExperimentSpec(
         "E8", "extension",
         "Versus Limited Slow-Start, HyStart, CUBIC and NewReno",
-        run_baseline_comparison, "benchmarks/bench_baselines.py",
+        "benchmarks/bench_baselines.py",
+        runner=run_baseline_comparison,
     ),
     "E9": ExperimentSpec(
         "E9", "extension",
         "Multi-flow fairness and utilisation",
-        run_fairness, "benchmarks/bench_fairness.py",
+        "benchmarks/bench_fairness.py",
+        runner=run_fairness,
     ),
     "E10": ExperimentSpec(
         "E10", "extension",
         "Transfer-size (completion-time) sweep",
-        transfer_size_sweep, "benchmarks/bench_transfer_size.py", backend_aware=True,
-        config_kwarg="base_config", duration_kwarg="max_duration",
+        "benchmarks/bench_transfer_size.py",
+        spec=transfer_size_sweep_spec(),
     ),
 }
 
-#: Fluid fast-path variants of the backend-aware experiments: the same
-#: runner pinned to ``backend="fluid"``, registered as ``<id>F`` so sweeps
-#: can be listed, scripted and regenerated on the fast path (cross-validated
+#: Fluid fast-path variants: every spec-carrying experiment derived via
+#: ``spec.with_backend("fluid")`` and registered as ``<id>F`` so sweeps can
+#: be listed, scripted and regenerated on the fast path (cross-validated
 #: against the packet engine by ``benchmarks/bench_fluid_vs_packet.py``).
 EXPERIMENTS.update({
-    f"{spec.experiment_id}F": ExperimentSpec(
-        f"{spec.experiment_id}F",
-        spec.paper_artifact,
-        f"{spec.description} (fluid fast path)",
-        partial(spec.runner, backend="fluid"),
-        "benchmarks/bench_fluid_vs_packet.py",
-        backend_aware=False,
-        config_kwarg=spec.config_kwarg,
-        duration_kwarg=spec.duration_kwarg,
-        pinned_backend="fluid",
-        base_id=spec.experiment_id,
+    f"{entry.experiment_id}F": dataclasses.replace(
+        entry,
+        experiment_id=f"{entry.experiment_id}F",
+        description=f"{entry.description} (fluid fast path)",
+        benchmark="benchmarks/bench_fluid_vs_packet.py",
+        spec=entry.spec.with_backend("fluid"),
+        base_id=entry.experiment_id,
     )
-    for spec in list(EXPERIMENTS.values())
-    if spec.backend_aware
+    for entry in list(EXPERIMENTS.values())
+    if entry.spec is not None
 })
 
 

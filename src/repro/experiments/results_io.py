@@ -13,13 +13,22 @@ The format is intentionally simple and stable:
     {
       "kind": "single_flow",
       "schema_version": 1,
+      "spec": { "kind": "run", ... },
+      "cache_key": "sha256...",
       "payload": { ... }
     }
+
+``spec`` and ``cache_key`` are present when the result carries its
+originating declarative spec (:mod:`repro.spec`): the spec document is the
+run's provenance record (``repro run --spec`` replays it via
+:func:`repro.spec.load_spec`) and the cache key is the spec's stable
+content hash, the lookup key for spec-keyed result caching.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
 import math
 import pathlib
@@ -28,7 +37,8 @@ from typing import Any
 import numpy as np
 
 from ..errors import ExperimentError
-from .runner import FlowResult, MultiFlowResult, SingleFlowResult
+from ..spec import SpecBase
+from .runner import ComparisonResult, FlowResult, MultiFlowResult, SingleFlowResult
 from .sweeps import SweepResult
 
 __all__ = ["to_jsonable", "save_result", "load_result", "SCHEMA_VERSION"]
@@ -39,6 +49,7 @@ SCHEMA_VERSION = 1
 _KINDS = {
     "single_flow": SingleFlowResult,
     "multi_flow": MultiFlowResult,
+    "comparison": ComparisonResult,
     "sweep": SweepResult,
     "flow": FlowResult,
 }
@@ -46,6 +57,8 @@ _KINDS = {
 
 def to_jsonable(value: Any) -> Any:
     """Recursively convert a result object into JSON-serialisable data."""
+    if isinstance(value, enum.Enum):
+        return value.value
     if isinstance(value, np.ndarray):
         return value.tolist()
     if isinstance(value, (np.floating, np.integer)):
@@ -53,8 +66,12 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, float) and math.isinf(value):
         return "Infinity" if value > 0 else "-Infinity"
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Specs attached to results are provenance, serialised exactly once
+        # at the document's top level ("spec"/"cache_key") — skip them here
+        # so the payload does not carry divergent duplicate copies.
         return {f.name: to_jsonable(getattr(value, f.name))
-                for f in dataclasses.fields(value)}
+                for f in dataclasses.fields(value)
+                if not isinstance(getattr(value, f.name), SpecBase)}
     if isinstance(value, dict):
         return {str(k): to_jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
@@ -80,6 +97,10 @@ def save_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
         "schema_version": SCHEMA_VERSION,
         "payload": to_jsonable(result),
     }
+    spec = getattr(result, "spec", None)
+    if spec is not None:
+        document["spec"] = spec.to_dict()
+        document["cache_key"] = spec.cache_key()
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True))
     return path

@@ -1,18 +1,24 @@
 """Experiment runner.
 
-The harness every experiment and benchmark in this repository is built on:
+The harness every experiment and benchmark in this repository is built on.
+Since the spec redesign the unit of work is a declarative, serializable
+spec (:mod:`repro.spec`): :class:`~repro.spec.RunSpec` describes one bulk
+transfer, and :func:`repro.spec.execute` dispatches it through the backend
+registry (``packet`` — the event-driven ground truth implemented here by
+:func:`execute_packet_run` — or ``fluid``, the per-RTT fast path).
 
-* :func:`run_single_flow` — one bulk transfer over the (paper) path with a
-  chosen congestion-control algorithm, returning goodput, Web100 counters,
-  and the IFQ / cwnd / goodput time series needed for the figures;
+The historical keyword signatures remain as thin deprecated wrappers that
+construct specs:
+
+* :func:`run_single_flow` — one bulk transfer, returning goodput, Web100
+  counters, and the IFQ / cwnd / goodput time series needed for the figures;
 * :func:`run_comparison` — the same workload under several algorithms with
   identical seeds (paired comparison, as in the paper's Section 4);
 * :func:`run_multi_flow` — N concurrent flows sharing the bottleneck, for
   the fairness experiments.
 
-Every run is driven by a :class:`RunSpec`-like set of keyword arguments that
-is fully picklable, so parameter sweeps can fan out across processes via
-:mod:`repro.experiments.parallel`.
+See the README's "Spec API" section for the migration table and the
+deprecation policy for these wrappers.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from ..host.apps import BulkSenderApp
 from ..host.ifq import IFQMonitor
 from ..instrumentation.tracer import TimeSeriesTracer
 from ..sim.engine import Simulator
+from ..spec import ComparisonSpec, MultiFlowSpec, RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.bulk import BulkFlowSpec
 from ..workloads.scenarios import PathConfig, Scenario, build_dumbbell
@@ -42,7 +49,14 @@ __all__ = [
     "run_single_flow",
     "run_comparison",
     "run_multi_flow",
+    "execute_packet_run",
+    "execute_multi_flow_spec",
+    "DEFAULT_PACKET_TRACE_INTERVAL",
 ]
+
+#: Native trace sampling period of the packet engine (seconds); used when a
+#: spec leaves ``trace_interval`` unset.
+DEFAULT_PACKET_TRACE_INTERVAL = 0.05
 
 
 # ---------------------------------------------------------------------------
@@ -102,7 +116,7 @@ class FlowResult:
 
 @dataclass
 class SingleFlowResult:
-    """Outcome of :func:`run_single_flow` (flow metrics plus traces)."""
+    """Outcome of one single-flow run (flow metrics plus traces)."""
 
     config: PathConfig
     duration: float
@@ -120,6 +134,9 @@ class SingleFlowResult:
     events_processed: int
     #: Which engine produced this result ("packet" or "fluid").
     backend: str = "packet"
+    #: The declarative spec that produced this result (provenance; the
+    #: basis for spec-keyed result caching).
+    spec: RunSpec | None = None
 
     @property
     def goodput_bps(self) -> float:
@@ -140,6 +157,8 @@ class ComparisonResult:
 
     baseline: str
     runs: dict[str, SingleFlowResult]
+    #: The declarative spec that produced this result (provenance).
+    spec: ComparisonSpec | None = None
 
     def improvement_percent(self, algorithm: str) -> float:
         """Goodput improvement of ``algorithm`` over the baseline, percent."""
@@ -152,7 +171,7 @@ class ComparisonResult:
 
 @dataclass
 class MultiFlowResult:
-    """Outcome of :func:`run_multi_flow`."""
+    """Outcome of one multi-flow run."""
 
     config: PathConfig
     duration: float
@@ -163,10 +182,122 @@ class MultiFlowResult:
     link_utilization: float
     bottleneck_drops: int
     total_send_stalls: int
+    #: The declarative spec that produced this result (provenance).
+    spec: MultiFlowSpec | None = None
 
 
 # ---------------------------------------------------------------------------
-# single flow
+# packet backend (registered as "packet" in repro.spec.backends)
+# ---------------------------------------------------------------------------
+
+def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
+    """Run one bulk transfer on the event-driven packet engine."""
+    cfg = spec.config
+    sim = Simulator(seed=spec.seed)
+    scenario = build_dumbbell(sim, cfg, n_flows=1)
+
+    options = cfg.tcp_options()
+    if spec.local_congestion_policy is not None:
+        options = options.replace(local_congestion_policy=spec.local_congestion_policy)
+
+    if spec.cc == "restricted":
+        rss = (spec.rss_config if spec.rss_config is not None
+               else RestrictedSlowStartConfig.for_path(cfg.rtt))
+        factory = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
+        app, _sink = scenario.add_bulk_flow(
+            index=0, cc=factory, total_bytes=spec.total_bytes, options=options
+        )
+    else:
+        app, _sink = scenario.add_bulk_flow(
+            index=0, cc=spec.cc, total_bytes=spec.total_bytes, options=options,
+            cc_kwargs=spec.cc_kwargs or None,
+        )
+
+    trace_interval = (spec.trace_interval if spec.trace_interval is not None
+                      else DEFAULT_PACKET_TRACE_INTERVAL)
+    conn = app.connection
+    monitor = IFQMonitor(sim, scenario.sender_ifq(0), interval=trace_interval)
+    monitor.start()
+    tracer = TimeSeriesTracer(sim, interval=trace_interval)
+    tracer.add_probe("cwnd", lambda: conn.cc.cwnd)
+    tracer.add_probe("acked", lambda: conn.stats.ThruBytesAcked)
+    tracer.start()
+
+    sim.run(until=spec.duration)
+    if (spec.run_past_duration_until_complete and spec.total_bytes is not None
+            and not app.completed):
+        sim.run(until=spec.duration * 10.0)
+
+    elapsed = sim.now
+    flow = FlowResult.from_app(app, algorithm=spec.cc, duration=elapsed)
+    ifq_times, ifq_occ = monitor.as_arrays()
+    cwnd_times, cwnd_vals = tracer.series("cwnd").as_arrays()
+    acked_times, acked_vals = tracer.series("acked").as_arrays()
+    ifq_queue = scenario.sender_ifq(0).queue
+    return SingleFlowResult(
+        config=cfg,
+        duration=elapsed,
+        seed=spec.seed,
+        flow=flow,
+        ifq_times=ifq_times,
+        ifq_occupancy=ifq_occ,
+        ifq_peak=ifq_queue.stats.peak_packets,
+        ifq_drops=ifq_queue.stats.dropped,
+        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        cwnd_times=cwnd_times,
+        cwnd_segments=cwnd_vals,
+        acked_times=acked_times,
+        acked_bytes=acked_vals,
+        events_processed=sim.events_processed,
+    )
+
+
+def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
+    """Run several concurrent bulk flows over one bottleneck (packet engine)."""
+    cfg = spec.config
+    sim = Simulator(seed=spec.seed)
+    n_paths = 1 if spec.shared_paths else len(spec.flows)
+    scenario: Scenario = build_dumbbell(sim, cfg, n_flows=n_paths)
+
+    apps: list[tuple[BulkSenderApp, str]] = []
+    for i, flow_spec in enumerate(spec.flows):
+        index = 0 if spec.shared_paths else i
+        rss = RestrictedSlowStartConfig.for_path(cfg.rtt)
+        if flow_spec.cc == "restricted":
+            factory = lambda ctx, _rss=rss: RestrictedSlowStart(ctx, _rss)  # noqa: E731
+            app, _sink = scenario.add_bulk_flow(
+                index=index, cc=factory, total_bytes=flow_spec.total_bytes,
+                start_time=flow_spec.start_time, name=f"flow{i}:{flow_spec.cc}",
+            )
+        else:
+            app, _sink = scenario.add_bulk_flow(
+                index=index, cc=flow_spec.cc, total_bytes=flow_spec.total_bytes,
+                start_time=flow_spec.start_time, cc_kwargs=flow_spec.cc_kwargs,
+                name=f"flow{i}:{flow_spec.cc}",
+            )
+        apps.append((app, flow_spec.cc))
+
+    sim.run(until=spec.duration)
+
+    flows = [FlowResult.from_app(app, algorithm=cc, duration=sim.now - app.start_time)
+             for app, cc in apps]
+    goodputs = [f.goodput_bps for f in flows]
+    aggregate = float(sum(goodputs))
+    return MultiFlowResult(
+        config=cfg,
+        duration=sim.now,
+        seed=spec.seed,
+        flows=flows,
+        aggregate_goodput_bps=aggregate,
+        jain_index=jain_fairness_index(goodputs),
+        link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
+        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        total_send_stalls=sum(f.send_stalls for f in flows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# deprecated keyword wrappers (construct specs; see README "Spec API")
 # ---------------------------------------------------------------------------
 
 def run_single_flow(
@@ -178,11 +309,15 @@ def run_single_flow(
     cc_kwargs: dict | None = None,
     rss_config: RestrictedSlowStartConfig | None = None,
     local_congestion_policy: LocalCongestionPolicy | None = None,
-    trace_interval: float = 0.05,
+    trace_interval: float | None = None,
     run_past_duration_until_complete: bool = False,
     backend: str = "packet",
 ) -> SingleFlowResult:
     """Run one bulk transfer and collect everything the experiments report.
+
+    .. deprecated::
+        Thin wrapper over ``execute(RunSpec(...))`` kept for downstream
+        code; new code should construct a :class:`repro.spec.RunSpec`.
 
     Parameters
     ----------
@@ -205,85 +340,33 @@ def run_single_flow(
     local_congestion_policy:
         Override the stack's reaction to send-stalls (ablation E6).
     trace_interval:
-        Sampling period of the IFQ / cwnd / goodput traces.
+        Sampling period of the IFQ / cwnd / goodput traces; ``None`` (the
+        default) uses the backend's native resolution — 0.05 s on the
+        packet engine, one sample per round trip on the fluid engine (which
+        warns if an explicit interval is requested).
     run_past_duration_until_complete:
         With a finite ``total_bytes``, keep simulating (up to 10× duration)
         until the transfer completes — used by the transfer-size sweep.
     backend:
-        ``"packet"`` runs the event-driven engine (ground truth);
-        ``"fluid"`` runs the per-RTT difference-equation fast path
-        (:mod:`repro.fluid`), typically ≥100× faster and validated against
-        the packet engine by :mod:`repro.fluid.validate`.
+        Registered engine name (``"packet"`` — event-driven ground truth —
+        or ``"fluid"`` — the per-RTT difference-equation fast path).
+        Validated eagerly: an unknown name raises :class:`ExperimentError`
+        listing the registered backends before any simulation work.
     """
-    if backend == "fluid":
-        from ..fluid.backend import run_single_flow_fluid
-
-        return run_single_flow_fluid(
-            cc=cc, config=config, duration=duration, seed=seed,
-            total_bytes=total_bytes, cc_kwargs=cc_kwargs, rss_config=rss_config,
-            local_congestion_policy=local_congestion_policy,
-            trace_interval=trace_interval,
-            run_past_duration_until_complete=run_past_duration_until_complete,
-        )
-    if backend != "packet":
-        raise ExperimentError(
-            f"unknown backend {backend!r}; choose 'packet' or 'fluid'")
-    if duration <= 0:
-        raise ExperimentError("duration must be positive")
-    cfg = config if config is not None else PathConfig()
-    sim = Simulator(seed=seed)
-    scenario = build_dumbbell(sim, cfg, n_flows=1)
-
-    options = cfg.tcp_options()
-    if local_congestion_policy is not None:
-        options = options.replace(local_congestion_policy=local_congestion_policy)
-
-    if cc == "restricted":
-        rss = rss_config if rss_config is not None else RestrictedSlowStartConfig.for_path(cfg.rtt)
-        factory = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
-        app, _sink = scenario.add_bulk_flow(
-            index=0, cc=factory, total_bytes=total_bytes, options=options
-        )
-    else:
-        app, _sink = scenario.add_bulk_flow(
-            index=0, cc=cc, total_bytes=total_bytes, options=options,
-            cc_kwargs=cc_kwargs,
-        )
-
-    conn = app.connection
-    monitor = IFQMonitor(sim, scenario.sender_ifq(0), interval=trace_interval)
-    monitor.start()
-    tracer = TimeSeriesTracer(sim, interval=trace_interval)
-    tracer.add_probe("cwnd", lambda: conn.cc.cwnd)
-    tracer.add_probe("acked", lambda: conn.stats.ThruBytesAcked)
-    tracer.start()
-
-    sim.run(until=duration)
-    if run_past_duration_until_complete and total_bytes is not None and not app.completed:
-        sim.run(until=duration * 10.0)
-
-    elapsed = sim.now
-    flow = FlowResult.from_app(app, algorithm=cc, duration=elapsed)
-    ifq_times, ifq_occ = monitor.as_arrays()
-    cwnd_times, cwnd_vals = tracer.series("cwnd").as_arrays()
-    acked_times, acked_vals = tracer.series("acked").as_arrays()
-    ifq_queue = scenario.sender_ifq(0).queue
-    return SingleFlowResult(
-        config=cfg,
-        duration=elapsed,
+    spec = RunSpec(
+        cc=cc,
+        config=config if config is not None else PathConfig(),
+        duration=duration,
         seed=seed,
-        flow=flow,
-        ifq_times=ifq_times,
-        ifq_occupancy=ifq_occ,
-        ifq_peak=ifq_queue.stats.peak_packets,
-        ifq_drops=ifq_queue.stats.dropped,
-        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
-        cwnd_times=cwnd_times,
-        cwnd_segments=cwnd_vals,
-        acked_times=acked_times,
-        acked_bytes=acked_vals,
-        events_processed=sim.events_processed,
+        total_bytes=total_bytes,
+        cc_kwargs=dict(cc_kwargs) if cc_kwargs else {},
+        rss_config=rss_config,
+        local_congestion_policy=local_congestion_policy,
+        trace_interval=trace_interval,
+        run_past_duration_until_complete=run_past_duration_until_complete,
+        backend=backend,
     )
+    return execute(spec)
 
 
 def run_comparison(
@@ -291,16 +374,17 @@ def run_comparison(
     baseline: str = "reno",
     **kwargs,
 ) -> ComparisonResult:
-    """Run the same single-flow workload under several algorithms."""
-    if baseline not in algorithms:
-        raise ExperimentError(f"baseline {baseline!r} must be one of {list(algorithms)}")
-    runs = {cc: run_single_flow(cc=cc, **kwargs) for cc in algorithms}
-    return ComparisonResult(baseline=baseline, runs=runs)
+    """Run the same single-flow workload under several algorithms.
 
+    .. deprecated::
+        Thin wrapper over ``execute(ComparisonSpec(...))``; ``kwargs`` are
+        the :class:`repro.spec.RunSpec` fields (config, duration, seed,
+        backend, ...).
+    """
+    spec = ComparisonSpec(base=RunSpec.from_kwargs(**kwargs),
+                          algorithms=tuple(algorithms), baseline=baseline)
+    return execute(spec)
 
-# ---------------------------------------------------------------------------
-# multiple flows
-# ---------------------------------------------------------------------------
 
 def run_multi_flow(
     specs: Sequence[BulkFlowSpec],
@@ -311,49 +395,18 @@ def run_multi_flow(
 ) -> MultiFlowResult:
     """Run several concurrent bulk flows over one bottleneck.
 
+    .. deprecated::
+        Thin wrapper over ``execute(MultiFlowSpec(...))``.
+
     ``shared_paths=False`` gives every flow its own sender/receiver pair (the
     usual dumbbell); ``True`` puts all flows on the first pair so they also
     share the sending host's IFQ.
     """
-    if not specs:
-        raise ExperimentError("at least one flow spec is required")
-    cfg = config if config is not None else PathConfig()
-    sim = Simulator(seed=seed)
-    n_paths = 1 if shared_paths else len(specs)
-    scenario: Scenario = build_dumbbell(sim, cfg, n_flows=n_paths)
-
-    apps: list[tuple[BulkSenderApp, str]] = []
-    for i, spec in enumerate(specs):
-        index = 0 if shared_paths else i
-        rss = RestrictedSlowStartConfig.for_path(cfg.rtt)
-        if spec.cc == "restricted":
-            factory = lambda ctx, _rss=rss: RestrictedSlowStart(ctx, _rss)  # noqa: E731
-            app, _sink = scenario.add_bulk_flow(
-                index=index, cc=factory, total_bytes=spec.total_bytes,
-                start_time=spec.start_time, name=f"flow{i}:{spec.cc}",
-            )
-        else:
-            app, _sink = scenario.add_bulk_flow(
-                index=index, cc=spec.cc, total_bytes=spec.total_bytes,
-                start_time=spec.start_time, cc_kwargs=spec.cc_kwargs,
-                name=f"flow{i}:{spec.cc}",
-            )
-        apps.append((app, spec.cc))
-
-    sim.run(until=duration)
-
-    flows = [FlowResult.from_app(app, algorithm=cc, duration=sim.now - app.start_time)
-             for app, cc in apps]
-    goodputs = [f.goodput_bps for f in flows]
-    aggregate = float(sum(goodputs))
-    return MultiFlowResult(
-        config=cfg,
-        duration=sim.now,
+    spec = MultiFlowSpec(
+        flows=tuple(specs),
+        config=config if config is not None else PathConfig(),
+        duration=duration,
         seed=seed,
-        flows=flows,
-        aggregate_goodput_bps=aggregate,
-        jain_index=jain_fairness_index(goodputs),
-        link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
-        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
-        total_send_stalls=sum(f.send_stalls for f in flows),
+        shared_paths=shared_paths,
     )
+    return execute(spec)

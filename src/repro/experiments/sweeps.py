@@ -13,9 +13,14 @@ in ``DESIGN.md``:
 * :func:`transfer_size_sweep` (E10) — completion time of 1 MB to 256 MB
   transfers.
 
-Every sweep returns a :class:`SweepResult` whose rows carry, per parameter
-value, the goodput and stall counts of both algorithms; sweeps can fan out
-over a process pool (``max_workers``).
+Every sweep is declaratively described by a :class:`repro.spec.SweepSpec`
+(built by the ``*_sweep_spec`` helpers, which the experiment registry also
+uses) and executed by :func:`execute_sweep_spec`: the grid expands into one
+:class:`~repro.spec.RunSpec` per (point, algorithm), fans out across the
+process pool (workers pickle one spec each), and the runs are folded into a
+:class:`SweepResult` whose rows carry, per parameter value, the goodput and
+stall counts of the compared algorithms.  The historical keyword signatures
+remain as thin wrappers that build a spec and execute it.
 """
 
 from __future__ import annotations
@@ -26,13 +31,19 @@ from typing import Sequence
 from ..analysis.tables import Table
 from ..core.config import RestrictedSlowStartConfig
 from ..errors import ExperimentError
+from ..spec import RunSpec, SweepSpec, execute
 from ..units import MB, Mbps, format_rate
 from ..workloads.scenarios import PathConfig
-from .parallel import map_runs
-from .runner import run_single_flow
+from .parallel import map_specs
 
 __all__ = [
     "SweepResult",
+    "execute_sweep_spec",
+    "ifq_sweep_spec",
+    "rtt_sweep_spec",
+    "bandwidth_sweep_spec",
+    "setpoint_sweep_spec",
+    "transfer_size_sweep_spec",
     "ifq_size_sweep",
     "rtt_sweep",
     "bandwidth_sweep",
@@ -52,6 +63,8 @@ class SweepResult:
     name: str
     parameter: str
     rows: list[dict] = field(default_factory=list)
+    #: The declarative spec that produced this result (provenance).
+    spec: SweepSpec | None = None
 
     def column(self, key: str) -> list:
         """Values of ``key`` across rows (missing keys become ``None``)."""
@@ -65,33 +78,163 @@ class SweepResult:
         raise ExperimentError(f"no row with {self.parameter}={value!r}")
 
 
-def _comparison_row(param_name: str, param_value, results: dict[str, object]) -> dict:
-    row: dict = {param_name: param_value}
-    for algo, res in results.items():
-        row[f"{algo}_goodput_bps"] = res.flow.goodput_bps
-        row[f"{algo}_send_stalls"] = res.flow.send_stalls
-        row[f"{algo}_retrans"] = res.flow.pkts_retrans
-        row[f"{algo}_utilization"] = res.link_utilization
-    if all(f"{a}_goodput_bps" in row for a in ("reno", "restricted")):
-        base = row["reno_goodput_bps"]
-        row["improvement_percent"] = (
-            (row["restricted_goodput_bps"] - base) / base * 100.0 if base > 0 else 0.0
-        )
+# ---------------------------------------------------------------------------
+# spec execution
+# ---------------------------------------------------------------------------
+
+def _sweep_row(spec: SweepSpec, value, results: dict[str, object]) -> dict:
+    row: dict = {spec.row_key: value}
+    if spec.row_style == "comparison":
+        for algo, res in results.items():
+            row[f"{algo}_goodput_bps"] = res.flow.goodput_bps
+            row[f"{algo}_send_stalls"] = res.flow.send_stalls
+            row[f"{algo}_retrans"] = res.flow.pkts_retrans
+            row[f"{algo}_utilization"] = res.link_utilization
+        if {"reno", "restricted"} <= set(results):
+            base = row["reno_goodput_bps"]
+            row["improvement_percent"] = (
+                (row["restricted_goodput_bps"] - base) / base * 100.0
+                if base > 0 else 0.0)
+    elif spec.row_style == "single":
+        for algo, res in results.items():
+            row[f"{algo}_goodput_bps"] = res.flow.goodput_bps
+            row[f"{algo}_send_stalls"] = res.flow.send_stalls
+            row[f"{algo}_utilization"] = res.link_utilization
+            row["ifq_peak"] = res.ifq_peak
+            row["ifq_drops"] = res.ifq_drops
+    else:  # "completion"
+        for algo, res in results.items():
+            row[f"{algo}_completion_time"] = res.flow.completion_time
+            row[f"{algo}_goodput_bps"] = res.flow.goodput_bps
+            row[f"{algo}_send_stalls"] = res.flow.send_stalls
+        if {"reno", "restricted"} <= set(results):
+            reno_time = row["reno_completion_time"]
+            restricted_time = row["restricted_completion_time"]
+            row["speedup"] = (reno_time / restricted_time
+                              if reno_time and restricted_time else None)
     return row
 
 
-def _run_comparison_point(param_name: str, param_value, duration: float, seed: int,
-                          configs: dict[str, dict], max_workers: int | None,
-                          backend: str = "packet") -> dict:
-    kwargs_list = [dict(cc=algo, duration=duration, seed=seed, backend=backend,
-                        **configs[algo])
-                   for algo in SWEEP_ALGORITHMS]
-    results = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
-    return _comparison_row(param_name, param_value, dict(zip(SWEEP_ALGORITHMS, results)))
+def execute_sweep_spec(spec: SweepSpec, *, max_workers: int | None = None) -> SweepResult:
+    """Expand a sweep grid into run specs, fan out, fold into rows."""
+    result = SweepResult(name=spec.name, parameter=spec.row_key)
+    points = spec.point_specs()
+    if not points:
+        return result
+    flat = [run_spec for _, by_algo in points for run_spec in by_algo.values()]
+    runs = iter(map_specs(flat, max_workers=max_workers))
+    for value, by_algo in points:
+        results = {algo: next(runs) for algo in by_algo}
+        result.rows.append(_sweep_row(spec, value, results))
+    return result
 
 
 # ---------------------------------------------------------------------------
-# E3: interface-queue size
+# declarative sweep builders (reused by the experiment registry)
+# ---------------------------------------------------------------------------
+
+def ifq_sweep_spec(
+    sizes: Sequence[int] = (25, 50, 100, 200, 400, 1000),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    backend: str = "packet",
+) -> SweepSpec:
+    """Declarative sender ``txqueuelen`` sweep (E3)."""
+    base = base_config if base_config is not None else PathConfig()
+    return SweepSpec(
+        name="ifq_size_sweep",
+        parameter="config.ifq_capacity_packets",
+        values=tuple(int(size) for size in sizes),
+        base=RunSpec(config=base, duration=duration, seed=seed, backend=backend),
+    )
+
+
+def rtt_sweep_spec(
+    rtts: Sequence[float] = (0.010, 0.030, 0.060, 0.120, 0.200),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    backend: str = "packet",
+) -> SweepSpec:
+    """Declarative round-trip-time sweep (E4).
+
+    ``retune_rss`` rederives the restricted controller's gains at every
+    point — they scale with the RTT exactly as the tuning procedure would.
+    """
+    base = base_config if base_config is not None else PathConfig()
+    return SweepSpec(
+        name="rtt_sweep",
+        parameter="config.rtt",
+        values=tuple(float(rtt) for rtt in rtts),
+        base=RunSpec(config=base, duration=duration, seed=seed, backend=backend),
+        retune_rss=True,
+    )
+
+
+def bandwidth_sweep_spec(
+    rates_mbps: Sequence[float] = (10, 50, 100, 250, 622),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    backend: str = "packet",
+) -> SweepSpec:
+    """Declarative bottleneck (and NIC) rate sweep (E5)."""
+    base = base_config if base_config is not None else PathConfig()
+    return SweepSpec(
+        name="bandwidth_sweep",
+        parameter="config.bottleneck_rate_bps",
+        values=tuple(float(rate) for rate in rates_mbps),
+        field_values=tuple(Mbps(rate) for rate in rates_mbps),
+        parameter_label="bottleneck_mbps",
+        base=RunSpec(config=base, duration=duration, seed=seed, backend=backend),
+    )
+
+
+def setpoint_sweep_spec(
+    setpoints: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95, 1.0),
+    duration: float = 10.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    backend: str = "packet",
+) -> SweepSpec:
+    """Declarative PID set-point sweep — restricted only (E6)."""
+    base = base_config if base_config is not None else PathConfig()
+    return SweepSpec(
+        name="setpoint_sweep",
+        parameter="rss_config.setpoint_fraction",
+        values=tuple(float(sp) for sp in setpoints),
+        base=RunSpec(cc="restricted", config=base, duration=duration, seed=seed,
+                     backend=backend,
+                     rss_config=RestrictedSlowStartConfig.for_path(base.rtt)),
+        algorithms=("restricted",),
+        row_style="single",
+        retune_rss=True,
+    )
+
+
+def transfer_size_sweep_spec(
+    sizes_bytes: Sequence[float] = (MB(1), MB(8), MB(32), MB(128), MB(256)),
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_duration: float = 60.0,
+    backend: str = "packet",
+) -> SweepSpec:
+    """Declarative transfer-size (completion-time) sweep (E10)."""
+    base = base_config if base_config is not None else PathConfig()
+    return SweepSpec(
+        name="transfer_size_sweep",
+        parameter="total_bytes",
+        values=tuple(float(size) for size in sizes_bytes),
+        field_values=tuple(int(size) for size in sizes_bytes),
+        parameter_label="transfer_bytes",
+        row_style="completion",
+        base=RunSpec(config=base, duration=max_duration, seed=seed, backend=backend),
+    )
+
+
+# ---------------------------------------------------------------------------
+# deprecated keyword wrappers (construct specs; see README "Spec API")
 # ---------------------------------------------------------------------------
 
 def ifq_size_sweep(
@@ -103,20 +246,10 @@ def ifq_size_sweep(
     backend: str = "packet",
 ) -> SweepResult:
     """Sweep the sender ``txqueuelen`` (E3)."""
-    base = base_config if base_config is not None else PathConfig()
-    result = SweepResult(name="ifq_size_sweep", parameter="ifq_capacity_packets")
-    for size in sizes:
-        cfg = base.replace(ifq_capacity_packets=int(size))
-        configs = {algo: dict(config=cfg) for algo in SWEEP_ALGORITHMS}
-        result.rows.append(_run_comparison_point(
-            "ifq_capacity_packets", int(size), duration, seed, configs, max_workers,
-            backend=backend))
-    return result
+    spec = ifq_sweep_spec(sizes=sizes, duration=duration, seed=seed,
+                          base_config=base_config, backend=backend)
+    return execute(spec, max_workers=max_workers)
 
-
-# ---------------------------------------------------------------------------
-# E4: round-trip time
-# ---------------------------------------------------------------------------
 
 def rtt_sweep(
     rtts: Sequence[float] = (0.010, 0.030, 0.060, 0.120, 0.200),
@@ -127,24 +260,10 @@ def rtt_sweep(
     backend: str = "packet",
 ) -> SweepResult:
     """Sweep the path round-trip time (E4)."""
-    base = base_config if base_config is not None else PathConfig()
-    result = SweepResult(name="rtt_sweep", parameter="rtt")
-    for rtt in rtts:
-        cfg = base.replace(rtt=float(rtt))
-        configs = {
-            "reno": dict(config=cfg),
-            # gains scale with the RTT exactly as the tuning procedure would
-            "restricted": dict(config=cfg,
-                               rss_config=RestrictedSlowStartConfig.for_path(float(rtt))),
-        }
-        result.rows.append(_run_comparison_point("rtt", float(rtt), duration, seed,
-                                                 configs, max_workers, backend=backend))
-    return result
+    spec = rtt_sweep_spec(rtts=rtts, duration=duration, seed=seed,
+                          base_config=base_config, backend=backend)
+    return execute(spec, max_workers=max_workers)
 
-
-# ---------------------------------------------------------------------------
-# E5: bottleneck bandwidth
-# ---------------------------------------------------------------------------
 
 def bandwidth_sweep(
     rates_mbps: Sequence[float] = (10, 50, 100, 250, 622),
@@ -155,20 +274,10 @@ def bandwidth_sweep(
     backend: str = "packet",
 ) -> SweepResult:
     """Sweep the bottleneck (and NIC) rate (E5)."""
-    base = base_config if base_config is not None else PathConfig()
-    result = SweepResult(name="bandwidth_sweep", parameter="bottleneck_mbps")
-    for rate in rates_mbps:
-        cfg = base.replace(bottleneck_rate_bps=Mbps(rate))
-        configs = {algo: dict(config=cfg) for algo in SWEEP_ALGORITHMS}
-        result.rows.append(_run_comparison_point("bottleneck_mbps", float(rate), duration,
-                                                 seed, configs, max_workers,
-                                                 backend=backend))
-    return result
+    spec = bandwidth_sweep_spec(rates_mbps=rates_mbps, duration=duration, seed=seed,
+                                base_config=base_config, backend=backend)
+    return execute(spec, max_workers=max_workers)
 
-
-# ---------------------------------------------------------------------------
-# E6: controller set point
-# ---------------------------------------------------------------------------
 
 def setpoint_sweep(
     setpoints: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95, 1.0),
@@ -179,29 +288,10 @@ def setpoint_sweep(
     backend: str = "packet",
 ) -> SweepResult:
     """Sweep the PID set point (the paper fixes 0.9) — restricted only (E6)."""
-    base = base_config if base_config is not None else PathConfig()
-    result = SweepResult(name="setpoint_sweep", parameter="setpoint_fraction")
-    kwargs_list = []
-    for sp in setpoints:
-        rss = RestrictedSlowStartConfig.for_path(base.rtt).replace(setpoint_fraction=float(sp))
-        kwargs_list.append(dict(cc="restricted", config=base, duration=duration,
-                                seed=seed, rss_config=rss, backend=backend))
-    runs = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
-    for sp, run in zip(setpoints, runs):
-        result.rows.append({
-            "setpoint_fraction": float(sp),
-            "restricted_goodput_bps": run.flow.goodput_bps,
-            "restricted_send_stalls": run.flow.send_stalls,
-            "restricted_utilization": run.link_utilization,
-            "ifq_peak": run.ifq_peak,
-            "ifq_drops": run.ifq_drops,
-        })
-    return result
+    spec = setpoint_sweep_spec(setpoints=setpoints, duration=duration, seed=seed,
+                               base_config=base_config, backend=backend)
+    return execute(spec, max_workers=max_workers)
 
-
-# ---------------------------------------------------------------------------
-# E10: transfer size (completion time)
-# ---------------------------------------------------------------------------
 
 def transfer_size_sweep(
     sizes_bytes: Sequence[float] = (MB(1), MB(8), MB(32), MB(128), MB(256)),
@@ -212,28 +302,10 @@ def transfer_size_sweep(
     backend: str = "packet",
 ) -> SweepResult:
     """Completion time of finite transfers under both algorithms (E10)."""
-    base = base_config if base_config is not None else PathConfig()
-    result = SweepResult(name="transfer_size_sweep", parameter="transfer_bytes")
-    for size in sizes_bytes:
-        kwargs_list = [
-            dict(cc=algo, config=base, duration=max_duration, seed=seed,
-                 total_bytes=int(size), run_past_duration_until_complete=False,
-                 backend=backend)
-            for algo in SWEEP_ALGORITHMS
-        ]
-        runs = dict(zip(SWEEP_ALGORITHMS, map_runs(run_single_flow, kwargs_list,
-                                                   max_workers=max_workers)))
-        row: dict = {"transfer_bytes": float(size)}
-        for algo, run in runs.items():
-            row[f"{algo}_completion_time"] = run.flow.completion_time
-            row[f"{algo}_goodput_bps"] = run.flow.goodput_bps
-            row[f"{algo}_send_stalls"] = run.flow.send_stalls
-        if row["reno_completion_time"] and row["restricted_completion_time"]:
-            row["speedup"] = row["reno_completion_time"] / row["restricted_completion_time"]
-        else:
-            row["speedup"] = None
-        result.rows.append(row)
-    return result
+    spec = transfer_size_sweep_spec(sizes_bytes=sizes_bytes, seed=seed,
+                                    base_config=base_config,
+                                    max_duration=max_duration, backend=backend)
+    return execute(spec, max_workers=max_workers)
 
 
 # ---------------------------------------------------------------------------

@@ -15,11 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.metrics import improvement_percent
+from ..spec import ComparisonSpec, RunSpec, execute
 from ..workloads.scenarios import PathConfig
 from .report import comparison_table
-from .runner import ComparisonResult, run_comparison
+from .runner import ComparisonResult
 
-__all__ = ["ThroughputResult", "run_throughput_comparison", "render_throughput"]
+__all__ = ["ThroughputResult", "throughput_spec", "throughput_from_comparison",
+           "run_throughput_comparison", "render_throughput"]
 
 #: Improvement the paper reports (percent).
 PAPER_IMPROVEMENT_PERCENT = 40.0
@@ -49,22 +51,41 @@ class ThroughputResult:
         return self.restricted_goodput_bps > self.standard_goodput_bps
 
 
+def throughput_spec(
+    duration: float = 25.0,
+    config: PathConfig | None = None,
+    seed: int = 1,
+    backend: str = "packet",
+) -> ComparisonSpec:
+    """The declarative spec behind the headline throughput comparison."""
+    base = RunSpec(cc="reno",
+                   config=config if config is not None else PathConfig(),
+                   duration=duration, seed=seed, backend=backend)
+    return ComparisonSpec(base=base, algorithms=("reno", "restricted"),
+                          baseline="reno")
+
+
+def throughput_from_comparison(comparison: ComparisonResult) -> ThroughputResult:
+    """Fold an executed comparison into the headline result."""
+    duration = (comparison.spec.base.duration if comparison.spec is not None
+                else comparison.runs["reno"].duration)
+    return ThroughputResult(comparison=comparison, duration=duration)
+
+
 def run_throughput_comparison(
     duration: float = 25.0,
     config: PathConfig | None = None,
     seed: int = 1,
     backend: str = "packet",
 ) -> ThroughputResult:
-    """Run the paired standard-vs-restricted bulk transfer."""
-    comparison = run_comparison(
-        algorithms=("reno", "restricted"),
-        baseline="reno",
-        config=config,
-        duration=duration,
-        seed=seed,
-        backend=backend,
-    )
-    return ThroughputResult(comparison=comparison, duration=duration)
+    """Run the paired standard-vs-restricted bulk transfer.
+
+    .. deprecated::
+        Thin wrapper over ``execute(throughput_spec(...))``.
+    """
+    comparison = execute(throughput_spec(duration=duration, config=config,
+                                         seed=seed, backend=backend))
+    return throughput_from_comparison(comparison)
 
 
 def render_throughput(result: ThroughputResult) -> str:

@@ -1,66 +1,67 @@
 """Fluid fast-path backend with the packet backend's result interface.
 
-:func:`run_single_flow_fluid` mirrors the signature of
-:func:`repro.experiments.runner.run_single_flow` and returns the same
-:class:`~repro.experiments.runner.SingleFlowResult` dataclass, so renderers,
-sweeps, parallel batches and JSON persistence work identically on both
-backends.  Quantities the fluid abstraction does not model (RTO timeouts,
-per-segment retransmission detail) are reported as zero; the cross-validation
-harness (:mod:`repro.fluid.validate`) documents which fields are comparable
-and within what tolerance.
+:func:`execute_fluid_run` is the engine registered as ``"fluid"`` in
+:mod:`repro.spec.backends`: it takes a :class:`repro.spec.RunSpec` and
+returns the same :class:`~repro.experiments.runner.SingleFlowResult`
+dataclass as the packet engine, so renderers, sweeps, parallel batches and
+JSON persistence work identically on both backends.  Quantities the fluid
+abstraction does not model (RTO timeouts, per-segment retransmission
+detail) are reported as zero; the cross-validation harness
+(:mod:`repro.fluid.validate`) documents which fields are comparable and
+within what tolerance.
+
+The fluid traces are sampled once per round trip — the model's native
+resolution.  A spec that requests an explicit ``trace_interval`` therefore
+triggers a :class:`UserWarning` (the value cannot be honoured); leave it at
+``None`` or resample the returned per-RTT series.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..core.config import RestrictedSlowStartConfig
-from ..errors import ExperimentError
+from ..spec import RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
 from .model import FluidFlowModel, FluidRunResult, fluid_growth_rule
 
-__all__ = ["run_single_flow_fluid", "FLUID_BACKEND"]
+__all__ = ["run_single_flow_fluid", "execute_fluid_run", "FLUID_BACKEND"]
 
 #: Backend name used throughout the experiment harness.
 FLUID_BACKEND = "fluid"
 
 
-def run_single_flow_fluid(
-    cc: str = "reno",
-    config: PathConfig | None = None,
-    duration: float = 25.0,
-    seed: int = 1,
-    total_bytes: int | None = None,
-    cc_kwargs: dict | None = None,
-    rss_config: RestrictedSlowStartConfig | None = None,
-    local_congestion_policy: LocalCongestionPolicy | None = None,
-    trace_interval: float = 0.05,
-    run_past_duration_until_complete: bool = False,
-):
-    """Fluid-model equivalent of :func:`repro.experiments.runner.run_single_flow`.
-
-    ``trace_interval`` is accepted for signature parity; the fluid series
-    are sampled once per round trip (the model's native resolution).
-    """
+def execute_fluid_run(spec: RunSpec):
+    """Run one bulk transfer on the per-RTT fluid model."""
     from ..experiments.runner import FlowResult, SingleFlowResult
 
-    if duration <= 0:
-        raise ExperimentError("duration must be positive")
-    cfg = config if config is not None else PathConfig()
-    options = cfg.tcp_options()
-    if local_congestion_policy is not None:
-        options = options.replace(local_congestion_policy=local_congestion_policy)
+    if spec.trace_interval is not None:
+        warnings.warn(
+            "the fluid backend samples its traces once per round trip; "
+            f"trace_interval={spec.trace_interval!r} cannot be honoured and "
+            "is ignored — leave trace_interval=None (the default) or "
+            "resample the returned per-RTT series",
+            UserWarning, stacklevel=3)
 
-    rule = fluid_growth_rule(cc, cfg, cc_kwargs=cc_kwargs, rss_config=rss_config)
-    model = FluidFlowModel(cfg, rule, options=options, seed=seed,
-                           total_bytes=total_bytes)
+    cfg = spec.config
+    options = cfg.tcp_options()
+    if spec.local_congestion_policy is not None:
+        options = options.replace(local_congestion_policy=spec.local_congestion_policy)
+
+    rule = fluid_growth_rule(spec.cc, cfg, cc_kwargs=spec.cc_kwargs or None,
+                             rss_config=spec.rss_config)
+    model = FluidFlowModel(cfg, rule, options=options, seed=spec.seed,
+                           total_bytes=spec.total_bytes)
     raw: FluidRunResult = model.run(
-        duration, run_past_duration_until_complete=run_past_duration_until_complete)
+        spec.duration,
+        run_past_duration_until_complete=spec.run_past_duration_until_complete)
 
     flow = FlowResult(
         name="flow0",
-        algorithm=cc,
+        algorithm=spec.cc,
         duration=raw.duration,
         bytes_acked=raw.bytes_acked,
         goodput_bps=raw.goodput_bps,
@@ -90,7 +91,7 @@ def run_single_flow_fluid(
     return SingleFlowResult(
         config=cfg,
         duration=raw.duration,
-        seed=seed,
+        seed=spec.seed,
         flow=flow,
         ifq_times=np.asarray(raw.times, dtype=float),
         ifq_occupancy=np.asarray(raw.ifq_occupancy, dtype=float),
@@ -107,3 +108,40 @@ def run_single_flow_fluid(
         events_processed=raw.steps,
         backend=FLUID_BACKEND,
     )
+
+
+def run_single_flow_fluid(
+    cc: str = "reno",
+    config: PathConfig | None = None,
+    duration: float = 25.0,
+    seed: int = 1,
+    total_bytes: int | None = None,
+    cc_kwargs: dict | None = None,
+    rss_config: RestrictedSlowStartConfig | None = None,
+    local_congestion_policy: LocalCongestionPolicy | None = None,
+    trace_interval: float | None = None,
+    run_past_duration_until_complete: bool = False,
+):
+    """Fluid-model equivalent of :func:`repro.experiments.runner.run_single_flow`.
+
+    .. deprecated::
+        Thin wrapper over ``execute(RunSpec(..., backend="fluid"))``.
+
+    ``trace_interval=None`` (the default) samples once per round trip — the
+    model's native resolution; an explicit value triggers a ``UserWarning``
+    because the fluid series cannot honour it.
+    """
+    spec = RunSpec(
+        cc=cc,
+        config=config if config is not None else PathConfig(),
+        duration=duration,
+        seed=seed,
+        total_bytes=total_bytes,
+        cc_kwargs=dict(cc_kwargs) if cc_kwargs else {},
+        rss_config=rss_config,
+        local_congestion_policy=local_congestion_policy,
+        trace_interval=trace_interval,
+        run_past_duration_until_complete=run_past_duration_until_complete,
+        backend=FLUID_BACKEND,
+    )
+    return execute(spec)

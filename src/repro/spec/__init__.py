@@ -1,0 +1,53 @@
+"""Declarative spec layer — one serializable object per kind of run.
+
+Quickstart::
+
+    from repro.spec import RunSpec, execute
+
+    spec = RunSpec(cc="restricted", duration=25.0, backend="fluid")
+    result = execute(spec)                  # SingleFlowResult
+    text = spec.to_json()                   # JSON round-trip...
+    clone = repro.spec.spec_from_json(text)
+    assert clone == spec and clone.cache_key() == spec.cache_key()
+
+See the README's "Spec API" section for the JSON schema, the migration
+table from the legacy keyword signatures, and the deprecation policy.
+"""
+
+from .backends import (
+    available_backends,
+    backend_runner,
+    ensure_backend,
+    register_backend,
+)
+from .execute import execute
+from .specs import (
+    SPEC_KINDS,
+    ComparisonSpec,
+    MultiFlowSpec,
+    RunSpec,
+    SpecBase,
+    SweepSpec,
+    dump_spec,
+    load_spec,
+    spec_from_dict,
+    spec_from_json,
+)
+
+__all__ = [
+    "SpecBase",
+    "RunSpec",
+    "ComparisonSpec",
+    "MultiFlowSpec",
+    "SweepSpec",
+    "SPEC_KINDS",
+    "spec_from_dict",
+    "spec_from_json",
+    "load_spec",
+    "dump_spec",
+    "execute",
+    "register_backend",
+    "ensure_backend",
+    "backend_runner",
+    "available_backends",
+]

@@ -1,0 +1,86 @@
+"""Backend registry — named engines that execute a :class:`RunSpec`.
+
+A backend is a callable ``runner(spec: RunSpec) -> SingleFlowResult``.  The
+experiment harness dispatches every single-flow run through this registry
+instead of ``if backend == ...`` branches, so new engines (a batched
+vectorised model, a remote executor, ...) plug in with one
+:func:`register_backend` call.
+
+The two built-in engines register lazily: looking up ``"packet"`` or
+``"fluid"`` imports the corresponding module only on first use, which keeps
+spec construction and validation import-light.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "register_backend",
+    "ensure_backend",
+    "backend_runner",
+    "available_backends",
+]
+
+#: name -> zero-argument loader returning the runner callable.
+_LOADERS: dict[str, Callable[[], Callable]] = {}
+#: name -> resolved runner callable (loader results are cached here).
+_RUNNERS: dict[str, Callable] = {}
+
+
+def register_backend(name: str, runner: Callable | None = None, *,
+                     loader: Callable[[], Callable] | None = None) -> None:
+    """Register engine ``name``.
+
+    Pass either ``runner`` (the callable itself) or ``loader`` (a
+    zero-argument callable returning it, resolved lazily on first use).
+    Re-registering a name replaces the previous engine.
+    """
+    if (runner is None) == (loader is None):
+        raise ExperimentError(
+            "register_backend needs exactly one of runner= or loader=")
+    _RUNNERS.pop(name, None)
+    if runner is not None:
+        _RUNNERS[name] = runner
+        _LOADERS[name] = lambda: runner
+    else:
+        _LOADERS[name] = loader
+
+
+def available_backends() -> list[str]:
+    """Registered engine names, sorted."""
+    return sorted(_LOADERS)
+
+
+def ensure_backend(name: str) -> None:
+    """Raise :class:`ExperimentError` unless ``name`` is registered."""
+    if name not in _LOADERS:
+        raise ExperimentError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends())}")
+
+
+def backend_runner(name: str) -> Callable:
+    """The runner callable for engine ``name`` (resolving its loader)."""
+    ensure_backend(name)
+    if name not in _RUNNERS:
+        _RUNNERS[name] = _LOADERS[name]()
+    return _RUNNERS[name]
+
+
+def _load_packet() -> Callable:
+    from ..experiments.runner import execute_packet_run
+
+    return execute_packet_run
+
+
+def _load_fluid() -> Callable:
+    from ..fluid.backend import execute_fluid_run
+
+    return execute_fluid_run
+
+
+register_backend("packet", loader=_load_packet)
+register_backend("fluid", loader=_load_fluid)

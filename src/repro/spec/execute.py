@@ -1,0 +1,72 @@
+"""The single entry point that runs any declarative spec.
+
+:func:`execute` dispatches on the spec's type: a :class:`RunSpec` goes
+straight to its registered backend, the composite specs fan out into
+:class:`RunSpec` derivations (optionally across a process pool via
+``max_workers``).  Every result carries its originating spec on a ``spec``
+attribute — the provenance record that result persistence and cache keying
+build on.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .backends import backend_runner
+from .specs import ComparisonSpec, MultiFlowSpec, RunSpec, SpecBase, SweepSpec
+
+__all__ = ["execute"]
+
+
+def execute(spec: SpecBase, *, max_workers: int | None = None):
+    """Run ``spec`` and return its result.
+
+    * :class:`RunSpec` → ``SingleFlowResult`` (via the backend registry);
+    * :class:`ComparisonSpec` → ``ComparisonResult``;
+    * :class:`MultiFlowSpec` → ``MultiFlowResult``;
+    * :class:`SweepSpec` → ``SweepResult``.
+
+    ``max_workers`` controls process fan-out for the composite specs
+    (``None`` picks a conservative default, 0/1 run serially in-process);
+    workers pickle exactly one spec each.
+    """
+    if isinstance(spec, RunSpec):
+        return _execute_run(spec)
+    if isinstance(spec, ComparisonSpec):
+        return _execute_comparison(spec, max_workers=max_workers)
+    if isinstance(spec, MultiFlowSpec):
+        from ..experiments.runner import execute_multi_flow_spec
+
+        result = execute_multi_flow_spec(spec)
+        result.spec = spec
+        return result
+    if isinstance(spec, SweepSpec):
+        from ..experiments.sweeps import execute_sweep_spec
+
+        result = execute_sweep_spec(spec, max_workers=max_workers)
+        result.spec = spec
+        return result
+    raise ExperimentError(
+        f"cannot execute {type(spec).__name__}; expected one of "
+        "RunSpec, ComparisonSpec, MultiFlowSpec, SweepSpec")
+
+
+def _execute_run(spec: RunSpec):
+    result = backend_runner(spec.backend)(spec)
+    result.spec = spec
+    return result
+
+
+def _execute_comparison(spec: ComparisonSpec, *, max_workers: int | None = None):
+    from ..experiments.runner import ComparisonResult
+
+    run_specs = spec.run_specs()
+    if max_workers is not None and max_workers > 1 and len(run_specs) > 1:
+        from ..experiments.parallel import map_specs
+
+        results = map_specs(list(run_specs.values()), max_workers=max_workers)
+        runs = dict(zip(run_specs, results))
+    else:
+        runs = {cc: _execute_run(run_spec) for cc, run_spec in run_specs.items()}
+    result = ComparisonResult(baseline=spec.baseline, runs=runs)
+    result.spec = spec
+    return result

@@ -1,0 +1,668 @@
+"""Declarative, serializable run specifications.
+
+One frozen dataclass per kind of experiment run, each fully described by
+plain data: a :class:`RunSpec` is *the* unit of dispatch (which engine),
+serialization (``to_dict``/``from_dict`` round-trip through JSON), caching
+(:meth:`SpecBase.cache_key`) and process fan-out (specs pickle cleanly, so
+workers receive exactly one spec instead of ad-hoc kwarg tuples).
+
+The four kinds:
+
+* :class:`RunSpec` — one bulk transfer (algorithm, path, duration, seed,
+  transfer size, controller configuration, backend);
+* :class:`ComparisonSpec` — the same single-flow workload under several
+  algorithms with identical seeds (paired comparison);
+* :class:`MultiFlowSpec` — N concurrent flows sharing the bottleneck;
+* :class:`SweepSpec` — a :class:`RunSpec` grid varying one (possibly
+  dotted) field, e.g. ``"config.ifq_capacity_packets"`` or
+  ``"rss_config.setpoint_fraction"``.
+
+Every spec executes through :func:`repro.spec.execute`; none of the classes
+here import the engines, so building and serializing specs stays cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from ..control.pid import PIDGains
+from ..core.config import RestrictedSlowStartConfig, default_gains
+from ..errors import ExperimentError
+from ..tcp.state import LocalCongestionPolicy
+from ..workloads.bulk import BulkFlowSpec
+from ..workloads.scenarios import PathConfig
+
+__all__ = [
+    "SpecBase",
+    "RunSpec",
+    "ComparisonSpec",
+    "MultiFlowSpec",
+    "SweepSpec",
+    "SPEC_KINDS",
+    "spec_from_dict",
+    "spec_from_json",
+    "load_spec",
+    "dump_spec",
+]
+
+#: Maps the ``kind`` discriminator in a spec document to its dataclass.
+SPEC_KINDS: dict[str, type["SpecBase"]] = {}
+
+
+# ---------------------------------------------------------------------------
+# encoding / decoding helpers
+# ---------------------------------------------------------------------------
+
+def _encode(value: Any) -> Any:
+    """Recursively convert a spec (or one of its fields) into plain data."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, SpecBase):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode(v) for v in value]
+    return value
+
+
+def _checked(cls: type, data: dict) -> dict:
+    """Strip the ``kind`` tag and reject unknown field names loudly."""
+    data = {k: v for k, v in data.items() if k != "kind"}
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ExperimentError(
+            f"unknown {cls.__name__} field(s) in spec document: {unknown}; "
+            f"known fields: {sorted(known)}")
+    return data
+
+
+def _construct(cls: type, data: dict) -> Any:
+    """Build a nested config dataclass, rejecting unknown fields loudly."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ExperimentError(
+            f"unknown {cls.__name__} field(s) in spec document: {unknown}; "
+            f"known fields: {sorted(known)}")
+    return cls(**data)
+
+
+def _decode_path_config(data: dict | None) -> PathConfig:
+    return _construct(PathConfig, data) if data else PathConfig()
+
+
+def _decode_rss(data: dict | None) -> RestrictedSlowStartConfig | None:
+    if data is None:
+        return None
+    gains = data.get("gains")
+    return _construct(RestrictedSlowStartConfig, {
+        **data, "gains": _construct(PIDGains, gains) if gains is not None else None})
+
+
+def _decode_policy(value: str | None) -> LocalCongestionPolicy | None:
+    if value is None:
+        return None
+    try:
+        return LocalCongestionPolicy(value)
+    except ValueError:
+        raise ExperimentError(
+            f"unknown local_congestion_policy {value!r}; known: "
+            f"{[p.value for p in LocalCongestionPolicy]}") from None
+
+
+def _decode_flow(data: dict) -> BulkFlowSpec:
+    return _construct(BulkFlowSpec,
+                      {**data, "cc_kwargs": dict(data.get("cc_kwargs") or {})})
+
+
+def _canonical_numbers(value: Any) -> Any:
+    """Map integral floats to ints so equal specs serialise identically."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, dict):
+        return {k: _canonical_numbers(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_canonical_numbers(v) for v in value]
+    return value
+
+
+def _set_dotted(obj: Any, parameter: str, value: Any, *, root: str) -> Any:
+    """Return a copy of a (nested) dataclass with the dotted field replaced."""
+    head, _, rest = parameter.partition(".")
+    names = {f.name for f in dataclasses.fields(obj)}
+    if head not in names:
+        raise ExperimentError(
+            f"{type(obj).__name__} has no field {head!r} (sweeping {root!r}); "
+            f"known fields: {sorted(names)}")
+    if not rest:
+        return dataclasses.replace(obj, **{head: value})
+    nested = getattr(obj, head)
+    if nested is None or not dataclasses.is_dataclass(nested):
+        raise ExperimentError(
+            f"cannot sweep {root!r}: field {head!r} is {nested!r}; "
+            "set it on the base spec first")
+    return dataclasses.replace(obj, **{head: _set_dotted(nested, rest, value, root=root)})
+
+
+# ---------------------------------------------------------------------------
+# base class
+# ---------------------------------------------------------------------------
+
+class SpecBase:
+    """Shared behaviour of the declarative spec dataclasses.
+
+    Subclasses are frozen dataclasses with a ``kind`` class attribute that
+    registers them in :data:`SPEC_KINDS` (the ``from_dict`` dispatch table).
+    """
+
+    kind: ClassVar[str] = ""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            SPEC_KINDS[cls.kind] = cls
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data document (JSON-serialisable, ``kind``-tagged)."""
+        return {"kind": self.kind,
+                **{f.name: _encode(getattr(self, f.name))
+                   for f in dataclasses.fields(self)}}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def cache_key(self) -> str:
+        """Stable content hash — the key for spec-keyed result caching.
+
+        Equal specs hash equally: integral floats are canonicalised to
+        ints first, so ``RunSpec(duration=2)`` and ``RunSpec(duration=2.0)``
+        (which compare equal) share one key.
+        """
+        canonical = json.dumps(_canonical_numbers(self.to_dict()),
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- uniform overrides ----------------------------------------------
+    def replace(self, **changes) -> "SpecBase":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def path_config(self) -> PathConfig:
+        raise NotImplementedError
+
+    @property
+    def backend(self) -> str:
+        raise NotImplementedError
+
+    def with_backend(self, backend: str) -> "SpecBase":
+        raise NotImplementedError
+
+    def with_config(self, config: PathConfig) -> "SpecBase":
+        raise NotImplementedError
+
+    def with_duration(self, duration: float) -> "SpecBase":
+        raise NotImplementedError
+
+    def with_seed(self, seed: int) -> "SpecBase":
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec(SpecBase):
+    """One bulk transfer — the atomic, backend-dispatchable unit of work.
+
+    Attributes
+    ----------
+    cc:
+        Congestion-control registry name ("reno", "restricted", ...).
+    config:
+        Path parameters; defaults to the paper's ANL–LBNL path.
+    duration:
+        Simulated seconds (the paper's Figure 1 covers 25 s).
+    seed:
+        Master seed for the simulator's random streams.
+    total_bytes:
+        Finite transfer size, or ``None`` for a duration-filling transfer.
+    cc_kwargs:
+        Extra keyword arguments for the algorithm factory.
+    rss_config:
+        Explicit controller configuration for ``cc="restricted"``.
+    local_congestion_policy:
+        Override of the stack's send-stall reaction (accepts the enum or
+        its string value, e.g. ``"ignore"``).
+    trace_interval:
+        Sampling period of the IFQ / cwnd / goodput traces; ``None`` picks
+        the backend's native resolution (0.05 s on the packet engine, one
+        sample per round trip on the fluid engine).
+    run_past_duration_until_complete:
+        With a finite ``total_bytes``, keep simulating (up to 10× duration)
+        until the transfer completes.
+    backend:
+        Registered engine name (see :mod:`repro.spec.backends`); validated
+        eagerly so an unknown backend fails before any simulation work.
+    """
+
+    kind: ClassVar[str] = "run"
+
+    cc: str = "reno"
+    config: PathConfig = field(default_factory=PathConfig)
+    duration: float = 25.0
+    seed: int = 1
+    total_bytes: int | None = None
+    cc_kwargs: dict = field(default_factory=dict)
+    rss_config: RestrictedSlowStartConfig | None = None
+    local_congestion_policy: LocalCongestionPolicy | None = None
+    trace_interval: float | None = None
+    run_past_duration_until_complete: bool = False
+    backend: str = "packet"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ExperimentError("duration must be positive")
+        if isinstance(self.local_congestion_policy, str):
+            object.__setattr__(self, "local_congestion_policy",
+                               LocalCongestionPolicy(self.local_congestion_policy))
+        from .backends import ensure_backend
+
+        ensure_backend(self.backend)
+
+    # -- overrides -------------------------------------------------------
+    @property
+    def path_config(self) -> PathConfig:
+        return self.config
+
+    def with_backend(self, backend: str) -> "RunSpec":
+        return self.replace(backend=backend)
+
+    def with_config(self, config: PathConfig) -> "RunSpec":
+        return self.replace(config=config)
+
+    def with_duration(self, duration: float) -> "RunSpec":
+        return self.replace(duration=duration)
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        return self.replace(seed=seed)
+
+    def varied(self, parameter: str, value: Any) -> "RunSpec":
+        """Copy with the (possibly dotted) ``parameter`` set to ``value``.
+
+        ``parameter`` names a :class:`RunSpec` field (``"total_bytes"``) or
+        a nested config field (``"config.rtt"``,
+        ``"rss_config.setpoint_fraction"``).  Nested targets must exist on
+        the base spec; replacements revalidate through ``__post_init__``.
+        """
+        return _set_dotted(self, parameter, value, root=parameter)
+
+    # -- serialization ---------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "RunSpec":
+        """Build a spec from the legacy ``run_single_flow`` keywords.
+
+        ``None`` for ``config``/``cc_kwargs`` means "use the default"
+        (matching the old signatures); unknown keywords raise
+        :class:`ExperimentError` naming the valid fields.
+        """
+        for key in ("config", "cc_kwargs"):
+            if kwargs.get(key) is None:
+                kwargs.pop(key, None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown run keyword(s) {unknown}; valid keywords are the "
+                f"RunSpec fields: {sorted(known)}")
+        return cls(**kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        data = _checked(cls, data)
+        return cls(
+            cc=data.get("cc", "reno"),
+            config=_decode_path_config(data.get("config")),
+            duration=data.get("duration", 25.0),
+            seed=data.get("seed", 1),
+            total_bytes=data.get("total_bytes"),
+            cc_kwargs=dict(data.get("cc_kwargs") or {}),
+            rss_config=_decode_rss(data.get("rss_config")),
+            local_congestion_policy=_decode_policy(data.get("local_congestion_policy")),
+            trace_interval=data.get("trace_interval"),
+            run_past_duration_until_complete=data.get(
+                "run_past_duration_until_complete", False),
+            backend=data.get("backend", "packet"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# ComparisonSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ComparisonSpec(SpecBase):
+    """The same single-flow workload under several algorithms (paired seeds)."""
+
+    kind: ClassVar[str] = "comparison"
+
+    base: RunSpec = field(default_factory=RunSpec)
+    algorithms: tuple[str, ...] = ("reno", "restricted")
+    baseline: str = "reno"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        if not self.algorithms:
+            raise ExperimentError("at least one algorithm is required")
+        if self.baseline not in self.algorithms:
+            raise ExperimentError(
+                f"baseline {self.baseline!r} must be one of {list(self.algorithms)}")
+
+    def run_specs(self) -> dict[str, RunSpec]:
+        """The per-algorithm :class:`RunSpec` derivations, in tuple order."""
+        return {cc: self.base.replace(cc=cc) for cc in self.algorithms}
+
+    # -- overrides -------------------------------------------------------
+    @property
+    def path_config(self) -> PathConfig:
+        return self.base.config
+
+    @property
+    def backend(self) -> str:
+        return self.base.backend
+
+    def with_backend(self, backend: str) -> "ComparisonSpec":
+        return self.replace(base=self.base.with_backend(backend))
+
+    def with_config(self, config: PathConfig) -> "ComparisonSpec":
+        return self.replace(base=self.base.with_config(config))
+
+    def with_duration(self, duration: float) -> "ComparisonSpec":
+        return self.replace(base=self.base.with_duration(duration))
+
+    def with_seed(self, seed: int) -> "ComparisonSpec":
+        return self.replace(base=self.base.with_seed(seed))
+
+    # -- serialization ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "ComparisonSpec":
+        data = _checked(cls, data)
+        return cls(
+            base=RunSpec.from_dict(data.get("base") or {}),
+            algorithms=tuple(data.get("algorithms", ("reno", "restricted"))),
+            baseline=data.get("baseline", "reno"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# MultiFlowSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MultiFlowSpec(SpecBase):
+    """N concurrent bulk flows over one bottleneck (fairness experiments).
+
+    ``shared_paths=False`` gives every flow its own sender/receiver pair
+    (the usual dumbbell); ``True`` puts all flows on the first pair so they
+    also share the sending host's IFQ.
+    """
+
+    kind: ClassVar[str] = "multi_flow"
+
+    flows: tuple[BulkFlowSpec, ...] = ()
+    config: PathConfig = field(default_factory=PathConfig)
+    duration: float = 25.0
+    seed: int = 1
+    shared_paths: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "flows", tuple(self.flows))
+        if not self.flows:
+            raise ExperimentError("at least one flow spec is required")
+        if self.duration <= 0:
+            raise ExperimentError("duration must be positive")
+
+    # -- overrides -------------------------------------------------------
+    @property
+    def path_config(self) -> PathConfig:
+        return self.config
+
+    @property
+    def backend(self) -> str:
+        return "packet"
+
+    def with_backend(self, backend: str) -> "MultiFlowSpec":
+        if backend != "packet":
+            raise ExperimentError(
+                f"multi-flow runs are packet-only (got backend {backend!r}); "
+                "a multi-flow fluid model is on the roadmap")
+        return self
+
+    def with_config(self, config: PathConfig) -> "MultiFlowSpec":
+        return self.replace(config=config)
+
+    def with_duration(self, duration: float) -> "MultiFlowSpec":
+        return self.replace(duration=duration)
+
+    def with_seed(self, seed: int) -> "MultiFlowSpec":
+        return self.replace(seed=seed)
+
+    # -- serialization ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "MultiFlowSpec":
+        data = _checked(cls, data)
+        return cls(
+            flows=tuple(_decode_flow(f) for f in data.get("flows", ())),
+            config=_decode_path_config(data.get("config")),
+            duration=data.get("duration", 25.0),
+            seed=data.get("seed", 1),
+            shared_paths=data.get("shared_paths", False),
+        )
+
+
+# ---------------------------------------------------------------------------
+# SweepSpec
+# ---------------------------------------------------------------------------
+
+#: Row layouts an executed sweep can report (see ``execute_sweep_spec``):
+#: ``comparison`` pairs goodput/stall/retransmission columns per algorithm,
+#: ``single`` adds the IFQ peak/drop columns of a one-algorithm sweep, and
+#: ``completion`` reports completion times plus the reno/restricted speedup.
+ROW_STYLES = ("comparison", "single", "completion")
+
+
+@dataclass(frozen=True)
+class SweepSpec(SpecBase):
+    """A grid of :class:`RunSpec` derivations varying one named field.
+
+    Attributes
+    ----------
+    name:
+        Sweep identifier carried into the resulting ``SweepResult``.
+    parameter:
+        Dotted :class:`RunSpec` field path varied across the grid, e.g.
+        ``"config.ifq_capacity_packets"`` or ``"rss_config.setpoint_fraction"``.
+    values:
+        Reported per-point values (the sweep table's parameter column).
+    base:
+        Template every grid point derives from (carries path, duration,
+        seed and backend).
+    algorithms:
+        Algorithms compared at every point.
+    field_values:
+        Actual values written into the varied field when they differ from
+        the reported ``values`` (e.g. Mbit/s reported, bit/s applied);
+        ``None`` applies ``values`` verbatim.
+    parameter_label:
+        Row key for the parameter column; defaults to the last component
+        of ``parameter``.
+    row_style:
+        One of :data:`ROW_STYLES`.
+    retune_rss:
+        Re-derive the restricted controller's gains from each point's
+        ``config.rtt`` (the tuning procedure scales with the feedback
+        delay), preserving every other ``rss_config`` field.
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    name: str = "sweep"
+    parameter: str = "config.ifq_capacity_packets"
+    values: tuple = ()
+    base: RunSpec = field(default_factory=RunSpec)
+    algorithms: tuple[str, ...] = ("reno", "restricted")
+    field_values: tuple | None = None
+    parameter_label: str | None = None
+    row_style: str = "comparison"
+    retune_rss: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        if self.field_values is not None:
+            object.__setattr__(self, "field_values", tuple(self.field_values))
+            if len(self.field_values) != len(self.values):
+                raise ExperimentError("field_values must match values one-to-one")
+        if not self.parameter:
+            raise ExperimentError("parameter must name a RunSpec field")
+        if not self.algorithms:
+            raise ExperimentError("at least one algorithm is required")
+        if self.row_style not in ROW_STYLES:
+            raise ExperimentError(
+                f"unknown row_style {self.row_style!r}; choose one of {ROW_STYLES}")
+        if self.row_style == "single" and len(self.algorithms) != 1:
+            # its unprefixed ifq_peak/ifq_drops columns cannot attribute
+            # more than one algorithm
+            raise ExperimentError(
+                "row_style 'single' requires exactly one algorithm "
+                f"(got {list(self.algorithms)})")
+
+    @property
+    def row_key(self) -> str:
+        """Key of the parameter column in the sweep's rows."""
+        return self.parameter_label or self.parameter.rsplit(".", 1)[-1]
+
+    def point_specs(self) -> list[tuple[Any, dict[str, RunSpec]]]:
+        """Per grid point: ``(reported value, {algorithm: RunSpec})``."""
+        points: list[tuple[Any, dict[str, RunSpec]]] = []
+        applied = self.field_values if self.field_values is not None else self.values
+        for value, applied_value in zip(self.values, applied):
+            by_algo: dict[str, RunSpec] = {}
+            for algo in self.algorithms:
+                spec = self.base.varied(self.parameter, applied_value).replace(cc=algo)
+                if self.retune_rss and algo == "restricted":
+                    rss = (spec.rss_config if spec.rss_config is not None
+                           else RestrictedSlowStartConfig())
+                    spec = spec.replace(rss_config=rss.replace(
+                        gains=default_gains(rtt=spec.config.rtt)))
+                by_algo[algo] = spec
+            points.append((value, by_algo))
+        return points
+
+    # -- overrides -------------------------------------------------------
+    @property
+    def path_config(self) -> PathConfig:
+        return self.base.config
+
+    @property
+    def backend(self) -> str:
+        return self.base.backend
+
+    def with_backend(self, backend: str) -> "SweepSpec":
+        return self.replace(base=self.base.with_backend(backend))
+
+    def with_config(self, config: PathConfig) -> "SweepSpec":
+        return self.replace(base=self.base.with_config(config))
+
+    def with_duration(self, duration: float) -> "SweepSpec":
+        return self.replace(base=self.base.with_duration(duration))
+
+    def with_seed(self, seed: int) -> "SweepSpec":
+        return self.replace(base=self.base.with_seed(seed))
+
+    # -- serialization ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        data = _checked(cls, data)
+        field_values = data.get("field_values")
+        return cls(
+            name=data.get("name", "sweep"),
+            parameter=data.get("parameter", "config.ifq_capacity_packets"),
+            values=tuple(data.get("values", ())),
+            base=RunSpec.from_dict(data.get("base") or {}),
+            algorithms=tuple(data.get("algorithms", ("reno", "restricted"))),
+            field_values=tuple(field_values) if field_values is not None else None,
+            parameter_label=data.get("parameter_label"),
+            row_style=data.get("row_style", "comparison"),
+            retune_rss=data.get("retune_rss", False),
+        )
+
+
+# ---------------------------------------------------------------------------
+# document-level helpers
+# ---------------------------------------------------------------------------
+
+def spec_from_dict(data: Any) -> SpecBase:
+    """Rebuild a spec from its ``to_dict`` document (dispatch on ``kind``)."""
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ExperimentError(
+            "a spec document must be a JSON object with a 'kind' entry")
+    kind = data["kind"]
+    try:
+        cls = SPEC_KINDS[kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown spec kind {kind!r}; known kinds: {sorted(SPEC_KINDS)}"
+        ) from None
+    return cls.from_dict(data)
+
+
+def spec_from_json(text: str) -> SpecBase:
+    """Rebuild a spec from its JSON text."""
+    try:
+        return spec_from_dict(json.loads(text))
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"corrupt spec document: {exc}") from exc
+
+
+def load_spec(path: str | pathlib.Path) -> SpecBase:
+    """Load a spec from a JSON file.
+
+    Accepts both a bare spec document (``repro spec dump``) and a saved
+    result document (``repro run -o``), whose embedded ``"spec"`` entry is
+    the run's provenance.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no spec file at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"corrupt spec file {path}: {exc}") from exc
+    if isinstance(document, dict) and "payload" in document:
+        document = document.get("spec")
+        if document is None:
+            raise ExperimentError(
+                f"{path} is a saved result without an embedded spec")
+    return spec_from_dict(document)
+
+
+def dump_spec(spec: SpecBase, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a spec's JSON document to ``path``.  Returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(spec.to_json() + "\n")
+    return path

@@ -1,0 +1,112 @@
+"""Registry consistency: every entry's derived spec actually runs.
+
+Replaces the old kwarg-shim assumptions (``config_kwarg``/``duration_kwarg``
+string indirection) with direct checks on the declarative specs: each
+spec-carrying experiment runs under both backends on a small grid, the
+fluid variants are literal ``with_backend("fluid")`` derivations, and the
+legacy runners (E7..E9) keep the uniform keyword surface the registry's
+``run()`` relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.sweeps import SweepResult
+from repro.spec import SweepSpec, execute, spec_from_json
+from repro.testing import SMALL_PATH
+
+SPEC_IDS = [entry.experiment_id for entry in all_experiments()
+            if entry.spec is not None and entry.base_id is None]
+LEGACY_IDS = [entry.experiment_id for entry in all_experiments()
+              if entry.spec is None]
+
+
+def _shrunk(spec):
+    """Scale a registry spec down to a fast two-point grid on SMALL_PATH."""
+    spec = spec.with_config(SMALL_PATH).with_duration(1.5).with_seed(2)
+    if isinstance(spec, SweepSpec):
+        field_values = (spec.field_values[:2]
+                        if spec.field_values is not None else None)
+        spec = spec.replace(values=spec.values[:2], field_values=field_values)
+    return spec
+
+
+class TestSpecEntries:
+    @pytest.mark.parametrize("experiment_id", SPEC_IDS)
+    def test_runs_under_both_backends(self, experiment_id):
+        entry = get_experiment(experiment_id)
+        for backend in ("packet", "fluid"):
+            spec = _shrunk(entry.spec).with_backend(backend)
+            result = execute(spec, max_workers=1)
+            if isinstance(spec, SweepSpec):
+                assert isinstance(result, SweepResult)
+                assert len(result.rows) == len(spec.values)
+                assert all(spec.row_key in row for row in result.rows)
+            else:
+                assert set(result.runs) == set(spec.algorithms)
+                for run in result.runs.values():
+                    assert run.backend == backend
+                    assert run.flow.bytes_acked > 0
+            assert result.spec == spec
+
+    @pytest.mark.parametrize("experiment_id", SPEC_IDS)
+    def test_spec_round_trips(self, experiment_id):
+        entry = get_experiment(experiment_id)
+        clone = spec_from_json(entry.spec.to_json())
+        assert clone == entry.spec
+        assert clone.cache_key() == entry.spec.cache_key()
+
+    def test_run_applies_uniform_overrides(self):
+        result = get_experiment("E2").run(config=SMALL_PATH, duration=1.5,
+                                          seed=2, backend="fluid")
+        assert result.duration == 1.5
+        assert result.comparison.runs["reno"].backend == "fluid"
+
+    def test_run_rejects_unknown_overrides(self):
+        with pytest.raises(ExperimentError, match="unknown override"):
+            get_experiment("E3").run(config=SMALL_PATH, warp=9)
+
+    def test_pinned_variant_rejects_other_backend(self):
+        with pytest.raises(ExperimentError, match="pinned"):
+            get_experiment("E2F").run(config=SMALL_PATH, duration=1.0,
+                                      backend="packet")
+
+
+class TestLegacyEntries:
+    def test_legacy_runners_keep_uniform_keywords(self):
+        for experiment_id in LEGACY_IDS:
+            entry = get_experiment(experiment_id)
+            parameters = inspect.signature(entry.runner).parameters
+            assert {"config", "duration", "seed"} <= set(parameters), experiment_id
+
+    def test_legacy_entries_reject_backend_selection(self):
+        for experiment_id in LEGACY_IDS:
+            with pytest.raises(ExperimentError, match="packet engine only"):
+                get_experiment(experiment_id).run(backend="fluid")
+
+    def test_legacy_run_forwards_overrides(self):
+        result = get_experiment("E8").run(
+            config=SMALL_PATH, duration=1.5, seed=2,
+            algorithms=("reno", "restricted"), max_workers=None)
+        assert len(result.rows) == 2
+
+
+class TestShimRemoval:
+    def test_kwarg_shims_are_gone(self):
+        stored = {f.name for f in dataclasses.fields(ExperimentSpec)}
+        assert {"config_kwarg", "duration_kwarg",
+                "backend_aware", "pinned_backend"}.isdisjoint(stored)
+        entry = get_experiment("E3")
+        assert not hasattr(entry, "config_kwarg")
+        assert not hasattr(entry, "duration_kwarg")
+
+    def test_every_entry_has_spec_or_runner(self):
+        for entry in all_experiments():
+            assert (entry.spec is None) != (entry.runner is None)

@@ -88,13 +88,20 @@ class TestRegistryVariants:
 
     def test_fluid_variant_runs_fast_path(self):
         spec = get_experiment("E2F")
-        result = spec.runner(config=SMALL_PATH, duration=2.0, seed=2)
+        result = spec.run(config=SMALL_PATH, duration=2.0, seed=2)
         assert result.comparison.runs["reno"].backend == "fluid"
 
     def test_backend_aware_flags(self):
         assert EXPERIMENTS["E2"].backend_aware
         assert not EXPERIMENTS["E7"].backend_aware
         assert not EXPERIMENTS["E2F"].backend_aware
+
+    def test_fluid_variants_derive_from_packet_specs(self):
+        for base_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E10"):
+            variant = EXPERIMENTS[f"{base_id}F"]
+            assert variant.spec == EXPERIMENTS[base_id].spec.with_backend("fluid")
+            assert variant.pinned_backend == "fluid"
+            assert variant.base_id == base_id
 
 
 class TestSerialisation:

@@ -69,6 +69,79 @@ class TestCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestSpecCommands:
+    def test_spec_dump_prints_json(self, capsys):
+        assert main(["spec", "dump", "E3"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "sweep"
+        assert document["base"]["backend"] == "packet"
+        assert document["parameter"] == "config.ifq_capacity_packets"
+
+    def test_spec_dump_fluid_variant_is_pinned(self, capsys):
+        assert main(["spec", "dump", "E2F"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "comparison"
+        assert document["base"]["backend"] == "fluid"
+
+    def test_spec_dump_applies_overrides(self, capsys):
+        assert main(["--rtt-ms", "40", "--seed", "7", "spec", "dump", "E2",
+                     "--duration", "2"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["base"]["config"]["rtt"] == 0.040
+        assert document["base"]["seed"] == 7
+        assert document["base"]["duration"] == 2.0
+
+    def test_spec_dump_legacy_experiment_rejected(self, capsys):
+        assert main(["spec", "dump", "E7"]) == 2
+        assert "no declarative spec" in capsys.readouterr().err
+
+    def test_spec_list_covers_spec_entries(self, capsys):
+        assert main(["spec", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out and "E2F" in out and "cache_key=" in out
+        assert "E7" not in out
+
+    def test_run_spec_file_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "e2f.json"
+        assert main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "spec", "dump", "E2F", "--duration", "2",
+                     "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", str(path)]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_run_spec_reproduces_legacy_output(self, capsys, tmp_path):
+        # `repro run --spec <file>` must match run_single_flow bit-for-bit
+        import numpy as np
+
+        from repro.experiments import run_single_flow
+        from repro.spec import RunSpec, dump_spec, execute, load_spec
+        from repro.testing import SMALL_PATH
+
+        spec = RunSpec(cc="reno", config=SMALL_PATH, duration=1.5, seed=3)
+        path = dump_spec(spec, tmp_path / "run.json")
+        assert main(["run", "--spec", str(path)]) == 0
+        assert "single flow" in capsys.readouterr().out
+        replayed = execute(load_spec(path))
+        legacy = run_single_flow("reno", config=SMALL_PATH, duration=1.5, seed=3)
+        assert replayed.flow.bytes_acked == legacy.flow.bytes_acked
+        assert np.array_equal(replayed.cwnd_segments, legacy.cwnd_segments)
+
+    def test_run_rejects_id_and_spec_together(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"kind": "run", "duration": 1.0}))
+        assert main(["run", "E1", "--spec", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_requires_id_or_spec(self, capsys):
+        assert main(["run"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_run_missing_spec_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "no spec file" in capsys.readouterr().err
+
+
 class TestFluidBackend:
     def test_backend_flag_parses(self):
         args = build_parser().parse_args(["--backend", "fluid", "list"])
