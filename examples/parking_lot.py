@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Parking-lot scenario: one long flow vs per-hop cross traffic.
+
+The paper's dumbbell has a single bottleneck; the classic *parking lot*
+chains several.  One long flow crosses every bottleneck while per-hop cross
+flows each cross exactly one — the canonical set-up for studying how
+multi-bottleneck paths penalise long flows, and a shape the declarative
+scenario API expresses in a few lines where the old hardwired builders
+could not express it at all.
+
+This example declares a 3-bottleneck parking lot with mixed congestion
+controllers, executes it on the packet engine, and prints per-flow goodput
+plus Jain's fairness index.
+
+Usage::
+
+    python examples/parking_lot.py
+    python examples/parking_lot.py --bottlenecks 4 --duration 20
+    python examples/parking_lot.py --long-cc restricted --paper
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import multi_flow_table
+from repro.spec import MultiFlowSpec, execute, parking_lot
+from repro.units import Mbps, format_rate
+from repro.workloads import PathConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bottlenecks", type=int, default=3,
+                        help="number of chained bottleneck links")
+    parser.add_argument("--duration", type=float, default=12.0,
+                        help="simulated seconds")
+    parser.add_argument("--long-cc", default="reno",
+                        help="algorithm of the long (all-bottleneck) flow")
+    parser.add_argument("--cross-ccs", nargs="+",
+                        default=["restricted", "reno", "cubic"],
+                        help="algorithms of the per-hop cross flows "
+                             "(one name, or one per bottleneck)")
+    parser.add_argument("--paper", action="store_true",
+                        help="use the full 100 Mbit/s path (slower)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    config = PathConfig() if args.paper else PathConfig(
+        bottleneck_rate_bps=Mbps(30), rtt=0.05, ifq_capacity_packets=40,
+        router_buffer_packets=300)
+    # cycle the algorithm list over however many bottlenecks were requested
+    cross_ccs = tuple(args.cross_ccs[i % len(args.cross_ccs)]
+                      for i in range(args.bottlenecks))
+
+    scenario = parking_lot(config, args.bottlenecks,
+                           long_cc=args.long_cc, cross_ccs=cross_ccs)
+    print(f"{args.bottlenecks}-bottleneck parking lot, "
+          f"{config.bottleneck_rate_bps / 1e6:.0f} Mbit/s per hop, "
+          f"long-path RTT {config.rtt * 1e3:.0f} ms, "
+          f"{len(scenario.flows)} flows\n")
+
+    result = execute(MultiFlowSpec(scenario=scenario,
+                                   duration=args.duration, seed=args.seed))
+    print(multi_flow_table(result, title="parking lot").render())
+
+    long_flow, cross = result.flows[0], result.flows[1:]
+    best_cross = max(cross, key=lambda f: f.goodput_bps)
+    print("\ninterpretation:")
+    print(f"  long flow ({long_flow.algorithm}) crosses every bottleneck: "
+          f"{format_rate(long_flow.goodput_bps)}")
+    print(f"  best cross flow ({best_cross.algorithm}) crosses one: "
+          f"{format_rate(best_cross.goodput_bps)}")
+    print(f"  Jain index across all flows: {result.jain_index:.3f} "
+          f"(1.0 = perfectly even shares)")
+
+
+if __name__ == "__main__":
+    main()

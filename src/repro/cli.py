@@ -11,6 +11,9 @@ Python:
     python -m repro run E3 --duration 8 -o e3.json
     python -m repro spec dump E3 -o e3spec.json   # serialize the spec
     python -m repro run --spec e3spec.json        # ... and replay it
+    python -m repro scenario list                 # the scenario gallery
+    python -m repro scenario dump parking_lot -o pl.json
+    python -m repro run --scenario pl.json --duration 10
     python -m repro tune --rule allcock_modified
 
 Experiments that return a renderable result print the same table/series the
@@ -50,7 +53,17 @@ from .experiments.runner import ComparisonResult, MultiFlowResult, SingleFlowRes
 from .experiments.sweeps import SweepResult
 from .experiments.throughput import ThroughputResult
 from .experiments.tuning_ablation import TuningAblationResult
-from .spec import SpecBase, dump_spec, execute, load_spec
+from .spec import (
+    MultiFlowSpec,
+    ScenarioSpec,
+    SpecBase,
+    available_scenarios,
+    dump_spec,
+    execute,
+    load_spec,
+    scenario_factory,
+    spec_from_json,
+)
 from .units import Mbps
 from .workloads import PathConfig
 
@@ -139,12 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the registered experiments")
 
     run = sub.add_parser(
-        "run", help="run a registered experiment (E1..E10) or a spec file")
+        "run", help="run a registered experiment (E1..E11), a spec file or "
+                    "a scenario file")
     run.add_argument("experiment", nargs="?", default=None,
-                     help="experiment id, e.g. E1 (omit with --spec)")
+                     help="experiment id, e.g. E1 (omit with --spec/--scenario)")
     run.add_argument("--spec", dest="spec_file", default=None,
-                     help="run a declarative spec from this JSON file "
-                          "(see 'repro spec dump')")
+                     help="run a declarative spec from this JSON file, or "
+                          "'-' for stdin (see 'repro spec dump')")
+    run.add_argument("--scenario", dest="scenario_file", default=None,
+                     help="run a declarative scenario from this JSON file, "
+                          "or '-' for stdin (see 'repro scenario dump'); "
+                          "executes every declared flow on the packet engine")
     run.add_argument("--duration", type=float, default=None,
                      help="simulated seconds (experiment-specific default)")
     run.add_argument("-o", "--output", default=None,
@@ -162,6 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
     dump.add_argument("-o", "--output", default=None,
                       help="write the spec JSON to this path instead of stdout")
     spec_sub.add_parser("list", help="list the experiments that carry a spec")
+
+    scenario_cmd = sub.add_parser(
+        "scenario", help="inspect and serialize the declarative scenario gallery")
+    scenario_sub = scenario_cmd.add_subparsers(dest="scenario_command",
+                                               required=True)
+    scenario_dump = scenario_sub.add_parser(
+        "dump", help="print a gallery scenario's declarative spec as JSON "
+                     "(the global path flags parameterize its config)")
+    scenario_dump.add_argument("name",
+                               help="gallery name, e.g. dumbbell or parking_lot")
+    scenario_dump.add_argument("-o", "--output", default=None,
+                               help="write the scenario JSON to this path "
+                                    "instead of stdout")
+    scenario_sub.add_parser("list", help="list the scenario gallery")
 
     compare = sub.add_parser("compare", help="standard TCP vs restricted slow-start")
     compare.add_argument("--duration", type=float, default=10.0)
@@ -198,19 +230,37 @@ def _print_result(result, output: str | None) -> None:
             print(f"\n(could not save result: {exc})")
 
 
+def _load_spec_arg(value: str) -> SpecBase:
+    """Load a spec document from a file path or ('-') from stdin."""
+    if value == "-":
+        return spec_from_json(sys.stdin.read())
+    return load_spec(value)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.spec_file:
-        if args.experiment:
-            print("error: give either an experiment id or --spec, not both",
-                  file=sys.stderr)
+    sources = [s for s in (args.experiment and "an experiment id",
+                           args.spec_file and "--spec",
+                           args.scenario_file and "--scenario") if s]
+    if len(sources) > 1:
+        print(f"error: give either {' or '.join(sources)}, not both",
+              file=sys.stderr)
+        return 2
+    if args.spec_file or args.scenario_file:
+        spec = _load_spec_arg(args.spec_file or args.scenario_file)
+        if args.scenario_file and not isinstance(spec, ScenarioSpec):
+            print(f"error: {args.scenario_file} is a {spec.kind!r} spec, not "
+                  "a scenario; run it with --spec", file=sys.stderr)
             return 2
-        spec = _apply_overrides(load_spec(args.spec_file), args)
+        if isinstance(spec, ScenarioSpec):
+            # a bare scenario runs every declared flow as a multi-flow job
+            spec = MultiFlowSpec(scenario=spec)
+        spec = _apply_overrides(spec, args)
         result = execute(spec)
         _print_result(result, args.output)
         return 0
     if not args.experiment:
-        print("error: an experiment id or --spec <file.json> is required",
-              file=sys.stderr)
+        print("error: an experiment id, --spec <file.json> or "
+              "--scenario <file.json> is required", file=sys.stderr)
         return 2
     entry = get_experiment(args.experiment)
     if args.backend is not None:
@@ -256,6 +306,26 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     if args.output:
         path = dump_spec(spec, pathlib.Path(args.output))
         print(f"wrote {entry.experiment_id} spec to {path}")
+    else:
+        print(spec.to_json())
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        for name in available_scenarios():
+            factory = scenario_factory(name)
+            spec = factory()
+            doc = (factory.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:16s} nodes={len(spec.topology.nodes):2d} "
+                  f"links={len(spec.topology.links):2d} "
+                  f"flows={len(spec.flows):2d}  {doc}")
+        return 0
+    # dump: the global path flags parameterize the factory's config
+    spec = scenario_factory(args.name)(config=_path_config(args))
+    if args.output:
+        path = dump_spec(spec, pathlib.Path(args.output))
+        print(f"wrote scenario {args.name!r} to {path}")
     else:
         print(spec.to_json())
     return 0
@@ -322,6 +392,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "spec":
             return _cmd_spec(args)
+        if args.command == "scenario":
+            return _cmd_scenario(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "tune":

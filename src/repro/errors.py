@@ -18,6 +18,7 @@ __all__ = [
     "ControlError",
     "TuningError",
     "ExperimentError",
+    "UnsupportedScenarioError",
 ]
 
 
@@ -59,3 +60,12 @@ class TuningError(ControlError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness (bad sweep, missing result...)."""
+
+
+class UnsupportedScenarioError(ExperimentError):
+    """Raised when a backend cannot execute a declared scenario shape.
+
+    The message names the unsupported feature(s) — e.g. a multi-bottleneck
+    graph or per-link loss under the single-flow fluid model — so callers
+    know which backend to fall back to.
+    """

@@ -19,10 +19,11 @@ from typing import Sequence
 
 from ..analysis.tables import Table
 from ..errors import ExperimentError
+from ..spec import MultiFlowSpec, execute, from_bulk_flows
 from ..units import format_rate
 from ..workloads.bulk import BulkFlowSpec
 from ..workloads.scenarios import PathConfig
-from .runner import MultiFlowResult, run_multi_flow
+from .runner import MultiFlowResult
 
 __all__ = ["FairnessResult", "run_fairness", "render_fairness", "flow_mix"]
 
@@ -65,13 +66,21 @@ def run_fairness(
     config: PathConfig | None = None,
     seed: int = 1,
 ) -> FairnessResult:
-    """Run every (flow count, mix) combination."""
+    """Run every (flow count, mix) combination.
+
+    Each combination is expressed as a declarative dumbbell scenario
+    (:func:`repro.spec.from_bulk_flows`) executed through a
+    :class:`~repro.spec.MultiFlowSpec` — the same path ``repro run
+    --scenario`` takes.
+    """
     cfg = config if config is not None else PathConfig()
     result = FairnessResult(duration=duration)
     for n_flows in flow_counts:
         for mix in mixes:
             specs = flow_mix(n_flows, mix)
-            run = run_multi_flow(specs, config=cfg, duration=duration, seed=seed)
+            run = execute(MultiFlowSpec(
+                scenario=from_bulk_flows(specs, config=cfg),
+                duration=duration, seed=seed))
             result.runs[(n_flows, mix)] = run
             restricted_goodput = sum(
                 f.goodput_bps for f in run.flows if f.algorithm == "restricted"

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ExperimentError
-from ..spec import SpecBase, execute
+from ..spec import MultiFlowSpec, SpecBase, execute, parking_lot
 from ..workloads.scenarios import PathConfig
 from .baselines import run_baseline_comparison
 from .fairness import run_fairness
@@ -201,12 +201,33 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         "benchmarks/bench_transfer_size.py",
         spec=transfer_size_sweep_spec(),
     ),
+    "E11": ExperimentSpec(
+        "E11", "extension",
+        "Parking-lot scenario: one long flow across 3 bottlenecks vs per-hop "
+        "cross flows",
+        "examples/parking_lot.py",
+        spec=MultiFlowSpec(scenario=parking_lot(PathConfig(), 3),
+                           duration=15.0),
+    ),
 }
 
-#: Fluid fast-path variants: every spec-carrying experiment derived via
-#: ``spec.with_backend("fluid")`` and registered as ``<id>F`` so sweeps can
-#: be listed, scripted and regenerated on the fast path (cross-validated
-#: against the packet engine by ``benchmarks/bench_fluid_vs_packet.py``).
+
+def _supports_fluid(spec: SpecBase) -> bool:
+    """Whether a declarative spec can derive a fluid fast-path variant."""
+    try:
+        spec.with_backend("fluid")
+    except ExperimentError:
+        # packet-only shapes: multi-flow runs and non-dumbbell scenarios
+        return False
+    return True
+
+
+#: Fluid fast-path variants: every fluid-capable spec-carrying experiment
+#: derived via ``spec.with_backend("fluid")`` and registered as ``<id>F`` so
+#: sweeps can be listed, scripted and regenerated on the fast path
+#: (cross-validated against the packet engine by
+#: ``benchmarks/bench_fluid_vs_packet.py``).  Packet-only specs (multi-flow
+#: scenarios such as E11) get no derived variant.
 EXPERIMENTS.update({
     f"{entry.experiment_id}F": dataclasses.replace(
         entry,
@@ -217,7 +238,7 @@ EXPERIMENTS.update({
         base_id=entry.experiment_id,
     )
     for entry in list(EXPERIMENTS.values())
-    if entry.spec is not None
+    if entry.spec is not None and _supports_fluid(entry.spec)
 })
 
 

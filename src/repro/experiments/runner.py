@@ -23,6 +23,7 @@ deprecation policy for these wrappers.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -191,10 +192,16 @@ class MultiFlowResult:
 # ---------------------------------------------------------------------------
 
 def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
-    """Run one bulk transfer on the event-driven packet engine."""
+    """Run one bulk transfer on the event-driven packet engine.
+
+    Without a ``scenario`` the canonical single-flow dumbbell is built from
+    ``spec.config`` (the legacy shape, byte-for-byte).  With a scenario the
+    compiler instantiates the declared topology; the scenario's first flow
+    places the measured transfer (the spec's ``cc``/``total_bytes`` pick the
+    algorithm and size), later flows and cross traffic run as declared.
+    """
     cfg = spec.config
     sim = Simulator(seed=spec.seed)
-    scenario = build_dumbbell(sim, cfg, n_flows=1)
 
     options = cfg.tcp_options()
     if spec.local_congestion_policy is not None:
@@ -203,20 +210,44 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
     if spec.cc == "restricted":
         rss = (spec.rss_config if spec.rss_config is not None
                else RestrictedSlowStartConfig.for_path(cfg.rtt))
-        factory = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
-        app, _sink = scenario.add_bulk_flow(
-            index=0, cc=factory, total_bytes=spec.total_bytes, options=options
-        )
+        primary_cc: str | object = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
+        primary_kwargs = None
     else:
+        primary_cc = spec.cc
+        primary_kwargs = spec.cc_kwargs or None
+
+    if spec.scenario is None:
+        scenario = build_dumbbell(sim, cfg, n_flows=1)
         app, _sink = scenario.add_bulk_flow(
-            index=0, cc=spec.cc, total_bytes=spec.total_bytes, options=options,
-            cc_kwargs=spec.cc_kwargs or None,
+            index=0, cc=primary_cc, total_bytes=spec.total_bytes,
+            options=options, cc_kwargs=primary_kwargs,
         )
+        primary_ifq = scenario.sender_ifq(0)
+        bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
+    else:
+        from ..workloads.compile import attach_workload, compile_scenario, core_drops
+
+        scn = spec.scenario
+        scenario = compile_scenario(sim, scn, attach_flows=False)
+        primary = scn.flows[0]
+        app, _sink = scenario.add_bulk_flow_between(
+            primary.src, primary.dst, cc=primary_cc,
+            total_bytes=spec.total_bytes, start_time=primary.start_time,
+            options=options, cc_kwargs=primary_kwargs, port=primary.port,
+            name=f"flow0:{spec.cc}",
+        )
+        attach_workload(scenario, scn, skip_first_flow=True)
+        primary_ifq = scenario.topology.node(primary.src).default_interface
+        if len(scenario.routers) == 2:
+            # same counter the legacy dumbbell path reports
+            bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
+        else:
+            bottleneck_drops = lambda: core_drops(scenario.topology)  # noqa: E731
 
     trace_interval = (spec.trace_interval if spec.trace_interval is not None
                       else DEFAULT_PACKET_TRACE_INTERVAL)
     conn = app.connection
-    monitor = IFQMonitor(sim, scenario.sender_ifq(0), interval=trace_interval)
+    monitor = IFQMonitor(sim, primary_ifq, interval=trace_interval)
     monitor.start()
     tracer = TimeSeriesTracer(sim, interval=trace_interval)
     tracer.add_probe("cwnd", lambda: conn.cc.cwnd)
@@ -233,7 +264,7 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
     ifq_times, ifq_occ = monitor.as_arrays()
     cwnd_times, cwnd_vals = tracer.series("cwnd").as_arrays()
     acked_times, acked_vals = tracer.series("acked").as_arrays()
-    ifq_queue = scenario.sender_ifq(0).queue
+    ifq_queue = primary_ifq.queue
     return SingleFlowResult(
         config=cfg,
         duration=elapsed,
@@ -243,7 +274,7 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
         ifq_occupancy=ifq_occ,
         ifq_peak=ifq_queue.stats.peak_packets,
         ifq_drops=ifq_queue.stats.dropped,
-        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        bottleneck_drops=bottleneck_drops(),
         cwnd_times=cwnd_times,
         cwnd_segments=cwnd_vals,
         acked_times=acked_times,
@@ -253,7 +284,14 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
 
 
 def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
-    """Run several concurrent bulk flows over one bottleneck (packet engine)."""
+    """Run several concurrent bulk flows on the packet engine.
+
+    With a ``scenario`` the compiler instantiates the declared topology and
+    attaches the declared flows/cross traffic; the legacy dumbbell form
+    (``flows=``/``shared_paths=``) stays byte-for-byte unchanged.
+    """
+    if spec.scenario is not None:
+        return _execute_scenario_multi_flow(spec)
     cfg = spec.config
     sim = Simulator(seed=spec.seed)
     n_paths = 1 if spec.shared_paths else len(spec.flows)
@@ -292,6 +330,50 @@ def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
         jain_index=jain_fairness_index(goodputs),
         link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
         bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        total_send_stalls=sum(f.send_stalls for f in flows),
+    )
+
+
+def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
+    """Run a declared scenario's flows (and cross traffic) as a multi-flow run."""
+    from ..workloads.compile import compile_scenario, core_capacity_bps, core_drops
+
+    scn = spec.scenario
+    cfg = scn.config
+    sim = Simulator(seed=spec.seed)
+    scenario = compile_scenario(sim, scn)
+
+    sim.run(until=spec.duration)
+
+    flows = [
+        FlowResult.from_app(app, algorithm=flow_spec.cc,
+                            duration=sim.now - app.start_time)
+        for (app, _sink), flow_spec in zip(scenario.flows, scn.flows)
+    ]
+    goodputs = [f.goodput_bps for f in flows]
+    aggregate = float(sum(goodputs))
+    if len(scenario.routers) == 2:
+        # the declared bottleneck link's rate, which a hand-written spec may
+        # set independently of config.bottleneck_rate_bps
+        drops = scenario.bottleneck_interface().queue.stats.dropped
+        capacity = scenario.bottleneck_interface().rate_bps
+    else:
+        # multi-bottleneck graphs: count drops over every core queue and
+        # normalise the aggregate by the total core capacity so the
+        # reported utilisation stays in [0, 1]; router-less toy graphs fall
+        # back to the total forward link capacity
+        drops = core_drops(scenario.topology)
+        capacity = (core_capacity_bps(scenario.topology)
+                    or float(sum(l.rate_bps for l in scenario.topology.links)))
+    return MultiFlowResult(
+        config=cfg,
+        duration=sim.now,
+        seed=spec.seed,
+        flows=flows,
+        aggregate_goodput_bps=aggregate,
+        jain_index=jain_fairness_index(goodputs),
+        link_utilization=utilization(aggregate, capacity),
+        bottleneck_drops=drops,
         total_send_stalls=sum(f.send_stalls for f in flows),
     )
 
@@ -396,17 +478,31 @@ def run_multi_flow(
     """Run several concurrent bulk flows over one bottleneck.
 
     .. deprecated::
-        Thin wrapper over ``execute(MultiFlowSpec(...))``.
+        The dumbbell shape (and the ``shared_paths`` knob) is now
+        declarative: this wrapper converts its arguments into the
+        equivalent :class:`~repro.spec.scenario.ScenarioSpec` (via
+        :func:`repro.spec.scenario.from_bulk_flows`) and executes a
+        ``MultiFlowSpec(scenario=...)``, emitting a ``DeprecationWarning``.
+        Build the scenario spec directly in new code.
 
     ``shared_paths=False`` gives every flow its own sender/receiver pair (the
     usual dumbbell); ``True`` puts all flows on the first pair so they also
-    share the sending host's IFQ.
+    share the sending host's IFQ.  One behavioural repair rides along: an
+    explicit ``BulkFlowSpec.path_index`` is now honoured (the legacy runner
+    silently ignored it); specs leaving it ``None`` reproduce the legacy
+    placement exactly.
     """
+    warnings.warn(
+        "run_multi_flow is deprecated: declare the scenario instead — "
+        "execute(MultiFlowSpec(scenario=repro.spec.from_bulk_flows(specs, "
+        "config, shared_paths), duration=..., seed=...))",
+        DeprecationWarning, stacklevel=2)
+    from ..spec.scenario import from_bulk_flows
+
     spec = MultiFlowSpec(
-        flows=tuple(specs),
-        config=config if config is not None else PathConfig(),
+        scenario=from_bulk_flows(tuple(specs), config=config,
+                                 shared_paths=shared_paths),
         duration=duration,
         seed=seed,
-        shared_paths=shared_paths,
     )
     return execute(spec)

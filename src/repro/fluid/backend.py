@@ -35,8 +35,22 @@ FLUID_BACKEND = "fluid"
 
 
 def execute_fluid_run(spec: RunSpec):
-    """Run one bulk transfer on the per-RTT fluid model."""
+    """Run one bulk transfer on the per-RTT fluid model.
+
+    A declared ``scenario`` must be the canonical single-flow dumbbell: any
+    other shape (multi-bottleneck graph, extra flows, cross traffic,
+    per-link loss, asymmetric rates) raises
+    :class:`~repro.errors.UnsupportedScenarioError` naming the feature —
+    eagerly, before any model step.  ``RunSpec`` already performs the same
+    check at construction time; repeating it here keeps the backend safe
+    for callers invoking it directly.
+    """
     from ..experiments.runner import FlowResult, SingleFlowResult
+
+    if spec.scenario is not None:
+        from ..spec.scenario import ensure_fluid_scenario
+
+        ensure_fluid_scenario(spec.scenario)
 
     if spec.trace_interval is not None:
         warnings.warn(

@@ -40,9 +40,14 @@ def default_queue_factory(capacity_packets: int = 100) -> QueueFactory:
 
 
 class LinkSpec:
-    """Description of one bidirectional link installed in a topology."""
+    """Description of one bidirectional link installed in a topology.
 
-    __slots__ = ("node_a", "node_b", "iface_ab", "iface_ba", "rate_bps", "delay_s")
+    ``rate_bps`` is the forward (a→b) line rate; ``rate_ba_bps`` the
+    reverse rate, which equals the forward rate on symmetric links.
+    """
+
+    __slots__ = ("node_a", "node_b", "iface_ab", "iface_ba", "rate_bps",
+                 "rate_ba_bps", "delay_s")
 
     def __init__(
         self,
@@ -52,12 +57,14 @@ class LinkSpec:
         iface_ba: NetworkInterface,
         rate_bps: float,
         delay_s: float,
+        rate_ba_bps: float | None = None,
     ) -> None:
         self.node_a = node_a
         self.node_b = node_b
         self.iface_ab = iface_ab
         self.iface_ba = iface_ba
         self.rate_bps = rate_bps
+        self.rate_ba_bps = rate_ba_bps if rate_ba_bps is not None else rate_bps
         self.delay_s = delay_s
 
 
@@ -96,13 +103,16 @@ class Topology:
         queue_factory_ba: QueueFactory | None = None,
         loss_model: LossModel | None = None,
         loss_model_ba: LossModel | None = None,
+        rate_ba_bps: float | None = None,
         name: str | None = None,
     ) -> LinkSpec:
         """Create a bidirectional link between two registered nodes.
 
         Each direction gets its own queue (built by ``queue_factory``; the
         reverse direction may use a different ``queue_factory_ba``) and its
-        own :class:`NetworkInterface`.
+        own :class:`NetworkInterface`.  ``rate_ba_bps`` makes the link
+        asymmetric (a slower reverse/ACK direction); ``None`` mirrors
+        ``rate_bps``.
         """
         for node in (node_a, node_b):
             if node.name not in self.nodes:
@@ -121,13 +131,15 @@ class Topology:
             name=f"{node_a.name}->{node_b.name}", loss_model=loss_model,
         )
         iface_ba = NetworkInterface(
-            self.sim, node_b, q_ba, rate_bps, delay_s,
+            self.sim, node_b, q_ba,
+            rate_ba_bps if rate_ba_bps is not None else rate_bps, delay_s,
             name=f"{node_b.name}->{node_a.name}", loss_model=loss_model_ba,
         )
         iface_ab.connect(node_b, iface_ba)
         iface_ba.connect(node_a, iface_ab)
 
-        spec = LinkSpec(node_a, node_b, iface_ab, iface_ba, rate_bps, delay_s)
+        spec = LinkSpec(node_a, node_b, iface_ab, iface_ba, rate_bps, delay_s,
+                        rate_ba_bps=rate_ba_bps)
         self.links.append(spec)
         self.graph.add_edge(node_a.name, node_b.name, delay=delay_s, rate=rate_bps)
         return spec

@@ -21,6 +21,26 @@ from .backends import (
     register_backend,
 )
 from .execute import execute
+from .scenario import (
+    SCENARIO_FACTORIES,
+    CrossTrafficSpec,
+    FlowSpec,
+    LinkSpec,
+    LossSpec,
+    NodeSpec,
+    ScenarioSpec,
+    TopologySpec,
+    asymmetric_path,
+    available_scenarios,
+    dumbbell,
+    ensure_fluid_scenario,
+    fluid_unsupported_features,
+    from_bulk_flows,
+    lossy_link,
+    parking_lot,
+    scenario_factory,
+    shared_path,
+)
 from .specs import (
     SPEC_KINDS,
     ComparisonSpec,
@@ -40,6 +60,24 @@ __all__ = [
     "ComparisonSpec",
     "MultiFlowSpec",
     "SweepSpec",
+    "ScenarioSpec",
+    "TopologySpec",
+    "NodeSpec",
+    "LinkSpec",
+    "LossSpec",
+    "FlowSpec",
+    "CrossTrafficSpec",
+    "dumbbell",
+    "shared_path",
+    "parking_lot",
+    "asymmetric_path",
+    "lossy_link",
+    "from_bulk_flows",
+    "SCENARIO_FACTORIES",
+    "scenario_factory",
+    "available_scenarios",
+    "fluid_unsupported_features",
+    "ensure_fluid_scenario",
     "SPEC_KINDS",
     "spec_from_dict",
     "spec_from_json",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..errors import ExperimentError
 from .backends import backend_runner
+from .scenario import ScenarioSpec
 from .specs import ComparisonSpec, MultiFlowSpec, RunSpec, SpecBase, SweepSpec
 
 __all__ = ["execute"]
@@ -23,12 +24,16 @@ def execute(spec: SpecBase, *, max_workers: int | None = None):
     * :class:`RunSpec` → ``SingleFlowResult`` (via the backend registry);
     * :class:`ComparisonSpec` → ``ComparisonResult``;
     * :class:`MultiFlowSpec` → ``MultiFlowResult``;
-    * :class:`SweepSpec` → ``SweepResult``.
+    * :class:`SweepSpec` → ``SweepResult``;
+    * a bare :class:`ScenarioSpec` → ``MultiFlowResult`` (wrapped in a
+      default ``MultiFlowSpec`` carrying the scenario).
 
     ``max_workers`` controls process fan-out for the composite specs
     (``None`` picks a conservative default, 0/1 run serially in-process);
     workers pickle exactly one spec each.
     """
+    if isinstance(spec, ScenarioSpec):
+        return execute(MultiFlowSpec(scenario=spec), max_workers=max_workers)
     if isinstance(spec, RunSpec):
         return _execute_run(spec)
     if isinstance(spec, ComparisonSpec):
@@ -47,7 +52,7 @@ def execute(spec: SpecBase, *, max_workers: int | None = None):
         return result
     raise ExperimentError(
         f"cannot execute {type(spec).__name__}; expected one of "
-        "RunSpec, ComparisonSpec, MultiFlowSpec, SweepSpec")
+        "RunSpec, ComparisonSpec, MultiFlowSpec, SweepSpec, ScenarioSpec")
 
 
 def _execute_run(spec: RunSpec):

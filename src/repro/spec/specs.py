@@ -29,7 +29,10 @@ import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, ClassVar
+from typing import TYPE_CHECKING, Any, ClassVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenario import ScenarioSpec
 
 from ..control.pid import PIDGains
 from ..core.config import RestrictedSlowStartConfig, default_gains
@@ -124,6 +127,39 @@ def _decode_policy(value: str | None) -> LocalCongestionPolicy | None:
 def _decode_flow(data: dict) -> BulkFlowSpec:
     return _construct(BulkFlowSpec,
                       {**data, "cc_kwargs": dict(data.get("cc_kwargs") or {})})
+
+
+def _decode_scenario(data: dict | None):
+    if data is None:
+        return None
+    from .scenario import ScenarioSpec
+
+    return ScenarioSpec.from_dict(data)
+
+
+def _adopt_scenario_config(spec) -> None:
+    """Sync a run-like spec's ``config`` with its scenario's (authoritative).
+
+    A scenario's link rates and queue capacities were derived from *its*
+    config, so a diverging spec-level config would silently desynchronise
+    the TCP options from the topology.  The default config adopts the
+    scenario's; an explicit conflicting one is rejected.
+    """
+    from .scenario import ScenarioSpec
+
+    if not isinstance(spec.scenario, ScenarioSpec):
+        raise ExperimentError(
+            f"scenario must be a ScenarioSpec, got {type(spec.scenario).__name__}")
+    if spec.config not in (PathConfig(), spec.scenario.config):
+        raise ExperimentError(
+            "config conflicts with scenario.config; the scenario's config is "
+            "authoritative, because its link rates/queues were derived from "
+            "it.  Rebuild the scenario with the new path instead: pass "
+            "config= to its repro.spec.scenario factory, or on the CLI "
+            "regenerate it with the path flags — e.g. 'repro --rtt-ms 40 "
+            "scenario dump <name> -o s.json' then 'repro run --scenario "
+            "s.json'")
+    object.__setattr__(spec, "config", spec.scenario.config)
 
 
 def _canonical_numbers(value: Any) -> Any:
@@ -257,6 +293,17 @@ class RunSpec(SpecBase):
     backend:
         Registered engine name (see :mod:`repro.spec.backends`); validated
         eagerly so an unknown backend fails before any simulation work.
+    scenario:
+        Optional :class:`~repro.spec.scenario.ScenarioSpec` declaring the
+        topology and background workload; ``None`` (the default, and what
+        old JSON documents decode to) runs on the canonical single-flow
+        dumbbell built from ``config``.  When set, the scenario's first
+        declared flow *places* the measured transfer (src/dst/start/port)
+        while this spec's ``cc``/``total_bytes``/``rss_config`` select the
+        algorithm — so ``ComparisonSpec``/sweeps can still vary ``cc``
+        across any scenario; flows after the first (and any cross traffic)
+        run as declared.  Fluid-incompatible scenarios are rejected eagerly
+        with :class:`~repro.errors.UnsupportedScenarioError`.
     """
 
     kind: ClassVar[str] = "run"
@@ -272,6 +319,7 @@ class RunSpec(SpecBase):
     trace_interval: float | None = None
     run_past_duration_until_complete: bool = False
     backend: str = "packet"
+    scenario: "ScenarioSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -282,6 +330,12 @@ class RunSpec(SpecBase):
         from .backends import ensure_backend
 
         ensure_backend(self.backend)
+        if self.scenario is not None:
+            _adopt_scenario_config(self)
+            if self.backend == "fluid":
+                from .scenario import ensure_fluid_scenario
+
+                ensure_fluid_scenario(self.scenario)
 
     # -- overrides -------------------------------------------------------
     @property
@@ -346,6 +400,7 @@ class RunSpec(SpecBase):
             run_past_duration_until_complete=data.get(
                 "run_past_duration_until_complete", False),
             backend=data.get("backend", "packet"),
+            scenario=_decode_scenario(data.get("scenario")),
         )
 
 
@@ -415,9 +470,15 @@ class ComparisonSpec(SpecBase):
 class MultiFlowSpec(SpecBase):
     """N concurrent bulk flows over one bottleneck (fairness experiments).
 
-    ``shared_paths=False`` gives every flow its own sender/receiver pair
-    (the usual dumbbell); ``True`` puts all flows on the first pair so they
-    also share the sending host's IFQ.
+    The legacy dumbbell form gives every flow its own sender/receiver pair
+    (``shared_paths=False``) or puts all flows on the first pair so they
+    also share the sending host's IFQ (``shared_paths=True``).
+
+    Alternatively ``scenario`` names an explicit
+    :class:`~repro.spec.scenario.ScenarioSpec`, whose topology, flows and
+    cross traffic are authoritative: ``flows`` must then be empty and
+    ``shared_paths`` unset (express path sharing in the scenario's
+    topology, e.g. via :func:`repro.spec.scenario.shared_path`).
     """
 
     kind: ClassVar[str] = "multi_flow"
@@ -427,10 +488,22 @@ class MultiFlowSpec(SpecBase):
     duration: float = 25.0
     seed: int = 1
     shared_paths: bool = False
+    scenario: "ScenarioSpec | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "flows", tuple(self.flows))
-        if not self.flows:
+        if self.scenario is not None:
+            if self.flows:
+                raise ExperimentError(
+                    "give either flows= (legacy dumbbell) or scenario=, not "
+                    "both; the scenario's flow declarations are authoritative")
+            if self.shared_paths:
+                raise ExperimentError(
+                    "shared_paths is the legacy dumbbell knob; express path "
+                    "sharing in the scenario topology instead (see "
+                    "repro.spec.scenario.shared_path)")
+            _adopt_scenario_config(self)
+        elif not self.flows:
             raise ExperimentError("at least one flow spec is required")
         if self.duration <= 0:
             raise ExperimentError("duration must be positive")
@@ -470,6 +543,7 @@ class MultiFlowSpec(SpecBase):
             duration=data.get("duration", 25.0),
             seed=data.get("seed", 1),
             shared_paths=data.get("shared_paths", False),
+            scenario=_decode_scenario(data.get("scenario")),
         )
 
 

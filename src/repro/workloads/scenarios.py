@@ -43,7 +43,14 @@ from ..units import (
     bandwidth_delay_product_bytes,
 )
 
-__all__ = ["PathConfig", "Scenario", "build_dumbbell", "anl_lbnl_path", "DATA_PORT_BASE"]
+__all__ = [
+    "PathConfig",
+    "Scenario",
+    "build_dumbbell",
+    "anl_lbnl_path",
+    "DATA_PORT_BASE",
+    "CROSS_TRAFFIC_PORT_BASE",
+]
 
 CCFactory = Callable[[CCContext], CongestionControl]
 
@@ -150,6 +157,8 @@ class Scenario:
     routers: list[Router]
     allocator: AddressAllocator
     flows: list[tuple[BulkSenderApp, SinkApp]] = field(default_factory=list)
+    #: Cross-traffic sources attached by the scenario compiler.
+    cross_traffic: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # accessors
@@ -194,6 +203,59 @@ class Scenario:
         """
         if not (0 <= index < self.n_paths):
             raise ConfigurationError(f"flow index {index} out of range (0..{self.n_paths - 1})")
+        return self._attach_flow(
+            self.senders[index], self.receivers[index],
+            cc=cc, total_bytes=total_bytes, start_time=start_time,
+            options=options, cc_kwargs=cc_kwargs, port=None,
+            name=name or f"flow{index}", sink_label=str(index),
+        )
+
+    def add_bulk_flow_between(
+        self,
+        src: Host | str,
+        dst: Host | str,
+        cc: str | CCFactory = "reno",
+        total_bytes: int | None = None,
+        start_time: float = 0.0,
+        options: TCPOptions | None = None,
+        cc_kwargs: dict | None = None,
+        port: int | None = None,
+        name: str = "",
+    ) -> tuple[BulkSenderApp, SinkApp]:
+        """Attach a bulk TCP transfer between two named (or given) hosts.
+
+        The endpoint-addressed sibling of :meth:`add_bulk_flow`, used by the
+        scenario compiler: any two hosts of the topology can carry a flow,
+        not just a dumbbell sender/receiver pair.  ``port`` defaults to
+        ``DATA_PORT_BASE`` + the number of flows already attached.
+        """
+        src = self.topology.node(src) if isinstance(src, str) else src
+        dst = self.topology.node(dst) if isinstance(dst, str) else dst
+        for endpoint in (src, dst):
+            if isinstance(endpoint, Router):
+                raise ConfigurationError(
+                    f"flow endpoint {endpoint.name!r} is a router; flows "
+                    "terminate on hosts")
+        return self._attach_flow(
+            src, dst, cc=cc, total_bytes=total_bytes, start_time=start_time,
+            options=options, cc_kwargs=cc_kwargs, port=port,
+            name=name or f"flow{src.name}->{dst.name}", sink_label=dst.name,
+        )
+
+    def _attach_flow(
+        self,
+        src: Host,
+        dst: Host,
+        *,
+        cc: str | CCFactory,
+        total_bytes: int | None,
+        start_time: float,
+        options: TCPOptions | None,
+        cc_kwargs: dict | None,
+        port: int | None,
+        name: str,
+        sink_label: str,
+    ) -> tuple[BulkSenderApp, SinkApp]:
         factory: CCFactory
         if isinstance(cc, str):
             factory = registry_cc_factory(cc, **(cc_kwargs or {}))
@@ -201,19 +263,19 @@ class Scenario:
             factory = cc
         opts = options if options is not None else self.config.tcp_options()
         # one port per flow (several flows may share a sender/receiver pair)
-        port = DATA_PORT_BASE + len(self.flows)
-        sink = SinkApp(self.receivers[index], port, options=opts,
-                       name=f"sink:{index}:{port}")
+        if port is None:
+            port = DATA_PORT_BASE + len(self.flows)
+        sink = SinkApp(dst, port, options=opts, name=f"sink:{sink_label}:{port}")
         app = BulkSenderApp(
             self.sim,
-            self.senders[index],
-            remote_addr=self.receivers[index].address,
+            src,
+            remote_addr=dst.address,
             remote_port=port,
             total_bytes=total_bytes,
             start_time=start_time,
             options=opts,
             cc_factory=factory,
-            name=name or f"flow{index}",
+            name=name,
         )
         self.flows.append((app, sink))
         return app, sink
@@ -264,61 +326,25 @@ def build_dumbbell(
     n_flows: int = 1,
     bottleneck_loss: LossModel | None = None,
 ) -> Scenario:
-    """Build an N-flow dumbbell around a single bottleneck link."""
+    """Build an N-flow dumbbell around a single bottleneck link.
+
+    A thin wrapper over the declarative pipeline: the shape comes from the
+    :func:`repro.spec.scenario.dumbbell` spec factory and the live objects
+    from :func:`repro.workloads.compile.compile_scenario`.  No flows are
+    attached — callers add their own workload, as they always did.
+    """
     if n_flows < 1:
         raise ConfigurationError("n_flows must be >= 1")
     cfg = config if config is not None else PathConfig()
-    allocator = AddressAllocator()
-    topo = Topology(sim)
-    clock = lambda: sim.now  # noqa: E731
+    # Local imports: repro.spec imports PathConfig from this module, so the
+    # declarative layer can only be pulled in lazily here.
+    from ..spec.scenario import dumbbell
+    from .compile import compile_scenario
 
-    r1 = Router("r1", allocator.allocate("r1"))
-    r2 = Router("r2", allocator.allocate("r2"))
-    topo.add_node(r1)
-    topo.add_node(r2)
-    topo.add_link(
-        r1, r2, cfg.bottleneck_rate_bps, cfg.bottleneck_delay,
-        queue_factory=lambda c, n: DropTailQueue(cfg.router_buffer_packets, clock=c, name=n),
-        queue_factory_ba=lambda c, n: DropTailQueue(cfg.router_buffer_packets, clock=c, name=n),
-        loss_model=bottleneck_loss,
-        name="bottleneck",
-    )
-
-    senders: list[Host] = []
-    receivers: list[Host] = []
-    for i in range(n_flows):
-        sender = Host(sim, f"sender{i}", allocator.allocate(f"sender{i}"))
-        receiver = Host(sim, f"receiver{i}", allocator.allocate(f"receiver{i}"))
-        topo.add_node(sender)
-        topo.add_node(receiver)
-        # Sender access link: the forward queue is the host IFQ (txqueuelen).
-        topo.add_link(
-            sender, r1, cfg.sender_nic_rate_bps, cfg.access_delay,
-            queue_factory=lambda c, n: DropTailQueue(cfg.ifq_capacity_packets, clock=c, name=n),
-            queue_factory_ba=lambda c, n: DropTailQueue(cfg.ack_path_buffer_packets, clock=c, name=n),
-            name=f"access{i}",
-        )
-        # Receiver access link: forward queue is a router egress buffer, the
-        # reverse queue is the receiver NIC queue carrying ACKs.
-        topo.add_link(
-            r2, receiver, cfg.sender_nic_rate_bps, cfg.access_delay,
-            queue_factory=lambda c, n: DropTailQueue(cfg.router_buffer_packets, clock=c, name=n),
-            queue_factory_ba=lambda c, n: DropTailQueue(cfg.receiver_ifq_capacity_packets, clock=c, name=n),
-            name=f"egress{i}",
-        )
-        senders.append(sender)
-        receivers.append(receiver)
-
-    topo.build_routes()
-    return Scenario(
-        sim=sim,
-        config=cfg,
-        topology=topo,
-        senders=senders,
-        receivers=receivers,
-        routers=[r1, r2],
-        allocator=allocator,
-    )
+    scenario = compile_scenario(sim, dumbbell(cfg, n_flows), attach_flows=False)
+    if bottleneck_loss is not None:
+        scenario.bottleneck_interface().loss_model = bottleneck_loss
+    return scenario
 
 
 def anl_lbnl_path(sim: Simulator, **overrides) -> Scenario:

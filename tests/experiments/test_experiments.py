@@ -149,13 +149,16 @@ class TestFairness:
 
 class TestRegistry:
     def test_every_experiment_registered(self):
+        from repro.experiments.registry import _supports_fluid
+
         ids = {spec.experiment_id for spec in all_experiments()}
-        packet_ids = {f"E{i}" for i in range(1, 11)}
+        packet_ids = {f"E{i}" for i in range(1, 12)}
         assert packet_ids <= ids
-        # every backend-aware experiment also has a fluid fast-path variant
+        # every fluid-capable backend-aware experiment also has a fluid
+        # fast-path variant; packet-only scenario entries (E11) have none
         fluid_ids = {i for i in ids if i.endswith("F")}
         assert fluid_ids == {f"{spec.experiment_id}F" for spec in all_experiments()
-                             if spec.backend_aware}
+                             if spec.backend_aware and _supports_fluid(spec.spec)}
         assert ids == packet_ids | fluid_ids
 
     def test_lookup_case_insensitive(self):

@@ -62,8 +62,10 @@ class TestReportRendering:
         assert "%" in text
 
     def test_multi_flow_table(self):
-        result = run_multi_flow([BulkFlowSpec(cc="reno"), BulkFlowSpec(cc="reno")],
-                                config=SMALL_PATH, duration=2.0)
+        with pytest.deprecated_call():
+            result = run_multi_flow(
+                [BulkFlowSpec(cc="reno"), BulkFlowSpec(cc="reno")],
+                config=SMALL_PATH, duration=2.0)
         text = multi_flow_table(result).render()
         assert "aggregate" in text
         assert "jain" in text.lower()

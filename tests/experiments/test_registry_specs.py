@@ -24,6 +24,12 @@ from repro.testing import SMALL_PATH
 
 SPEC_IDS = [entry.experiment_id for entry in all_experiments()
             if entry.spec is not None and entry.base_id is None]
+#: Spec entries that can derive a fluid variant (excludes packet-only
+#: multi-flow scenario entries such as the parking lot).
+FLUID_CAPABLE_IDS = [experiment_id for experiment_id in SPEC_IDS
+                     if getattr(get_experiment(experiment_id).spec,
+                                "scenario", None) is None]
+SCENARIO_IDS = sorted(set(SPEC_IDS) - set(FLUID_CAPABLE_IDS))
 LEGACY_IDS = [entry.experiment_id for entry in all_experiments()
               if entry.spec is None]
 
@@ -39,7 +45,7 @@ def _shrunk(spec):
 
 
 class TestSpecEntries:
-    @pytest.mark.parametrize("experiment_id", SPEC_IDS)
+    @pytest.mark.parametrize("experiment_id", FLUID_CAPABLE_IDS)
     def test_runs_under_both_backends(self, experiment_id):
         entry = get_experiment(experiment_id)
         for backend in ("packet", "fluid"):
@@ -77,6 +83,28 @@ class TestSpecEntries:
         with pytest.raises(ExperimentError, match="pinned"):
             get_experiment("E2F").run(config=SMALL_PATH, duration=1.0,
                                       backend="packet")
+
+
+class TestScenarioEntries:
+    """Registry entries whose spec carries a declared scenario (E11)."""
+
+    def test_parking_lot_is_registered_packet_only(self):
+        assert "E11" in SCENARIO_IDS
+        entry = get_experiment("E11")
+        assert entry.spec.scenario.name == "parking_lot"
+        # no derived fluid variant exists for a multi-flow scenario
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("E11F")
+
+    def test_parking_lot_runs_scaled_down(self):
+        result = get_experiment("E11").run(duration=0.75, seed=2)
+        assert len(result.flows) == 4
+        assert all(f.goodput_bps > 0 for f in result.flows)
+        assert 0.0 < result.jain_index <= 1.0
+
+    def test_parking_lot_rejects_fluid(self):
+        with pytest.raises(ExperimentError, match="packet-only"):
+            get_experiment("E11").run(backend="fluid")
 
 
 class TestLegacyEntries:

@@ -94,9 +94,12 @@ class TestRunComparison:
 
 
 class TestRunMultiFlow:
+    """The legacy wrapper: still works, but via a scenario spec + warning."""
+
     def test_two_flows_share_bottleneck(self):
         specs = [BulkFlowSpec(cc="reno"), BulkFlowSpec(cc="reno", start_time=0.1)]
-        result = run_multi_flow(specs, config=SMALL_PATH, duration=3.0)
+        with pytest.deprecated_call():
+            result = run_multi_flow(specs, config=SMALL_PATH, duration=3.0)
         assert len(result.flows) == 2
         assert result.aggregate_goodput_bps > 0
         assert 0.5 <= result.jain_index <= 1.0
@@ -104,16 +107,32 @@ class TestRunMultiFlow:
 
     def test_mixed_algorithms(self):
         specs = [BulkFlowSpec(cc="restricted"), BulkFlowSpec(cc="reno")]
-        result = run_multi_flow(specs, config=SMALL_PATH, duration=3.0)
+        with pytest.deprecated_call():
+            result = run_multi_flow(specs, config=SMALL_PATH, duration=3.0)
         algorithms = {f.algorithm for f in result.flows}
         assert algorithms == {"restricted", "reno"}
 
     def test_shared_path_mode(self):
         specs = [BulkFlowSpec(cc="reno"), BulkFlowSpec(cc="reno")]
-        result = run_multi_flow(specs, config=SMALL_PATH, duration=2.0,
-                                shared_paths=True)
+        with pytest.deprecated_call():
+            result = run_multi_flow(specs, config=SMALL_PATH, duration=2.0,
+                                    shared_paths=True)
         assert len(result.flows) == 2
 
     def test_empty_specs_rejected(self):
-        with pytest.raises(ExperimentError):
+        with pytest.raises(ExperimentError), pytest.deprecated_call():
             run_multi_flow([], config=SMALL_PATH)
+
+    def test_wrapper_matches_explicit_scenario_spec(self):
+        from repro.spec import MultiFlowSpec, execute, from_bulk_flows
+
+        specs = [BulkFlowSpec(cc="restricted"), BulkFlowSpec(cc="reno")]
+        with pytest.deprecated_call():
+            wrapped = run_multi_flow(specs, config=SMALL_PATH, duration=2.0,
+                                     seed=2)
+        explicit = execute(MultiFlowSpec(
+            scenario=from_bulk_flows(specs, config=SMALL_PATH),
+            duration=2.0, seed=2))
+        assert ([f.bytes_acked for f in wrapped.flows]
+                == [f.bytes_acked for f in explicit.flows])
+        assert wrapped.spec == explicit.spec

@@ -168,3 +168,74 @@ class TestTopology:
         queue = factory(lambda: 0.0, "q")
         assert isinstance(queue, DropTailQueue)
         assert queue.capacity_packets == 7
+
+    def test_asymmetric_link_rates(self, sim):
+        topo = Topology(sim)
+        a = Host(sim, "a", 1)
+        b = Host(sim, "b", 2)
+        topo.add_node(a)
+        topo.add_node(b)
+        spec = topo.add_link(a, b, Mbps(10), 0.001, rate_ba_bps=Mbps(1))
+        assert spec.iface_ab.rate_bps == Mbps(10)
+        assert spec.iface_ba.rate_bps == Mbps(1)
+        assert spec.rate_ba_bps == Mbps(1)
+        # symmetric links mirror the forward rate
+        sym = Topology(sim)
+        sym.add_node(Host(sim, "c", 3))
+        sym.add_node(Host(sim, "d", 4))
+        spec2 = sym.add_link(sym.node("c"), sym.node("d"), Mbps(10), 0.001)
+        assert spec2.rate_ba_bps == Mbps(10)
+
+
+class TestWeightedRouting:
+    """Delay-weighted shortest paths on a graph with ≥3 routers.
+
+    The diamond gives two candidate r1→r3 paths: a direct one-hop link with
+    a large propagation delay and a two-hop detour through r2 whose total
+    delay is far smaller — so hop-count and delay-weighted routing disagree.
+    """
+
+    def diamond(self, sim):
+        topo = Topology(sim)
+        a = Host(sim, "a", 1)
+        b = Host(sim, "b", 2)
+        r1, r2, r3 = Router("r1", 3), Router("r2", 4), Router("r3", 5)
+        for node in (a, b, r1, r2, r3):
+            topo.add_node(node)
+        topo.add_link(a, r1, Mbps(10), 0.0001)
+        topo.add_link(r3, b, Mbps(10), 0.0001)
+        topo.add_link(r1, r3, Mbps(10), 0.100, name="slow-direct")
+        topo.add_link(r1, r2, Mbps(10), 0.001)
+        topo.add_link(r2, r3, Mbps(10), 0.001)
+        return topo, a, b, r1, r2, r3
+
+    def test_hop_count_routing_prefers_the_direct_link(self, sim):
+        topo, a, b, r1, r2, r3 = self.diamond(sim)
+        topo.build_routes()
+        a.send_packet(Packet(800, src=a.address, dst=b.address))
+        sim.run()
+        assert b.udp_packets_received == 1
+        assert r2.packets_forwarded == 0  # detour not taken
+
+    def test_delay_weighted_routing_takes_the_low_delay_detour(self, sim):
+        topo, a, b, r1, r2, r3 = self.diamond(sim)
+        topo.build_routes(weight="delay")
+        a.send_packet(Packet(800, src=a.address, dst=b.address))
+        sim.run()
+        assert b.udp_packets_received == 1
+        assert r2.packets_forwarded == 1  # 0.002 s detour beats 0.100 s direct
+        assert r1.packets_forwarded == 1 and r3.packets_forwarded == 1
+
+    def test_delay_weighted_routing_is_symmetric(self, sim):
+        topo, a, b, r1, r2, r3 = self.diamond(sim)
+        topo.build_routes(weight="delay")
+        b.send_packet(Packet(800, src=b.address, dst=a.address))
+        sim.run()
+        assert a.udp_packets_received == 1
+        assert r2.packets_forwarded == 1
+
+    def test_path_rtt_uses_delay_weighted_paths(self, sim):
+        topo, a, b, *_ = self.diamond(sim)
+        topo.build_routes(weight="delay")
+        # 2 × (0.0001 + 0.001 + 0.001 + 0.0001), ignoring the slow direct link
+        assert topo.path_rtt("a", "b") == pytest.approx(0.0044)

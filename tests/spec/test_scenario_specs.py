@@ -1,0 +1,299 @@
+"""Tests for the declarative scenario layer (specs, factories, validation)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError, UnsupportedScenarioError
+from repro.spec import (
+    CrossTrafficSpec,
+    FlowSpec,
+    LinkSpec,
+    LossSpec,
+    MultiFlowSpec,
+    NodeSpec,
+    RunSpec,
+    ScenarioSpec,
+    TopologySpec,
+    asymmetric_path,
+    available_scenarios,
+    dumbbell,
+    fluid_unsupported_features,
+    from_bulk_flows,
+    lossy_link,
+    parking_lot,
+    scenario_factory,
+    shared_path,
+    spec_from_dict,
+    spec_from_json,
+)
+from repro.testing import SMALL_PATH
+from repro.workloads import BulkFlowSpec
+
+SCENARIO_EXAMPLES = [
+    dumbbell(SMALL_PATH, 1),
+    dumbbell(SMALL_PATH, 3, ccs=("reno", "restricted", "cubic"),
+             start_times=(0.0, 0.1, 0.2)),
+    shared_path(SMALL_PATH, 2, ccs="restricted"),
+    parking_lot(SMALL_PATH, 3, long_cc="reno", cross_ccs="cubic"),
+    asymmetric_path(SMALL_PATH, reverse_rate_fraction=0.25),
+    lossy_link(SMALL_PATH, loss=0.01),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", SCENARIO_EXAMPLES,
+                             ids=lambda s: f"{s.name}:{s.cache_key()[:8]}")
+    def test_json_round_trip_preserves_equality_and_cache_key(self, spec):
+        clone = spec_from_json(spec.to_json())
+        assert clone == spec
+        assert type(clone) is ScenarioSpec
+        assert clone.cache_key() == spec.cache_key()
+
+    @pytest.mark.parametrize("spec", SCENARIO_EXAMPLES,
+                             ids=lambda s: f"{s.name}:{s.cache_key()[:8]}")
+    def test_scenarios_pickle(self, spec):
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_default_scenario_is_the_canonical_dumbbell(self):
+        from repro.workloads import PathConfig
+
+        assert ScenarioSpec() == dumbbell(PathConfig(), 1)
+
+    def test_run_spec_with_scenario_round_trips(self):
+        spec = RunSpec(cc="restricted", duration=2.0, seed=3,
+                       scenario=lossy_link(SMALL_PATH, loss=0.01))
+        clone = spec_from_json(spec.to_json())
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+        assert clone.scenario.topology.links[0].loss_ab.model == "bernoulli"
+
+    def test_multi_flow_spec_with_scenario_round_trips(self):
+        spec = MultiFlowSpec(scenario=parking_lot(SMALL_PATH, 3), duration=2.0)
+        clone = spec_from_json(spec.to_json())
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_old_documents_without_scenario_still_load(self):
+        spec = spec_from_dict({"kind": "run", "cc": "reno", "duration": 1.0})
+        assert spec.scenario is None
+
+    def test_unknown_fields_rejected_at_every_level(self):
+        good = dumbbell(SMALL_PATH, 1).to_dict()
+        with pytest.raises(ExperimentError, match="unknown ScenarioSpec field"):
+            spec_from_dict({**good, "warp": 9})
+        bad_topo = {**good, "topology": {**good["topology"], "mesh": True}}
+        with pytest.raises(ExperimentError, match="unknown TopologySpec field"):
+            spec_from_dict(bad_topo)
+        bad_node = {**good, "topology": {
+            **good["topology"],
+            "nodes": [{"name": "x", "rolle": "host"}]}}
+        with pytest.raises(ExperimentError, match="unknown NodeSpec field"):
+            spec_from_dict(bad_node)
+        bad_link = {**good, "topology": {
+            **good["topology"],
+            "links": [{"a": "r1", "b": "r2", "rate_bps": 1e6, "delay_s": 0.01,
+                       "weight": 3}]}}
+        with pytest.raises(ExperimentError, match="unknown LinkSpec field"):
+            spec_from_dict(bad_link)
+        bad_flow = {**good, "flows": [{"src": "sender0", "dst": "receiver0",
+                                       "algo": "reno"}]}
+        with pytest.raises(ExperimentError, match="unknown FlowSpec field"):
+            spec_from_dict(bad_flow)
+        bad_xt = {**good, "cross_traffic": [{"src": "sender0",
+                                             "dst": "receiver0", "burst": 2}]}
+        with pytest.raises(ExperimentError,
+                           match="unknown CrossTrafficSpec field"):
+            spec_from_dict(bad_xt)
+
+    def test_cache_key_distinguishes_scenarios(self):
+        a, b = dumbbell(SMALL_PATH, 1), dumbbell(SMALL_PATH, 2)
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() == dumbbell(SMALL_PATH, 1).cache_key()
+
+
+class TestValidation:
+    def test_bad_node_role(self):
+        with pytest.raises(ExperimentError, match="unknown node role"):
+            NodeSpec("x", role="switch")
+
+    def test_link_to_undeclared_node(self):
+        with pytest.raises(ExperimentError, match="undeclared node"):
+            TopologySpec(nodes=(NodeSpec("a"),),
+                         links=(LinkSpec("a", "b", 1e6, 0.01),))
+
+    def test_duplicate_node_names(self):
+        with pytest.raises(ExperimentError, match="duplicate node name"):
+            TopologySpec(nodes=(NodeSpec("a"), NodeSpec("a")))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ExperimentError, match="itself"):
+            LinkSpec("a", "a", 1e6, 0.01)
+
+    def test_bad_routing_weight(self):
+        with pytest.raises(ExperimentError, match="routing weight"):
+            TopologySpec(nodes=(NodeSpec("a"),), routing_weight="hops")
+
+    def test_unknown_loss_model_and_params(self):
+        with pytest.raises(ExperimentError, match="unknown loss model"):
+            LossSpec("rayleigh")
+        with pytest.raises(ExperimentError, match="loss parameter"):
+            LossSpec("bernoulli", {"q": 0.1})
+
+    def test_missing_required_loss_params_rejected_eagerly(self):
+        # must fail at spec time, not as a TypeError at compile time
+        with pytest.raises(ExperimentError, match="missing required"):
+            LossSpec("gilbert_elliott", {})
+        with pytest.raises(ExperimentError, match="missing required"):
+            LossSpec("bernoulli")
+        LossSpec("gilbert_elliott",
+                 {"p_good_to_bad": 0.01, "p_bad_to_good": 0.3})  # ok
+
+    def test_flow_endpoints_must_be_declared_hosts(self):
+        topo = dumbbell(SMALL_PATH, 1).topology
+        with pytest.raises(ExperimentError, match="not a declared host"):
+            ScenarioSpec(config=SMALL_PATH, topology=topo,
+                         flows=(FlowSpec("sender0", "nowhere"),))
+        with pytest.raises(ExperimentError, match="not a declared host"):
+            ScenarioSpec(config=SMALL_PATH, topology=topo,
+                         flows=(FlowSpec("r1", "receiver0"),))
+
+    def test_scenario_needs_a_flow(self):
+        with pytest.raises(ExperimentError, match="at least one flow"):
+            ScenarioSpec(config=SMALL_PATH,
+                         topology=dumbbell(SMALL_PATH, 1).topology, flows=())
+
+    def test_duplicate_flow_ports_rejected(self):
+        topo = dumbbell(SMALL_PATH, 1).topology
+        with pytest.raises(ExperimentError, match="collides"):
+            ScenarioSpec(config=SMALL_PATH, topology=topo, flows=(
+                FlowSpec("sender0", "receiver0", port=7000),
+                FlowSpec("sender0", "receiver0", port=7000)))
+
+    def test_explicit_port_colliding_with_auto_default_rejected(self):
+        from repro.workloads import DATA_PORT_BASE
+
+        topo = dumbbell(SMALL_PATH, 1).topology
+        # flow 1's auto port is DATA_PORT_BASE + 1 — an explicit flow-0
+        # port equal to it must be rejected at spec time, not at compile
+        with pytest.raises(ExperimentError, match="collides"):
+            ScenarioSpec(config=SMALL_PATH, topology=topo, flows=(
+                FlowSpec("sender0", "receiver0", port=DATA_PORT_BASE + 1),
+                FlowSpec("sender0", "receiver0")))
+
+    def test_cross_traffic_endpoints_validated(self):
+        topo = dumbbell(SMALL_PATH, 1).topology
+        with pytest.raises(ExperimentError, match="not a declared host"):
+            ScenarioSpec(config=SMALL_PATH, topology=topo,
+                         flows=(FlowSpec("sender0", "receiver0"),),
+                         cross_traffic=(CrossTrafficSpec("ghost", "receiver0"),))
+
+    def test_conflicting_run_spec_config_rejected(self):
+        with pytest.raises(ExperimentError, match="authoritative"):
+            RunSpec(config=SMALL_PATH.replace(rtt=0.123),
+                    scenario=dumbbell(SMALL_PATH, 1))
+
+    def test_run_spec_adopts_scenario_config(self):
+        spec = RunSpec(scenario=dumbbell(SMALL_PATH, 1))
+        assert spec.config == SMALL_PATH
+        assert spec.path_config == SMALL_PATH
+
+    def test_multi_flow_rejects_flows_plus_scenario(self):
+        with pytest.raises(ExperimentError, match="not\\s+both"):
+            MultiFlowSpec(flows=(BulkFlowSpec(),),
+                          scenario=dumbbell(SMALL_PATH, 1))
+
+    def test_multi_flow_rejects_shared_paths_with_scenario(self):
+        with pytest.raises(ExperimentError, match="shared_paths"):
+            MultiFlowSpec(scenario=dumbbell(SMALL_PATH, 1), shared_paths=True)
+
+
+class TestFactories:
+    def test_gallery_is_complete(self):
+        assert set(available_scenarios()) == {
+            "dumbbell", "shared_path", "parking_lot", "asymmetric_path",
+            "lossy_link"}
+        for name in available_scenarios():
+            spec = scenario_factory(name)(config=SMALL_PATH)
+            assert isinstance(spec, ScenarioSpec)
+            assert spec.flows
+
+    def test_unknown_factory_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            scenario_factory("torus")
+
+    def test_dumbbell_matches_paper_topology(self):
+        spec = dumbbell(SMALL_PATH, 2)
+        assert spec.topology.router_names == ("r1", "r2")
+        assert spec.topology.host_names == ("sender0", "receiver0",
+                                            "sender1", "receiver1")
+        bottleneck = spec.topology.links[0]
+        assert bottleneck.rate_bps == SMALL_PATH.bottleneck_rate_bps
+        access = spec.topology.links[1]
+        assert access.queue_ab_packets == SMALL_PATH.ifq_capacity_packets
+
+    def test_parking_lot_shape(self):
+        spec = parking_lot(SMALL_PATH, 3)
+        assert len(spec.topology.router_names) == 4
+        assert len(spec.flows) == 4  # one long + 3 cross flows
+        # the long path's propagation RTT matches the config
+        total_delay = sum(l.delay_s for l in spec.topology.links
+                          if l.name.startswith("bottleneck"))
+        assert total_delay == pytest.approx(SMALL_PATH.bottleneck_delay)
+
+    def test_asymmetric_path_reverse_rate(self):
+        spec = asymmetric_path(SMALL_PATH, reverse_rate_fraction=0.25)
+        bottleneck = spec.topology.links[0]
+        assert bottleneck.rate_ba_bps == pytest.approx(
+            0.25 * SMALL_PATH.bottleneck_rate_bps)
+
+    def test_mismatched_cc_list_rejected(self):
+        with pytest.raises(ExperimentError, match="one per flow"):
+            dumbbell(SMALL_PATH, 3, ccs=("reno",))
+
+    def test_from_bulk_flows_shapes(self):
+        flows = [BulkFlowSpec(cc="reno"), BulkFlowSpec(cc="restricted")]
+        spec = from_bulk_flows(flows, config=SMALL_PATH)
+        assert [f.src for f in spec.flows] == ["sender0", "sender1"]
+        shared = from_bulk_flows(flows, config=SMALL_PATH, shared_paths=True)
+        assert [f.src for f in shared.flows] == ["sender0", "sender0"]
+        with pytest.raises(ExperimentError, match="at least one flow"):
+            from_bulk_flows([], config=SMALL_PATH)
+
+    def test_from_bulk_flows_honours_explicit_path_index(self):
+        flows = [BulkFlowSpec(cc="reno", path_index=1),
+                 BulkFlowSpec(cc="reno", path_index=1)]
+        spec = from_bulk_flows(flows, config=SMALL_PATH)
+        assert [f.src for f in spec.flows] == ["sender1", "sender1"]
+        with pytest.raises(ExperimentError, match="out of range"):
+            from_bulk_flows([BulkFlowSpec(path_index=5)], config=SMALL_PATH)
+
+
+class TestFluidCompatibility:
+    def test_canonical_dumbbell_is_fluid_clean(self):
+        assert fluid_unsupported_features(dumbbell(SMALL_PATH, 1)) == []
+        RunSpec(scenario=dumbbell(SMALL_PATH, 1), backend="fluid")  # no raise
+
+    @pytest.mark.parametrize("spec,feature", [
+        (dumbbell(SMALL_PATH, 2), "flows"),
+        (parking_lot(SMALL_PATH, 3), "routers"),
+        (lossy_link(SMALL_PATH, loss=0.01), "loss"),
+        (asymmetric_path(SMALL_PATH), "asymmetric"),
+        (shared_path(SMALL_PATH, 2), "flows"),
+    ], ids=["multi-flow", "parking-lot", "lossy", "asymmetric", "shared"])
+    def test_unsupported_features_are_named(self, spec, feature):
+        features = " ".join(fluid_unsupported_features(spec))
+        assert feature in features
+        with pytest.raises(UnsupportedScenarioError, match=feature):
+            RunSpec(scenario=spec, backend="fluid")
+
+    def test_cross_traffic_is_named(self):
+        base = dumbbell(SMALL_PATH, 1)
+        spec = base.replace(cross_traffic=(
+            CrossTrafficSpec("sender0", "receiver0"),))
+        assert "cross traffic" in " ".join(fluid_unsupported_features(spec))
+
+    def test_packet_backend_accepts_any_scenario(self):
+        RunSpec(scenario=parking_lot(SMALL_PATH, 3))  # no raise

@@ -142,6 +142,81 @@ class TestSpecCommands:
         assert "no spec file" in capsys.readouterr().err
 
 
+SCALED = ["--bandwidth-mbps", "10", "--rtt-ms", "20", "--ifq", "10"]
+
+
+class TestScenarioCommands:
+    def test_scenario_list_shows_the_gallery(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dumbbell", "shared_path", "parking_lot",
+                     "asymmetric_path", "lossy_link"):
+            assert name in out
+
+    def test_scenario_dump_prints_json(self, capsys):
+        assert main(SCALED + ["scenario", "dump", "parking_lot"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "scenario"
+        assert document["name"] == "parking_lot"
+        assert document["config"]["rtt"] == 0.020
+        assert len(document["flows"]) == 4
+
+    def test_scenario_dump_unknown_name_fails_cleanly(self, capsys):
+        assert main(["scenario", "dump", "torus"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_scenario_file(self, capsys, tmp_path):
+        path = tmp_path / "shared.json"
+        assert main(SCALED + ["scenario", "dump", "shared_path",
+                              "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--scenario", str(path), "--duration", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-flow run" in out and "jain index" in out
+
+    def test_run_scenario_via_spec_flag(self, capsys, tmp_path):
+        # a scenario document is a spec document; --spec accepts it too
+        path = tmp_path / "dumbbell.json"
+        assert main(SCALED + ["scenario", "dump", "dumbbell",
+                              "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "--spec", str(path), "--duration", "1"]) == 0
+        assert "multi-flow run" in capsys.readouterr().out
+
+    def test_run_spec_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        from repro.spec import dumbbell
+        from repro.testing import TINY_PATH
+
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO(dumbbell(TINY_PATH, 1).to_json()))
+        assert main(["run", "--spec", "-", "--duration", "1"]) == 0
+        assert "multi-flow run" in capsys.readouterr().out
+
+    def test_scenario_flag_rejects_plain_specs(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        path.write_text(json.dumps({"kind": "run", "duration": 1.0}))
+        assert main(["run", "--scenario", str(path)]) == 2
+        assert "not a scenario" in capsys.readouterr().err
+
+    def test_run_rejects_spec_and_scenario_together(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"kind": "run", "duration": 1.0}))
+        assert main(["run", "--spec", str(path),
+                     "--scenario", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_scenario_rejects_fluid_backend(self, capsys, tmp_path):
+        path = tmp_path / "dumbbell.json"
+        assert main(SCALED + ["scenario", "dump", "dumbbell",
+                              "-o", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["--backend", "fluid", "run",
+                     "--scenario", str(path)]) == 2
+        assert "packet-only" in capsys.readouterr().err
+
+
 class TestFluidBackend:
     def test_backend_flag_parses(self):
         args = build_parser().parse_args(["--backend", "fluid", "list"])
