@@ -146,7 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation engine: event-driven packet engine "
                              "(ground truth, the default) or the fluid-model "
                              "fast path (per-RTT difference equations, "
-                             "~100x faster)")
+                             "~100x faster; covers single flows and "
+                             "multi-flow dumbbell mixes)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the registered experiments")
@@ -203,10 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--rule", default="allcock_modified")
 
     validate = sub.add_parser(
-        "validate", help="cross-validate the fluid fast path against the packet engine")
+        "validate", help="cross-validate the fluid fast path against the "
+                         "packet engine (single-flow grid, then the "
+                         "multi-flow fairness grid)")
     validate.add_argument("--duration", type=float, default=3.0)
     validate.add_argument("--points", type=int, default=None,
                           help="limit the validation grid to the first N points")
+    validate.add_argument("--skip-fairness", action="store_true",
+                          help="run only the single-flow grid")
+    validate.add_argument("--fairness-duration", type=float, default=None,
+                          help="multi-flow mix horizon (default 20 s, where "
+                               "the Jain tolerance is tuned)")
 
     return parser
 
@@ -366,6 +374,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         argv += ["--points", str(args.points)]
     if args.seed is not None:
         argv += ["--seed", str(args.seed)]
+    if args.skip_fairness:
+        argv += ["--skip-fairness"]
+    if args.fairness_duration is not None:
+        argv += ["--fairness-duration", str(args.fairness_duration)]
     return validate_main(argv)
 
 

@@ -65,13 +65,17 @@ def run_fairness(
     duration: float = 15.0,
     config: PathConfig | None = None,
     seed: int = 1,
+    backend: str = "packet",
 ) -> FairnessResult:
     """Run every (flow count, mix) combination.
 
     Each combination is expressed as a declarative dumbbell scenario
     (:func:`repro.spec.from_bulk_flows`) executed through a
     :class:`~repro.spec.MultiFlowSpec` — the same path ``repro run
-    --scenario`` takes.
+    --scenario`` takes.  ``backend="fluid"`` routes every point through
+    the N-flow coupled fluid model instead of the packet engine (the
+    fairness fast path; Jain agreement is ±0.05 on the cross-validation
+    grid, see ``repro.fluid.validate.cross_validate_fairness``).
     """
     cfg = config if config is not None else PathConfig()
     result = FairnessResult(duration=duration)
@@ -80,7 +84,7 @@ def run_fairness(
             specs = flow_mix(n_flows, mix)
             run = execute(MultiFlowSpec(
                 scenario=from_bulk_flows(specs, config=cfg),
-                duration=duration, seed=seed))
+                duration=duration, seed=seed, backend=backend))
             result.runs[(n_flows, mix)] = run
             restricted_goodput = sum(
                 f.goodput_bps for f in run.flows if f.algorithm == "restricted"

@@ -30,6 +30,7 @@ from .fairness import run_fairness
 from .figure1 import figure1_from_comparison, figure1_spec
 from .sweeps import (
     bandwidth_sweep_spec,
+    fairness_sweep_spec,
     ifq_sweep_spec,
     rtt_sweep_spec,
     setpoint_sweep_spec,
@@ -74,8 +75,16 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     @property
     def backend_aware(self) -> bool:
-        """Whether the entry accepts backend overrides (``with_backend``)."""
-        return self.spec is not None and self.base_id is None
+        """Whether the entry accepts backend overrides.
+
+        Spec-carrying entries route through ``with_backend``; legacy
+        entries are backend-aware when their runner takes a ``backend``
+        keyword (e.g. E9's fairness runner, which dispatches its
+        ``MultiFlowSpec`` points to either engine).
+        """
+        if self.spec is not None:
+            return self.base_id is None
+        return "backend" in inspect.signature(self.runner).parameters
 
     @property
     def pinned_backend(self) -> str | None:
@@ -123,13 +132,15 @@ class ExperimentSpec:
                 spec = spec.with_backend(backend)
             result = execute(spec, max_workers=max_workers)
             return self.build_result(result) if self.build_result else result
-        if backend not in (None, "packet"):
+        if backend not in (None, "packet") and not self.backend_aware:
             raise ExperimentError(
                 f"experiment {self.experiment_id} runs on the packet engine "
                 f"only (got backend {backend!r})")
         kwargs = {key: value for key, value in
                   (("config", config), ("duration", duration), ("seed", seed))
                   if value is not None}
+        if backend is not None and self.backend_aware:
+            kwargs["backend"] = backend
         kwargs.update(overrides)
         if max_workers is not None:
             if "max_workers" not in inspect.signature(self.runner).parameters:
@@ -209,6 +220,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         spec=MultiFlowSpec(scenario=parking_lot(PathConfig(), 3),
                            duration=15.0),
     ),
+    "E12": ExperimentSpec(
+        "E12", "extension",
+        "Fairness vs start-time stagger: a scenario-aware sweep varying "
+        "scenario.flows.1.start_time",
+        "benchmarks/bench_fluid_fairness.py",
+        spec=fairness_sweep_spec(),
+    ),
 }
 
 
@@ -217,9 +235,24 @@ def _supports_fluid(spec: SpecBase) -> bool:
     try:
         spec.with_backend("fluid")
     except ExperimentError:
-        # packet-only shapes: multi-flow runs and non-dumbbell scenarios
+        # packet-only shapes: non-dumbbell scenarios (e.g. the parking lot)
         return False
     return True
+
+
+def _fluid_benchmark(spec: SpecBase) -> str:
+    """The benchmark that validates a derived fluid variant.
+
+    Single-flow specs are covered by the single-flow speedup/agreement
+    bench; fairness-style (multi-flow) specs by the multi-flow one.
+    """
+    from ..spec import SweepSpec
+
+    fairness = (isinstance(spec, MultiFlowSpec)
+                or (isinstance(spec, SweepSpec)
+                    and isinstance(spec.base, MultiFlowSpec)))
+    return ("benchmarks/bench_fluid_fairness.py" if fairness
+            else "benchmarks/bench_fluid_vs_packet.py")
 
 
 #: Fluid fast-path variants: every fluid-capable spec-carrying experiment
@@ -233,7 +266,7 @@ EXPERIMENTS.update({
         entry,
         experiment_id=f"{entry.experiment_id}F",
         description=f"{entry.description} (fluid fast path)",
-        benchmark="benchmarks/bench_fluid_vs_packet.py",
+        benchmark=_fluid_benchmark(entry.spec),
         spec=entry.spec.with_backend("fluid"),
         base_id=entry.experiment_id,
     )

@@ -183,6 +183,8 @@ class MultiFlowResult:
     link_utilization: float
     bottleneck_drops: int
     total_send_stalls: int
+    #: Which engine produced this result ("packet" or "fluid").
+    backend: str = "packet"
     #: The declarative spec that produced this result (provenance).
     spec: MultiFlowSpec | None = None
 
@@ -233,6 +235,7 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
         app, _sink = scenario.add_bulk_flow_between(
             primary.src, primary.dst, cc=primary_cc,
             total_bytes=spec.total_bytes, start_time=primary.start_time,
+            stop_time=primary.stop_time,
             options=options, cc_kwargs=primary_kwargs, port=primary.port,
             name=f"flow0:{spec.cc}",
         )

@@ -31,7 +31,7 @@ from typing import Sequence
 from ..analysis.tables import Table
 from ..core.config import RestrictedSlowStartConfig
 from ..errors import ExperimentError
-from ..spec import RunSpec, SweepSpec, execute
+from ..spec import MultiFlowSpec, RunSpec, SweepSpec, execute
 from ..units import MB, Mbps, format_rate
 from ..workloads.scenarios import PathConfig
 from .parallel import map_specs
@@ -43,12 +43,14 @@ __all__ = [
     "rtt_sweep_spec",
     "bandwidth_sweep_spec",
     "setpoint_sweep_spec",
+    "fairness_sweep_spec",
     "transfer_size_sweep_spec",
     "ifq_size_sweep",
     "rtt_sweep",
     "bandwidth_sweep",
     "setpoint_sweep",
     "transfer_size_sweep",
+    "fairness_start_sweep",
     "render_sweep",
 ]
 
@@ -102,6 +104,17 @@ def _sweep_row(spec: SweepSpec, value, results: dict[str, object]) -> dict:
             row[f"{algo}_utilization"] = res.link_utilization
             row["ifq_peak"] = res.ifq_peak
             row["ifq_drops"] = res.ifq_drops
+    elif spec.row_style == "fairness":
+        # one MultiFlowResult per point: the scenario declares the mix
+        res = results["flows"]
+        row["aggregate_goodput_bps"] = res.aggregate_goodput_bps
+        row["jain_index"] = res.jain_index
+        row["utilization"] = res.link_utilization
+        row["total_send_stalls"] = res.total_send_stalls
+        row["bottleneck_drops"] = res.bottleneck_drops
+        for algo in sorted({f.algorithm for f in res.flows}):
+            row[f"{algo}_goodput_bps"] = float(sum(
+                f.goodput_bps for f in res.flows if f.algorithm == algo))
     else:  # "completion"
         for algo, res in results.items():
             row[f"{algo}_completion_time"] = res.flow.completion_time
@@ -213,6 +226,42 @@ def setpoint_sweep_spec(
     )
 
 
+def fairness_sweep_spec(
+    start_times: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    n_flows: int = 2,
+    ccs: str | Sequence[str] = "reno",
+    duration: float = 15.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    backend: str = "packet",
+) -> SweepSpec:
+    """Declarative fairness sweep varying a ``scenario.*`` dotted field (E12).
+
+    The grid staggers the *second* flow's start across ``start_times`` on
+    an ``n_flows`` dumbbell — the dotted parameter
+    ``"scenario.flows.1.start_time"`` addresses the declared scenario
+    directly, so any scenario field (per-flow ``total_bytes``, ``duration``,
+    link queue sizes, ...) sweeps the same way.  ``backend="fluid"`` runs
+    every point on the N-flow coupled fluid model.
+    """
+    from ..spec import dumbbell
+
+    if n_flows < 2:
+        raise ExperimentError("the fairness sweep staggers flow 1; need >= 2 flows")
+    base_cfg = base_config if base_config is not None else PathConfig()
+    base = MultiFlowSpec(
+        scenario=dumbbell(base_cfg, n_flows, ccs=ccs),
+        duration=duration, seed=seed, backend=backend)
+    return SweepSpec(
+        name="fairness_start_sweep",
+        parameter="scenario.flows.1.start_time",
+        values=tuple(float(t) for t in start_times),
+        base=base,
+        parameter_label="flow1_start",
+        row_style="fairness",
+    )
+
+
 def transfer_size_sweep_spec(
     sizes_bytes: Sequence[float] = (MB(1), MB(8), MB(32), MB(128), MB(256)),
     seed: int = 1,
@@ -305,6 +354,23 @@ def transfer_size_sweep(
     spec = transfer_size_sweep_spec(sizes_bytes=sizes_bytes, seed=seed,
                                     base_config=base_config,
                                     max_duration=max_duration, backend=backend)
+    return execute(spec, max_workers=max_workers)
+
+
+def fairness_start_sweep(
+    start_times: Sequence[float] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    n_flows: int = 2,
+    ccs: str | Sequence[str] = "reno",
+    duration: float = 15.0,
+    seed: int = 1,
+    base_config: PathConfig | None = None,
+    max_workers: int | None = None,
+    backend: str = "packet",
+) -> SweepResult:
+    """Stagger the second flow's start across a grid (E12)."""
+    spec = fairness_sweep_spec(start_times=start_times, n_flows=n_flows,
+                               ccs=ccs, duration=duration, seed=seed,
+                               base_config=base_config, backend=backend)
     return execute(spec, max_workers=max_workers)
 
 

@@ -14,11 +14,14 @@ Select it anywhere the experiment harness runs a single flow::
     fast = run_single_flow("restricted", duration=25.0, backend="fluid")
 """
 
-from .backend import FLUID_BACKEND, run_single_flow_fluid
+from .backend import FLUID_BACKEND, execute_fluid_multi_flow, run_single_flow_fluid
 from .model import (
     FLUID_ALGORITHMS,
+    FluidFlowInput,
     FluidFlowModel,
     FluidGrowthRule,
+    FluidMultiFlowModel,
+    FluidMultiFlowResult,
     FluidRunResult,
     LimitedSlowStartFluid,
     RenoFluid,
@@ -26,11 +29,17 @@ from .model import (
     fluid_growth_rule,
 )
 from .validate import (
+    DEFAULT_FAIRNESS_TOLERANCE,
     DEFAULT_TOLERANCE,
+    FairnessTolerance,
+    FairnessValidationReport,
+    FairnessValidationRow,
     Tolerance,
     ValidationReport,
     ValidationRow,
     cross_validate,
+    cross_validate_fairness,
+    default_fairness_grid,
     default_grid,
 )
 
@@ -38,7 +47,11 @@ __all__ = [
     "FLUID_BACKEND",
     "FLUID_ALGORITHMS",
     "run_single_flow_fluid",
+    "execute_fluid_multi_flow",
     "FluidFlowModel",
+    "FluidFlowInput",
+    "FluidMultiFlowModel",
+    "FluidMultiFlowResult",
     "FluidGrowthRule",
     "FluidRunResult",
     "RenoFluid",
@@ -46,9 +59,15 @@ __all__ = [
     "LimitedSlowStartFluid",
     "fluid_growth_rule",
     "cross_validate",
+    "cross_validate_fairness",
     "default_grid",
+    "default_fairness_grid",
     "Tolerance",
+    "FairnessTolerance",
     "DEFAULT_TOLERANCE",
+    "DEFAULT_FAIRNESS_TOLERANCE",
     "ValidationReport",
     "ValidationRow",
+    "FairnessValidationReport",
+    "FairnessValidationRow",
 ]

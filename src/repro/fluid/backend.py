@@ -26,9 +26,20 @@ from ..core.config import RestrictedSlowStartConfig
 from ..spec import RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
-from .model import FluidFlowModel, FluidRunResult, fluid_growth_rule
+from .model import (
+    FluidFlowInput,
+    FluidFlowModel,
+    FluidMultiFlowModel,
+    FluidRunResult,
+    fluid_growth_rule,
+)
 
-__all__ = ["run_single_flow_fluid", "execute_fluid_run", "FLUID_BACKEND"]
+__all__ = [
+    "run_single_flow_fluid",
+    "execute_fluid_run",
+    "execute_fluid_multi_flow",
+    "FLUID_BACKEND",
+]
 
 #: Backend name used throughout the experiment harness.
 FLUID_BACKEND = "fluid"
@@ -65,10 +76,14 @@ def execute_fluid_run(spec: RunSpec):
     if spec.local_congestion_policy is not None:
         options = options.replace(local_congestion_policy=spec.local_congestion_policy)
 
+    # the scenario's first flow places the transfer; its declared duration
+    # (stop hook) is honoured exactly like the packet backend does
+    stop_time = (spec.scenario.flows[0].stop_time
+                 if spec.scenario is not None else None)
     rule = fluid_growth_rule(spec.cc, cfg, cc_kwargs=spec.cc_kwargs or None,
                              rss_config=spec.rss_config)
     model = FluidFlowModel(cfg, rule, options=options, seed=spec.seed,
-                           total_bytes=spec.total_bytes)
+                           total_bytes=spec.total_bytes, stop_time=stop_time)
     raw: FluidRunResult = model.run(
         spec.duration,
         run_past_duration_until_complete=spec.run_past_duration_until_complete)
@@ -159,3 +174,110 @@ def run_single_flow_fluid(
         backend=FLUID_BACKEND,
     )
     return execute(spec)
+
+
+def _multiflow_rule(flow, cfg: PathConfig):
+    """Fluid growth rule for one declared scenario flow.
+
+    ``restricted`` flows resolve their controller configuration through the
+    same :func:`repro.workloads.compile.resolve_restricted_config` the
+    packet compiler uses, so both engines accept exactly the same
+    declarations; other algorithms forward ``cc_kwargs`` to the rule
+    factory.
+    """
+    if flow.cc == "restricted":
+        from ..workloads.compile import resolve_restricted_config
+
+        rss = resolve_restricted_config(cfg, flow.cc_kwargs)
+        return fluid_growth_rule(flow.cc, cfg, rss_config=rss)
+    return fluid_growth_rule(flow.cc, cfg, cc_kwargs=flow.cc_kwargs or None)
+
+
+def execute_fluid_multi_flow(spec):
+    """Run a :class:`~repro.spec.MultiFlowSpec` on the coupled fluid model.
+
+    Accepts both spec forms: a declared ``scenario`` (which must pass
+    :func:`~repro.spec.scenario.ensure_fluid_multiflow_scenario`) and the
+    legacy dumbbell form (``flows=``/``shared_paths=``), which is converted
+    through :func:`~repro.spec.scenario.from_bulk_flows` first so there is
+    exactly one mapping from declarations to model inputs.  Returns the
+    same :class:`~repro.experiments.runner.MultiFlowResult` the packet
+    engine produces, tagged ``backend="fluid"``.
+    """
+    from ..analysis.metrics import jain_fairness_index, utilization
+    from ..experiments.runner import FlowResult, MultiFlowResult
+    from ..spec.scenario import (
+        _dumbbell_pair_index,
+        ensure_fluid_multiflow_scenario,
+        from_bulk_flows,
+    )
+
+    scenario = spec.scenario
+    if scenario is None:
+        scenario = from_bulk_flows(spec.flows, config=spec.config,
+                                   shared_paths=spec.shared_paths)
+    ensure_fluid_multiflow_scenario(scenario)
+
+    cfg = scenario.config
+    inputs = []
+    for i, flow in enumerate(scenario.flows):
+        inputs.append(FluidFlowInput(
+            name=f"flow{i}:{flow.cc}",
+            cc=flow.cc,
+            rule=_multiflow_rule(flow, cfg),
+            ifq=_dumbbell_pair_index(flow),
+            start_time=flow.start_time,
+            stop_time=flow.stop_time,
+            total_bytes=flow.total_bytes,
+        ))
+    model = FluidMultiFlowModel(cfg, inputs, seed=spec.seed)
+    raw = model.run(spec.duration)
+
+    flows = []
+    for outcome in raw.flows:
+        flows.append(FlowResult(
+            name=outcome.name,
+            algorithm=outcome.algorithm,
+            duration=outcome.duration,
+            bytes_acked=outcome.bytes_acked,
+            goodput_bps=outcome.goodput_bps,
+            send_stalls=outcome.send_stalls,
+            stall_times=list(outcome.stall_times),
+            congestion_signals=outcome.congestion_signals,
+            timeouts=0,
+            fast_retransmits=outcome.fast_retransmits,
+            pkts_retrans=outcome.pkts_retrans,
+            other_reductions=outcome.other_reductions,
+            max_cwnd_bytes=int(outcome.max_cwnd * cfg.mss),
+            final_cwnd_segments=outcome.final_cwnd,
+            final_ssthresh_segments=outcome.final_ssthresh,
+            smoothed_rtt=cfg.rtt,
+            min_rtt=cfg.rtt,
+            completion_time=outcome.completion_time,
+            web100={
+                "backend": FLUID_BACKEND,
+                "ThruBytesAcked": outcome.bytes_acked,
+                "SendStall": outcome.send_stalls,
+                "OtherReductions": outcome.other_reductions,
+                "CongestionSignals": outcome.congestion_signals,
+                "FastRetran": outcome.fast_retransmits,
+                "MaxCwnd": int(outcome.max_cwnd * cfg.mss),
+            },
+        ))
+    goodputs = [f.goodput_bps for f in flows]
+    aggregate = float(sum(goodputs))
+    return MultiFlowResult(
+        config=cfg,
+        duration=raw.duration,
+        seed=spec.seed,
+        flows=flows,
+        aggregate_goodput_bps=aggregate,
+        jain_index=jain_fairness_index(goodputs),
+        link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
+        # each synchronized overflow episode rejects (at least) one packet
+        # per reduced flow; reporting it keeps fluid rows from reading as
+        # "no drops" at operating points where the packet engine drops
+        bottleneck_drops=sum(f.pkts_retrans for f in flows),
+        total_send_stalls=raw.total_send_stalls,
+        backend=FLUID_BACKEND,
+    )

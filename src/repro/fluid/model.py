@@ -306,6 +306,11 @@ class FluidFlowModel:
     seed:
         Recorded in the result for interface parity; the fluid model is
         deterministic and does not consume random numbers.
+    stop_time:
+        Simulation time at which the sender stops offering new data (the
+        fluid counterpart of the :class:`~repro.host.apps.BulkSenderApp`
+        stop hook behind ``FlowSpec.duration``); the transfer counts as
+        completed at that instant.  ``None`` sends for the whole run.
     """
 
     def __init__(
@@ -315,12 +320,16 @@ class FluidFlowModel:
         options: TCPOptions | None = None,
         seed: int = 1,
         total_bytes: int | None = None,
+        stop_time: float | None = None,
     ) -> None:
         self.config = config
         self.rule = rule
         self.options = options if options is not None else config.tcp_options()
         self.seed = int(seed)
         self.total_bytes = total_bytes
+        if stop_time is not None and stop_time <= 0:
+            raise ExperimentError("stop_time must be positive or None")
+        self.stop_time = stop_time
 
         self.pipe = config.bdp_packets
         self.capacity = int(config.ifq_capacity_packets)
@@ -556,9 +565,12 @@ class FluidFlowModel:
         acked = [0.0]
 
         # the three-way handshake costs one round trip before data flows
+        data_horizon = horizon
+        if self.stop_time is not None:
+            data_horizon = min(horizon, self.stop_time)
         now = rtt
-        while now < horizon - 1e-12:
-            span = min(rtt, horizon - now)
+        while now < data_horizon - 1e-12:
+            span = min(rtt, data_horizon - now)
             self._run_round(now, rtt, fraction=span / rtt)
             now += span
             times.append(now)
@@ -567,6 +579,10 @@ class FluidFlowModel:
             acked.append(float(self.bytes_acked))
             if self.total_bytes is not None and self.completion_time is not None:
                 break
+        if (self.stop_time is not None and self.completion_time is None
+                and self.stop_time < horizon):
+            # the sender stopped offering data: the transfer is over here
+            self.completion_time = self.stop_time
 
         # Goodput follows the packet backend's accounting: completed finite
         # transfers are measured up to the completion time, everything else
@@ -599,5 +615,460 @@ class FluidFlowModel:
             final_ssthresh=self.ssthresh,
             max_cwnd=self.max_cwnd,
             completion_time=self.completion_time,
+            steps=self.steps,
+        )
+
+
+# ---------------------------------------------------------------------------
+# N-flow coupled model (fairness fast path)
+# ---------------------------------------------------------------------------
+
+#: Relative slack below which the bottleneck counts as saturated (the ACK
+#: clock of every flow is then paced by its bottleneck share, not its own
+#: line-rate burst).
+_SATURATION_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class FluidFlowInput:
+    """One flow of the multi-flow model (see :class:`FluidMultiFlowModel`).
+
+    ``ifq`` indexes the sender interface queue the flow injects into: flows
+    on distinct dumbbell pairs get distinct indices, flows sharing a sender
+    (the ``shared_path`` scenario) share one — and therefore contend for the
+    same queue headroom, exactly like the packet engine's shared host.
+    """
+
+    name: str
+    cc: str
+    rule: FluidGrowthRule
+    ifq: int = 0
+    start_time: float = 0.0
+    stop_time: float | None = None
+    total_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ExperimentError("flow start_time must be >= 0")
+        if self.stop_time is not None and self.stop_time <= self.start_time:
+            raise ExperimentError("flow stop_time must be after start_time")
+        if self.total_bytes is not None and self.total_bytes <= 0:
+            raise ExperimentError("flow total_bytes must be positive or None")
+
+
+@dataclass
+class FluidFlowOutcome:
+    """Per-flow counters produced by :meth:`FluidMultiFlowModel.run`."""
+
+    name: str
+    algorithm: str
+    start_time: float
+    duration: float
+    bytes_acked: int
+    goodput_bps: float
+    send_stalls: int
+    stall_times: list[float]
+    congestion_signals: int
+    fast_retransmits: int
+    other_reductions: int
+    pkts_retrans: int
+    final_cwnd: float
+    final_ssthresh: float
+    max_cwnd: float
+    completion_time: float | None
+
+
+@dataclass
+class FluidMultiFlowResult:
+    """Everything :meth:`FluidMultiFlowModel.run` measures."""
+
+    config: PathConfig
+    duration: float
+    seed: int
+    flows: list[FluidFlowOutcome]
+    bottleneck_loss_events: int
+    total_send_stalls: int
+    ifq_peaks: dict[int, float]
+    steps: int
+
+
+class _FlowState:
+    """Dynamic state of one flow inside the coupled model.
+
+    The window arithmetic (slow-start/CA crossover, trimming controllers,
+    stall and loss reactions) mirrors :class:`FluidFlowModel` flow-for-flow;
+    what differs is *who feeds it*: acknowledged segments arrive as the
+    bottleneck allocator's share instead of ``min(W, pipe)``.
+    """
+
+    def __init__(self, spec: FluidFlowInput, options: TCPOptions, rtt: float) -> None:
+        self.spec = spec
+        self.rule = spec.rule
+        self.options = options
+        #: data flows one handshake round trip after the app starts
+        self.data_start = spec.start_time + rtt
+        self.rwnd_segments = options.rwnd_bytes / options.mss
+        self.cwnd = float(options.initial_cwnd_segments)
+        if options.initial_ssthresh_segments is None:
+            self.ssthresh = math.inf
+        else:
+            self.ssthresh = float(options.initial_ssthresh_segments)
+        self.bytes_acked = 0
+        self.freeze_until = -math.inf
+        self.done = False
+        self.completion_time: float | None = None
+
+        self.send_stalls = 0
+        self.stall_times: list[float] = []
+        self.congestion_signals = 0
+        self.fast_retransmits = 0
+        self.other_reductions = 0
+        self.pkts_retrans = 0
+        self.max_cwnd = self.cwnd
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def window(self) -> float:
+        return min(self.cwnd, self.rwnd_segments)
+
+    def active(self, now: float) -> bool:
+        if self.done or self.data_start > now + 1e-12:
+            return False
+        # a stop at (or before) this instant means no further data rounds —
+        # in particular a stop_time inside the handshake round moves nothing
+        stop = self.spec.stop_time
+        return stop is None or now < stop - 1e-12
+
+    def frozen(self, now: float) -> bool:
+        return now < self.freeze_until - 1e-12
+
+    def remaining_segments(self) -> float:
+        if self.spec.total_bytes is None:
+            return math.inf
+        return max(self.spec.total_bytes - self.bytes_acked, 0) / self.options.mss
+
+    # -- window growth (one chunk) ----------------------------------------
+    def grow(self, acked: float, dt: float, occupancy_fraction: float,
+             capacity: int) -> float:
+        """Apply one chunk of growth; returns packets injected above the
+        ACK clock (negative when a trimming controller drains)."""
+        before = self.cwnd
+        if self.cwnd < self.ssthresh:
+            delta = self.rule.increment(acked, self.cwnd, occupancy_fraction,
+                                        capacity, dt)
+            if delta < 0.0:
+                floor = max(1.0, float(self.options.initial_cwnd_segments))
+                self.cwnd = max(self.cwnd + delta, floor)
+                return self.cwnd - before
+            grown = self.cwnd + delta
+            if grown > self.ssthresh:
+                overshoot = grown - self.ssthresh
+                self.cwnd = self.ssthresh + overshoot / max(self.ssthresh, 1.0)
+            else:
+                self.cwnd = grown
+        else:
+            self.cwnd += acked / max(self.cwnd, 1.0)
+        self.max_cwnd = max(self.max_cwnd, self.cwnd)
+        return max(self.cwnd - before, 0.0)
+
+    # -- reductions --------------------------------------------------------
+    def _flight(self, ifq_queue: float, capacity: int, pipe: float) -> float:
+        return min(self.window, pipe + min(ifq_queue, float(capacity)))
+
+    def reduce_on_stall(self, now: float, rtt: float, ifq_queue: float,
+                        capacity: int, pipe: float) -> None:
+        self.send_stalls += 1
+        self.stall_times.append(now)
+        policy = self.options.local_congestion_policy
+        if policy == LocalCongestionPolicy.TREAT_AS_CONGESTION:
+            flight = self._flight(ifq_queue, capacity, pipe)
+            self.ssthresh = max(flight / 2.0, 2.0)
+            self.cwnd = max(self.ssthresh, 1.0)
+            self.other_reductions += 1
+            self.freeze_until = now + rtt
+            self.rule.on_reduction()
+        elif policy == LocalCongestionPolicy.CLAMP_ONLY:
+            self.cwnd = max(min(self.cwnd, self._flight(ifq_queue, capacity, pipe) + 1.0), 1.0)
+            self.other_reductions += 1
+            self.rule.on_reduction()
+        # IGNORE: no window reaction
+
+    def reduce_on_loss(self, now: float, rtt: float, ifq_queue: float,
+                       capacity: int, pipe: float) -> None:
+        self.congestion_signals += 1
+        self.fast_retransmits += 1
+        self.pkts_retrans += 1
+        flight = self._flight(ifq_queue, capacity, pipe)
+        self.ssthresh = max(flight / 2.0, 2.0)
+        self.cwnd = max(self.ssthresh, 1.0)
+        self.freeze_until = now + rtt
+        self.rule.on_reduction()
+
+
+class _SenderIFQ:
+    """One sender interface queue, possibly shared by several flows."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self.queue = 0.0
+        self.peak = 0.0
+
+    def note_peak(self, jitter: float) -> None:
+        self.peak = max(self.peak,
+                        min(self.queue + jitter, float(self.capacity)))
+
+
+class FluidMultiFlowModel:
+    """Coupled per-RTT model of N bulk flows sharing one dumbbell bottleneck.
+
+    Couplings (all per round trip, mirroring the packet dumbbell):
+
+    * **bottleneck allocator** — while the summed windows exceed the path
+      pipe, each flow's ACK clock returns a *proportional share*
+      ``pipe · W_i / ΣW``; below saturation every window is acked in full.
+    * **sender IFQs** — growth is injected above the ACK clock into the
+      flow's sender queue.  A flow alone on the bottleneck has no NIC slack
+      (the single-flow regime: bursts accumulate, the standing queue lives
+      in the IFQ); a flow holding a *share* drains its bursts with the NIC
+      slack ``pipe − share·pipe``, so its standing queue migrates to the
+      router — which is why multi-flow mixes stall far less than solo runs.
+      Flows sharing one sender (``shared_path``) share one queue and its
+      headroom.
+    * **router buffer** — standing data beyond the pipe and the IFQ
+      standing queues occupies the shared bottleneck buffer; overflowing it
+      is a synchronized loss episode: every active, unfrozen flow halves
+      (drop-tail hits all arrival processes in one burst), which preserves
+      window ratios and lets additive increase converge the mix toward
+      fairness — the classic coupled-fluid argument.
+
+    Staggered ``start_time`` values, per-flow ``stop_time`` and finite
+    ``total_bytes`` are honoured by cutting rounds at those boundaries.
+    The model is deterministic; ``seed`` is carried for interface parity.
+    """
+
+    def __init__(
+        self,
+        config: PathConfig,
+        flows: Sequence[FluidFlowInput],
+        options: TCPOptions | None = None,
+        seed: int = 1,
+    ) -> None:
+        if not flows:
+            raise ExperimentError("at least one flow is required")
+        self.config = config
+        self.options = options if options is not None else config.tcp_options()
+        self.seed = int(seed)
+        self.pipe = config.bdp_packets
+        self.capacity = int(config.ifq_capacity_packets)
+        self.router_buffer = int(config.router_buffer_packets)
+        self.mss = self.options.mss
+        self.ack_jitter = max(float(self.options.delack_segments) - 1.0, 0.0)
+        rtt = config.rtt
+        self.flows = [_FlowState(spec, self.options, rtt) for spec in flows]
+        self.ifqs: dict[int, _SenderIFQ] = {
+            spec.ifq: _SenderIFQ(self.capacity) for spec in flows}
+        self.bottleneck_loss_events = 0
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def _boundaries(self, horizon: float) -> list[float]:
+        cuts = set()
+        for st in self.flows:
+            if 0.0 < st.data_start < horizon:
+                cuts.add(st.data_start)
+            stop = st.spec.stop_time
+            if stop is not None and stop < horizon:
+                cuts.add(stop)
+        return sorted(cuts)
+
+    def _run_round(self, now: float, rtt: float, fraction: float) -> None:
+        span = rtt * fraction
+        active = [st for st in self.flows if st.active(now)]
+        if not active:
+            return
+        windows = {st: st.window for st in active}
+        total = sum(windows.values())
+        saturated = total > self.pipe * (1.0 + _SATURATION_EPS)
+
+        # --- bottleneck allocator: acked segments per flow this span ----
+        full: dict[_FlowState, float] = {}
+        acked: dict[_FlowState, float] = {}
+        for st in active:
+            if saturated and total > 0:
+                share = self.pipe * fraction * windows[st] / total
+            else:
+                share = windows[st] * fraction
+            full[st] = share
+            acked[st] = min(share, st.remaining_segments())
+
+        # --- per-IFQ bookkeeping -----------------------------------------
+        by_ifq: dict[int, list[_FlowState]] = {}
+        for st in active:
+            by_ifq.setdefault(st.spec.ifq, []).append(st)
+        # ACK-clock rate through each sender NIC (segments per RTT) and the
+        # slack left for draining growth bursts.  Below saturation the
+        # bursts are clocked at line rate (no within-round slack at all);
+        # the end-of-round relaxation drains them instead.
+        clock = {key: sum(acked[st] for st in members) / fraction
+                 for key, members in by_ifq.items()}
+        slack = {key: (max(self.pipe - clock[key], 0.0) if saturated else 0.0)
+                 for key in by_ifq}
+
+        # --- growth, chunked so queue-sensing rules sample the ramp ------
+        substeps = _MIN_CHUNKS
+        for st in active:
+            grain = st.rule.grain(self.ifqs[st.spec.ifq].capacity)
+            if math.isfinite(grain) and grain > 0 and acked[st] > 0:
+                substeps = max(substeps, int(math.ceil(acked[st] / grain)))
+        substeps = min(substeps, _MAX_CHUNKS)
+        dt = span / substeps
+
+        stalled_ifqs: set[int] = set()
+        round_frozen = {st: st.frozen(now) for st in active}
+        for s in range(substeps):
+            t_sub = now + dt * (s + 1)
+            injected_by_ifq: dict[int, list[tuple[float, _FlowState]]] = {}
+            for st in active:
+                if st.frozen(t_sub - dt) or acked[st] <= 0.0:
+                    continue
+                ifq = self.ifqs[st.spec.ifq]
+                self.steps += 1
+                injected = st.grow(
+                    acked[st] / substeps, dt,
+                    ifq.queue / ifq.capacity if ifq.capacity else 0.0,
+                    ifq.capacity)
+                ifq.queue = max(ifq.queue + injected, 0.0)
+                injected_by_ifq.setdefault(st.spec.ifq, []).append((injected, st))
+            for key, contributions in injected_by_ifq.items():
+                ifq = self.ifqs[key]
+                drain = slack[key] * fraction / substeps
+                if drain > 0.0:
+                    ifq.queue = max(ifq.queue - drain, 0.0)
+                ifq.note_peak(self.ack_jitter)
+                if ifq.queue > ifq.capacity - _STALL_EPS:
+                    ifq.queue = min(ifq.queue, float(ifq.capacity))
+                    # attribute the rejected enqueue to the flow that grew
+                    # the most this sub-step (ties: the largest window)
+                    culprit = max(contributions,
+                                  key=lambda item: (item[0], item[1].window))[1]
+                    culprit.reduce_on_stall(t_sub, rtt, ifq.queue,
+                                            ifq.capacity, self.pipe)
+                    stalled_ifqs.add(key)
+
+        # --- end of round: relax bursts toward the standing level --------
+        ifq_standing: dict[int, float] = {}
+        for key, members in by_ifq.items():
+            ifq = self.ifqs[key]
+            if clock[key] >= self.pipe * (1.0 - 1e-9):
+                target = max(sum(windows[st] for st in members) - self.pipe, 0.0)
+            else:
+                target = 0.0
+            if ifq.queue > target:
+                ifq.queue = max(target + (ifq.queue - target) * math.exp(-fraction), 0.0)
+            ifq.queue = min(ifq.queue, float(ifq.capacity))
+            ifq.note_peak(0.0)
+            ifq_standing[key] = min(target, float(ifq.capacity))
+
+            # sustained-queue rejection: a standing queue so close to the
+            # capacity that delayed-ACK bursts strictly overrun it (same
+            # boundary arithmetic as the single-flow model)
+            if key in stalled_ifqs:
+                continue
+            unfrozen = [st for st in members if not round_frozen[st]]
+            if not unfrozen:
+                continue
+            sustained = min(ifq.queue, target)
+            delack = float(self.options.delack_segments)
+            boundary = ifq.capacity - delack
+            ceiling = None
+            if len(members) == 1 and members[0].cwnd < members[0].ssthresh:
+                ceiling = members[0].rule.sustained_queue_ceiling(ifq.capacity)
+            if ceiling is not None:
+                rejects = (ceiling > boundary + _STALL_EPS
+                           and sustained >= ceiling - _SUSTAIN_MARGIN)
+            else:
+                rejects = sustained > boundary + _SUSTAIN_MARGIN
+            if rejects:
+                for st in unfrozen:
+                    st.reduce_on_stall(now + span, rtt, ifq.queue,
+                                       ifq.capacity, self.pipe)
+
+        # --- shared router buffer: synchronized loss on overflow ---------
+        router_standing = max(total - self.pipe - sum(ifq_standing.values()), 0.0)
+        if router_standing > self.router_buffer:
+            losers = [st for st in active if not st.frozen(now + span)]
+            if losers:
+                self.bottleneck_loss_events += 1
+                for st in losers:
+                    ifq = self.ifqs[st.spec.ifq]
+                    st.reduce_on_loss(now + span, rtt, ifq.queue,
+                                      ifq.capacity, self.pipe)
+
+        # --- delivery accounting ------------------------------------------
+        for st in active:
+            st.bytes_acked += int(round(acked[st] * self.mss))
+            if (st.spec.total_bytes is not None and st.completion_time is None
+                    and st.bytes_acked >= st.spec.total_bytes):
+                used = acked[st] / full[st] if full[st] > 0 else 1.0
+                st.completion_time = now + span * min(used, 1.0)
+                st.done = True
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> FluidMultiFlowResult:
+        """Integrate the coupled model for ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ExperimentError("duration must be positive")
+        rtt = self.config.rtt
+        boundaries = self._boundaries(duration)
+        starts = [st.data_start for st in self.flows]
+        now = min(min(starts), duration)
+        while now < duration - 1e-12:
+            span = min(rtt, duration - now)
+            for cut in boundaries:
+                if now + 1e-12 < cut < now + span - 1e-12:
+                    span = cut - now
+                    break
+            self._run_round(now, rtt, fraction=span / rtt)
+            now += span
+            for st in self.flows:
+                stop = st.spec.stop_time
+                if (stop is not None and not st.done and now >= stop - 1e-12):
+                    st.done = True
+                    if st.completion_time is None:
+                        st.completion_time = stop
+            if all(st.done for st in self.flows):
+                break
+
+        outcomes = []
+        for st in self.flows:
+            end = st.completion_time if st.completion_time is not None else duration
+            elapsed = max(end - st.spec.start_time, 0.0)
+            goodput = st.bytes_acked * 8.0 / elapsed if elapsed > 0 else 0.0
+            outcomes.append(FluidFlowOutcome(
+                name=st.spec.name,
+                algorithm=st.spec.cc,
+                start_time=st.spec.start_time,
+                duration=elapsed,
+                bytes_acked=st.bytes_acked,
+                goodput_bps=goodput,
+                send_stalls=st.send_stalls,
+                stall_times=list(st.stall_times),
+                congestion_signals=st.congestion_signals,
+                fast_retransmits=st.fast_retransmits,
+                other_reductions=st.other_reductions,
+                pkts_retrans=st.pkts_retrans,
+                final_cwnd=st.cwnd,
+                final_ssthresh=st.ssthresh,
+                max_cwnd=st.max_cwnd,
+                completion_time=st.completion_time,
+            ))
+        return FluidMultiFlowResult(
+            config=self.config,
+            duration=duration,
+            seed=self.seed,
+            flows=outcomes,
+            bottleneck_loss_events=self.bottleneck_loss_events,
+            total_send_stalls=sum(o.send_stalls for o in outcomes),
+            ifq_peaks={key: ifq.peak for key, ifq in self.ifqs.items()},
             steps=self.steps,
         )

@@ -22,7 +22,16 @@ test scale (see :func:`repro.testing.small_path_variants`), so the same
 check doubles as the regression gate for both backends: a change that moves
 either engine away from the other fails the comparison.
 
-Run ``python -m repro.fluid.validate`` for a smoke check (used by CI).
+Since the multi-flow fluid backend landed, :func:`cross_validate_fairness`
+additionally runs a grid of *flow mixes* (homogeneous reno, reno vs
+restricted, staggered starts, shared-IFQ contention) on both backends and
+enforces, per mix: aggregate goodput within ``aggregate_rtol``, Jain
+fairness index within ``jain_atol`` (**±0.05**), and per-flow goodput
+*ordering* preserved (who gets more must not flip between engines beyond a
+noise margin).
+
+Run ``python -m repro.fluid.validate`` for a smoke check (used by CI); it
+runs both grids and exits non-zero on any disagreement.
 """
 
 from __future__ import annotations
@@ -41,6 +50,12 @@ __all__ = [
     "default_grid",
     "DEFAULT_TOLERANCE",
     "VALIDATED_ALGORITHMS",
+    "FairnessTolerance",
+    "FairnessValidationRow",
+    "FairnessValidationReport",
+    "cross_validate_fairness",
+    "default_fairness_grid",
+    "DEFAULT_FAIRNESS_TOLERANCE",
 ]
 
 #: Algorithms whose fluid counterparts are validated.
@@ -222,12 +237,233 @@ def cross_validate(
     return report
 
 
+# ---------------------------------------------------------------------------
+# multi-flow (fairness) cross-validation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FairnessTolerance:
+    """Agreement thresholds between the backends on multi-flow mixes."""
+
+    #: Relative tolerance on the mix's aggregate goodput.
+    aggregate_rtol: float = 0.25
+    #: Absolute tolerance on the Jain fairness index (the documented ±0.05).
+    jain_atol: float = 0.05
+    #: Per-flow goodput ordering is only enforced between flows whose
+    #: packet-side goodputs differ by more than this fraction of the larger
+    #: one (ties within noise carry no ordering information).
+    ordering_margin: float = 0.08
+
+    def __post_init__(self) -> None:
+        if (self.aggregate_rtol <= 0 or self.jain_atol <= 0
+                or self.ordering_margin < 0):
+            raise ExperimentError("nonsensical fairness tolerance values")
+
+
+#: The documented multi-flow tolerance the test suite and CI enforce.
+DEFAULT_FAIRNESS_TOLERANCE = FairnessTolerance()
+
+
+@dataclass
+class FairnessValidationRow:
+    """Fluid-vs-packet comparison of one multi-flow mix."""
+
+    mix: str
+    n_flows: int
+    packet_aggregate_bps: float
+    fluid_aggregate_bps: float
+    packet_jain: float
+    fluid_jain: float
+    packet_goodputs: list[float]
+    fluid_goodputs: list[float]
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def aggregate_rel_error(self) -> float:
+        if self.packet_aggregate_bps <= 0:
+            return float("inf") if self.fluid_aggregate_bps > 0 else 0.0
+        return (abs(self.fluid_aggregate_bps - self.packet_aggregate_bps)
+                / self.packet_aggregate_bps)
+
+    @property
+    def jain_error(self) -> float:
+        return abs(self.fluid_jain - self.packet_jain)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class FairnessValidationReport:
+    """All rows of a multi-flow cross-validation run."""
+
+    duration: float
+    seed: int
+    tolerance: FairnessTolerance
+    rows: list[FairnessValidationRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def failures(self) -> list[str]:
+        return [f"{row.mix}: {failure}"
+                for row in self.rows for failure in row.failures]
+
+    def render(self) -> str:
+        lines = [
+            f"multi-flow fluid-vs-packet cross-validation — {len(self.rows)} "
+            f"mixes, duration={self.duration:.1f}s, seed={self.seed}, "
+            f"Jain atol={self.tolerance.jain_atol:.2f}, aggregate "
+            f"rtol={self.tolerance.aggregate_rtol:.0%}",
+        ]
+        for row in self.rows:
+            status = "ok  " if row.ok else "FAIL"
+            lines.append(
+                f"  [{status}] {row.mix:24s} ({row.n_flows} flows)  "
+                f"aggregate {row.fluid_aggregate_bps / 1e6:6.2f} vs "
+                f"{row.packet_aggregate_bps / 1e6:6.2f} Mbit/s "
+                f"(err {row.aggregate_rel_error:5.1%})  "
+                f"Jain {row.fluid_jain:.3f} vs {row.packet_jain:.3f} "
+                f"(|Δ| {row.jain_error:.3f})"
+            )
+        if not self.ok:
+            lines.append("failures:")
+            lines.extend(f"  - {f}" for f in self.failures())
+        return "\n".join(lines)
+
+
+def default_fairness_grid(config: PathConfig | None = None) -> list[tuple[str, object]]:
+    """The validated flow mixes: ``(label, ScenarioSpec)`` pairs.
+
+    Spans the fairness dimensions the multi-flow model couples: flow count,
+    homogeneous vs heterogeneous algorithms, staggered starts, and
+    shared-IFQ contention — all on the canonical dumbbell at test scale.
+    Starts are staggered by a couple of round trips per flow (100 ms here,
+    the same reason experiment E9's ``flow_mix`` staggers): flows released
+    in lock-step (or within the same slow-start epoch) phase-lock on the
+    packet engine and drop-tail capture decides their shares — a discrete
+    symmetry-breaking effect outside any fluid idealisation, and outside
+    the paper's evaluation regime.
+    """
+    from ..spec.scenario import dumbbell, shared_path
+    from ..testing import SMALL_PATH
+
+    cfg = config if config is not None else SMALL_PATH
+    stagger = lambda n: tuple(0.1 * i for i in range(n))  # noqa: E731
+    return [
+        ("reno_x2", dumbbell(cfg, 2, ccs="reno", start_times=stagger(2))),
+        ("reno_x4", dumbbell(cfg, 4, ccs="reno", start_times=stagger(4))),
+        ("reno+restricted", dumbbell(cfg, 2, ccs=("reno", "restricted"),
+                                     start_times=stagger(2))),
+        ("staggered_starts", dumbbell(cfg, 2, ccs="reno",
+                                      start_times=(0.0, 1.0))),
+        ("shared_ifq_x2", shared_path(cfg, 2, ccs="reno",
+                                      start_times=stagger(2))),
+    ]
+
+
+def _ordering_failures(packet: Sequence[float], fluid: Sequence[float],
+                       margin: float) -> list[str]:
+    """Pairs whose goodput ordering *decisively* flips between the backends.
+
+    A pair only carries ordering information when both engines separate the
+    two flows by more than the noise margin: a backend calling them
+    near-equal neither confirms nor contradicts the other's ranking.
+    """
+    out = []
+    for i in range(len(packet)):
+        for j in range(i + 1, len(packet)):
+            packet_scale = max(packet[i], packet[j], 1e-9)
+            fluid_scale = max(fluid[i], fluid[j], 1e-9)
+            if (abs(packet[i] - packet[j]) <= margin * packet_scale
+                    or abs(fluid[i] - fluid[j]) <= margin * fluid_scale):
+                continue  # a tie within noise carries no ordering
+            packet_says = packet[i] > packet[j]
+            fluid_says = fluid[i] > fluid[j]
+            if packet_says != fluid_says:
+                out.append(
+                    f"per-flow ordering flips for flows {i}/{j}: packet "
+                    f"{packet[i]:.0f} vs {packet[j]:.0f} bps, fluid "
+                    f"{fluid[i]:.0f} vs {fluid[j]:.0f} bps")
+    return out
+
+
+def _check_fairness(row: FairnessValidationRow, tol: FairnessTolerance) -> None:
+    if row.aggregate_rel_error > tol.aggregate_rtol:
+        row.failures.append(
+            f"aggregate goodput differs by {row.aggregate_rel_error:.1%} "
+            f"(> {tol.aggregate_rtol:.0%}): fluid "
+            f"{row.fluid_aggregate_bps:.0f} vs packet "
+            f"{row.packet_aggregate_bps:.0f} bps")
+    if row.jain_error > tol.jain_atol:
+        row.failures.append(
+            f"Jain index differs by {row.jain_error:.3f} "
+            f"(> {tol.jain_atol:.2f}): fluid {row.fluid_jain:.3f} vs "
+            f"packet {row.packet_jain:.3f}")
+    row.failures.extend(_ordering_failures(
+        row.packet_goodputs, row.fluid_goodputs, tol.ordering_margin))
+
+
+def cross_validate_fairness(
+    grid: Sequence[tuple[str, object]] | None = None,
+    duration: float = 20.0,
+    seed: int = 2,
+    tolerance: FairnessTolerance = DEFAULT_FAIRNESS_TOLERANCE,
+    max_workers: int | None = 0,
+) -> FairnessValidationReport:
+    """Run every mix on both backends and compare the fairness quantities.
+
+    ``grid`` entries are ``(label, ScenarioSpec)`` pairs (defaults to
+    :func:`default_fairness_grid`); each executes as a
+    :class:`~repro.spec.MultiFlowSpec` with ``backend="packet"`` and
+    ``backend="fluid"``.  The default 20 s horizon is where the tolerances
+    were tuned: drop-tail fairness needs several loss epochs to converge,
+    so short horizons compare transient scatter rather than the fairness
+    the experiments report.  ``max_workers`` fans the runs out over
+    processes; the default runs serially (what the test suite wants).
+    """
+    from ..experiments.parallel import map_specs
+    from ..spec import MultiFlowSpec
+
+    points = list(grid) if grid is not None else default_fairness_grid()
+    if not points:
+        raise ExperimentError("fairness validation grid must not be empty")
+
+    specs = [
+        MultiFlowSpec(scenario=scenario, duration=duration, seed=seed,
+                      backend=backend)
+        for _, scenario in points
+        for backend in ("packet", "fluid")
+    ]
+    results = map_specs(specs, max_workers=max_workers)
+    report = FairnessValidationReport(duration=duration, seed=seed,
+                                      tolerance=tolerance)
+    for (label, scenario), i in zip(points, range(0, len(results), 2)):
+        packet, fluid = results[i], results[i + 1]
+        row = FairnessValidationRow(
+            mix=label,
+            n_flows=len(scenario.flows),
+            packet_aggregate_bps=packet.aggregate_goodput_bps,
+            fluid_aggregate_bps=fluid.aggregate_goodput_bps,
+            packet_jain=packet.jain_index,
+            fluid_jain=fluid.jain_index,
+            packet_goodputs=[f.goodput_bps for f in packet.flows],
+            fluid_goodputs=[f.goodput_bps for f in fluid.flows],
+        )
+        _check_fairness(row, tolerance)
+        report.rows.append(row)
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Smoke entry point: ``python -m repro.fluid.validate``.
 
     Also backs the ``repro validate`` CLI subcommand, so there is exactly
     one implementation of the gate.  The seed defaults to the one the
-    tolerances were tuned at.
+    tolerances were tuned at.  Runs the single-flow grid and then the
+    multi-flow fairness grid; either disagreeing fails the check.
     """
     import argparse
 
@@ -236,6 +472,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=2)
     parser.add_argument("--points", type=int, default=None,
                         help="limit the grid to the first N points")
+    parser.add_argument("--skip-fairness", action="store_true",
+                        help="run only the single-flow grid")
+    parser.add_argument("--fairness-duration", type=float, default=20.0,
+                        help="multi-flow mix horizon (the Jain tolerance is "
+                             "tuned at 20 s; shorter horizons compare "
+                             "transients)")
     args = parser.parse_args(argv)
     grid = default_grid()
     if args.points is not None:
@@ -244,7 +486,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     report = cross_validate(grid=grid, duration=args.duration, seed=args.seed,
                             max_workers=None)
     print(report.render())
-    return 0 if report.ok else 1
+    ok = report.ok
+    if not args.skip_fairness:
+        fairness = cross_validate_fairness(
+            duration=args.fairness_duration, seed=args.seed, max_workers=None)
+        print(fairness.render())
+        ok = ok and fairness.ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised by CI

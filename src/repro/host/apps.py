@@ -46,6 +46,12 @@ class BulkSenderApp:
         paper's fixed-duration throughput measurements).
     start_time:
         Simulation time at which the transfer begins.
+    stop_time:
+        Simulation time at which the sender stops offering new data (the
+        stop hook behind ``FlowSpec.duration``): unsent application data is
+        discarded, in-flight data is still delivered and acknowledged, and
+        the flow counts as completed once the last outstanding byte is
+        acked.  ``None`` (the default) never stops early.
     options, cc_factory:
         Endpoint configuration / congestion-control factory for this flow.
     """
@@ -58,36 +64,69 @@ class BulkSenderApp:
         remote_port: int,
         total_bytes: int | None = None,
         start_time: float = 0.0,
+        stop_time: float | None = None,
         options: TCPOptions | None = None,
         cc_factory: CCFactory | None = None,
         name: str = "",
     ) -> None:
         if total_bytes is not None and total_bytes <= 0:
             raise ConfigurationError("total_bytes must be positive or None")
+        if stop_time is not None and stop_time <= start_time:
+            raise ConfigurationError("stop_time must be after start_time or None")
         self.sim = sim
         self.host = host
         self.total_bytes = total_bytes
         self.start_time = float(start_time)
+        self.stop_time = float(stop_time) if stop_time is not None else None
         self.name = name or f"bulk:{host.name}->{remote_addr}:{remote_port}"
         self.connection: TCPConnection = host.stack.connect(
             remote_addr, remote_port, options=options, cc_factory=cc_factory, name=self.name
         )
         self.connection.on_all_acked = self._on_all_acked
         self.started = False
+        self.stopped = False
         self.completed = False
         self.completion_time: float | None = None
         sim.schedule(max(self.start_time - sim.now, 0.0), self._start)
+        if self.stop_time is not None:
+            sim.schedule(max(self.stop_time - sim.now, 0.0), self.stop)
 
     # ------------------------------------------------------------------
     def _start(self) -> None:
+        if self.stopped:  # stop() raced ahead of a deferred start
+            return
         self.started = True
         amount = self.total_bytes if self.total_bytes is not None else UNLIMITED_BYTES
         self.connection.app_write(amount)
 
-    def _on_all_acked(self) -> None:
-        if self.total_bytes is not None and not self.completed:
+    def stop(self) -> None:
+        """Stop offering new data (the ``FlowSpec.duration`` stop hook).
+
+        Unsent application data is discarded; data already handed to the
+        transport keeps being (re)transmitted until acknowledged, at which
+        point the flow is marked completed.  Idempotent.
+        """
+        if self.stopped or self.completed:
+            return
+        self.stopped = True
+        conn = self.connection
+        conn.app_pending_bytes = 0
+        if self.started and not conn.rtx_queue:
+            # no unacknowledged *payload* left: the transfer is over right
+            # now.  (Checked via the retransmission queue, not sequence
+            # numbers — a SYN in flight occupies sequence space but carries
+            # no data, and once the handshake completes with nothing
+            # pending no data ACK will ever arrive to finish the flow.)
+            self._mark_completed()
+
+    def _mark_completed(self) -> None:
+        if not self.completed:
             self.completed = True
             self.completion_time = self.sim.now
+
+    def _on_all_acked(self) -> None:
+        if self.total_bytes is not None or self.stopped:
+            self._mark_completed()
 
     # ------------------------------------------------------------------
     @property

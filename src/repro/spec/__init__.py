@@ -33,7 +33,9 @@ from .scenario import (
     asymmetric_path,
     available_scenarios,
     dumbbell,
+    ensure_fluid_multiflow_scenario,
     ensure_fluid_scenario,
+    fluid_multiflow_unsupported_features,
     fluid_unsupported_features,
     from_bulk_flows,
     lossy_link,
@@ -77,7 +79,9 @@ __all__ = [
     "scenario_factory",
     "available_scenarios",
     "fluid_unsupported_features",
+    "fluid_multiflow_unsupported_features",
     "ensure_fluid_scenario",
+    "ensure_fluid_multiflow_scenario",
     "SPEC_KINDS",
     "spec_from_dict",
     "spec_from_json",

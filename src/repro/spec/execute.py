@@ -39,9 +39,14 @@ def execute(spec: SpecBase, *, max_workers: int | None = None):
     if isinstance(spec, ComparisonSpec):
         return _execute_comparison(spec, max_workers=max_workers)
     if isinstance(spec, MultiFlowSpec):
-        from ..experiments.runner import execute_multi_flow_spec
+        if spec.backend == "fluid":
+            from ..fluid.backend import execute_fluid_multi_flow
 
-        result = execute_multi_flow_spec(spec)
+            result = execute_fluid_multi_flow(spec)
+        else:
+            from ..experiments.runner import execute_multi_flow_spec
+
+            result = execute_multi_flow_spec(spec)
         result.spec = spec
         return result
     if isinstance(spec, SweepSpec):

@@ -51,8 +51,11 @@ __all__ = [
     "SCENARIO_FACTORIES",
     "scenario_factory",
     "available_scenarios",
+    "rebuild_canonical_scenario",
     "fluid_unsupported_features",
+    "fluid_multiflow_unsupported_features",
     "ensure_fluid_scenario",
+    "ensure_fluid_multiflow_scenario",
 ]
 
 _ROLES = ("host", "router")
@@ -200,12 +203,19 @@ class TopologySpec:
 
 @dataclass(frozen=True)
 class FlowSpec:
-    """One bulk TCP transfer between two named hosts."""
+    """One bulk TCP transfer between two named hosts.
+
+    ``duration`` limits how long the flow *offers* data: the sender stops
+    writing at ``start_time + duration`` (the :class:`BulkSenderApp` stop
+    hook), in-flight data is still delivered, and the flow counts as
+    completed at the final ACK.  ``None`` sends for the whole run.
+    """
 
     src: str
     dst: str
     cc: str = "reno"
     start_time: float = 0.0
+    duration: float | None = None
     total_bytes: int | None = None
     port: int | None = None
     cc_kwargs: dict = field(default_factory=dict)
@@ -215,10 +225,19 @@ class FlowSpec:
             raise ExperimentError(f"flow cannot loop {self.src!r} back to itself")
         if self.start_time < 0:
             raise ExperimentError("flow start_time must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ExperimentError("flow duration must be positive or None")
         if self.total_bytes is not None and self.total_bytes <= 0:
             raise ExperimentError("flow total_bytes must be positive or None")
         if self.port is not None and not (0 < self.port < 65536):
             raise ExperimentError(f"flow port {self.port!r} outside 1..65535")
+
+    @property
+    def stop_time(self) -> float | None:
+        """Absolute stop time implied by ``duration`` (``None`` = never)."""
+        if self.duration is None:
+            return None
+        return self.start_time + self.duration
 
 
 @dataclass(frozen=True)
@@ -675,20 +694,31 @@ def scenario_factory(name: str) -> Callable[..., ScenarioSpec]:
 # fluid-backend shape validation
 # ---------------------------------------------------------------------------
 
-def fluid_unsupported_features(spec: ScenarioSpec) -> list[str]:
-    """Which declared features the per-RTT fluid model cannot represent.
+def _dumbbell_pair_index(flow: FlowSpec) -> int | None:
+    """Pair index ``k`` if the flow runs on a canonical senderK→receiverK pair."""
+    src, dst = flow.src, flow.dst
+    if src.startswith("sender") and dst.startswith("receiver"):
+        i, j = src[len("sender"):], dst[len("receiver"):]
+        if i == j and i.isdigit():
+            return int(i)
+    return None
 
-    The fluid backend models exactly the canonical single-flow dumbbell
-    (sender IFQ → one bottleneck → receiver) parameterised by the
-    scenario's ``config``.  Returns an empty list when the scenario is
-    fluid-expressible.
+
+def _fluid_shape_features(spec: ScenarioSpec, n_pairs: int, *,
+                          check_canonical: bool = True) -> list[str]:
+    """Topology/workload features outside the canonical N-pair dumbbell.
+
+    The shape is *derived from the gallery factory itself*: after the
+    feature-by-feature checks (which produce precise messages for the
+    gallery's asymmetric/lossy variants), the declared topology must equal
+    ``_dumbbell_topology(config, n_pairs)`` byte-for-byte — exactly what
+    :func:`dumbbell`/:func:`shared_path` would have generated — so any
+    hand-written deviation (re-sized queues, extra links, off-rate access
+    links) is rejected rather than silently run through the symmetric
+    no-loss arithmetic.
     """
     features: list[str] = []
     topo = spec.topology
-    if len(spec.flows) != 1:
-        features.append(f"{len(spec.flows)} flows (the fluid model is single-flow)")
-    elif spec.flows[0].start_time != 0.0:
-        features.append("a delayed flow start")
     if spec.cross_traffic:
         features.append("cross traffic")
     n_routers = len(topo.router_names)
@@ -701,17 +731,111 @@ def fluid_unsupported_features(spec: ScenarioSpec) -> list[str]:
         features.append("asymmetric link rates")
     if topo.routing_weight is not None:
         features.append("delay-weighted routing")
-    if not features and topo != _dumbbell_topology(spec.config, 1):
+    # the byte-for-byte factory comparison only carries information when no
+    # named feature already explains the rejection — and callers whose own
+    # checks fired (e.g. a flow-count mismatch) suppress it outright, since
+    # "differs from the canonical N-pair dumbbell" would be judged against
+    # the wrong N and mislead
+    if check_canonical and not features \
+            and topo != _dumbbell_topology(spec.config, n_pairs):
         features.append(
-            "a topology that differs from the canonical dumbbell for its config")
+            f"a topology that differs from the canonical {n_pairs}-pair "
+            "dumbbell for its config")
     return features
 
 
+def fluid_unsupported_features(spec: ScenarioSpec) -> list[str]:
+    """Which declared features the *single-flow* fluid model cannot represent.
+
+    The single-flow fluid backend (``RunSpec(backend="fluid")``) models
+    exactly the canonical single-flow dumbbell (sender IFQ → one bottleneck
+    → receiver) parameterised by the scenario's ``config``.  Returns an
+    empty list when the scenario is fluid-expressible.  Multi-flow dumbbells
+    are checked by :func:`fluid_multiflow_unsupported_features` instead.
+    """
+    features: list[str] = []
+    if len(spec.flows) != 1:
+        features.append(f"{len(spec.flows)} flows (the single-flow model; "
+                        "run it through MultiFlowSpec(backend='fluid'))")
+    elif spec.flows[0].start_time != 0.0:
+        features.append("a delayed flow start")
+    features.extend(_fluid_shape_features(spec, 1,
+                                          check_canonical=not features))
+    return features
+
+
+def fluid_multiflow_unsupported_features(spec: ScenarioSpec) -> list[str]:
+    """Which declared features the *N-flow* coupled fluid model cannot run.
+
+    The multi-flow model covers every flow mix on the canonical N-pair
+    dumbbell — including :func:`shared_path` (all flows on one pair, sharing
+    the sender IFQ), staggered ``start_time`` values, per-flow ``duration``
+    stops and finite ``total_bytes`` — coupled through a proportional
+    ACK-clock share of the bottleneck.  Everything else (multi-bottleneck
+    graphs, loss models, asymmetric rates, cross traffic, non-canonical
+    link parameters, algorithms without a fluid growth rule) is named here.
+    """
+    from ..fluid.model import FLUID_ALGORITHMS
+
+    features: list[str] = []
+    pair_indices: list[int] = []
+    unsupported_ccs: set[str] = set()
+    for i, flow in enumerate(spec.flows):
+        pair = _dumbbell_pair_index(flow)
+        if pair is None:
+            features.append(
+                f"flow {i} ({flow.src}->{flow.dst}) off the canonical "
+                "sender<k>->receiver<k> pairs")
+        else:
+            pair_indices.append(pair)
+        if flow.cc not in FLUID_ALGORITHMS:
+            unsupported_ccs.add(flow.cc)
+    for cc in sorted(unsupported_ccs):
+        features.append(
+            f"algorithm {cc!r} (fluid growth rules: {sorted(FLUID_ALGORITHMS)})")
+    if not features:
+        features.extend(_fluid_shape_features(spec, max(pair_indices) + 1))
+    return features
+
+
+def rebuild_canonical_scenario(spec: ScenarioSpec,
+                               config: PathConfig) -> ScenarioSpec | None:
+    """Rebuild a canonical N-pair dumbbell scenario on a new path config.
+
+    A dumbbell/shared-path scenario's topology is a pure function of its
+    config (it is exactly what :func:`_dumbbell_topology` generates), so —
+    unlike arbitrary hand-written graphs — it can be re-derived for a new
+    config without desynchronising link rates and queue capacities from
+    the TCP options.  Returns ``None`` when the scenario is not canonical
+    (cross traffic, off-pair flows, or a non-factory topology); callers
+    then fall back to rejecting the override.
+    """
+    pairs = [_dumbbell_pair_index(flow) for flow in spec.flows]
+    if any(pair is None for pair in pairs):
+        return None
+    n_pairs = max(pairs) + 1
+    if spec.cross_traffic or spec.topology != _dumbbell_topology(spec.config, n_pairs):
+        return None
+    return ScenarioSpec(name=spec.name, config=config,
+                        topology=_dumbbell_topology(config, n_pairs),
+                        flows=spec.flows)
+
+
 def ensure_fluid_scenario(spec: ScenarioSpec) -> None:
-    """Raise :class:`UnsupportedScenarioError` unless fluid can run ``spec``."""
+    """Raise :class:`UnsupportedScenarioError` unless single-flow fluid can run ``spec``."""
     features = fluid_unsupported_features(spec)
     if features:
         raise UnsupportedScenarioError(
             f"the fluid backend models only the canonical single-flow "
             f"dumbbell; scenario {spec.name!r} declares " + "; ".join(features)
             + " — run it on the packet backend instead")
+
+
+def ensure_fluid_multiflow_scenario(spec: ScenarioSpec) -> None:
+    """Raise :class:`UnsupportedScenarioError` unless multi-flow fluid can run ``spec``."""
+    features = fluid_multiflow_unsupported_features(spec)
+    if features:
+        raise UnsupportedScenarioError(
+            f"the multi-flow fluid backend models only flow mixes on the "
+            f"canonical N-pair dumbbell; scenario {spec.name!r} declares "
+            + "; ".join(features) + " — run it on the packet backend instead")

@@ -174,8 +174,29 @@ def _canonical_numbers(value: Any) -> Any:
 
 
 def _set_dotted(obj: Any, parameter: str, value: Any, *, root: str) -> Any:
-    """Return a copy of a (nested) dataclass with the dotted field replaced."""
+    """Return a copy of a (nested) dataclass with the dotted field replaced.
+
+    Path components are dataclass field names, or integer indices into
+    tuple/list fields — so ``"scenario.flows.1.start_time"`` addresses the
+    second declared flow of a spec's scenario.  Replacements rebuild the
+    frozen dataclasses, so every ``__post_init__`` revalidates.
+    """
     head, _, rest = parameter.partition(".")
+    if isinstance(obj, (list, tuple)):
+        try:
+            index = int(head)
+        except ValueError:
+            raise ExperimentError(
+                f"cannot sweep {root!r}: {type(obj).__name__} components are "
+                f"addressed by integer index, got {head!r}") from None
+        if not (0 <= index < len(obj)):
+            raise ExperimentError(
+                f"cannot sweep {root!r}: index {index} out of range "
+                f"(0..{len(obj) - 1})")
+        items = list(obj)
+        items[index] = (_set_dotted(items[index], rest, value, root=root)
+                        if rest else value)
+        return tuple(items) if isinstance(obj, tuple) else items
     names = {f.name for f in dataclasses.fields(obj)}
     if head not in names:
         raise ExperimentError(
@@ -184,7 +205,8 @@ def _set_dotted(obj: Any, parameter: str, value: Any, *, root: str) -> Any:
     if not rest:
         return dataclasses.replace(obj, **{head: value})
     nested = getattr(obj, head)
-    if nested is None or not dataclasses.is_dataclass(nested):
+    if nested is None or not (dataclasses.is_dataclass(nested)
+                              or isinstance(nested, (list, tuple))):
         raise ExperimentError(
             f"cannot sweep {root!r}: field {head!r} is {nested!r}; "
             "set it on the base spec first")
@@ -479,6 +501,13 @@ class MultiFlowSpec(SpecBase):
     cross traffic are authoritative: ``flows`` must then be empty and
     ``shared_paths`` unset (express path sharing in the scenario's
     topology, e.g. via :func:`repro.spec.scenario.shared_path`).
+
+    ``backend`` selects the engine: ``"packet"`` (event-driven ground
+    truth) or ``"fluid"`` (the N-flow coupled per-RTT model — the fairness
+    fast path).  Fluid eligibility is validated eagerly: flow mixes on the
+    canonical N-pair dumbbell (including ``shared_path`` sharing, staggered
+    starts, per-flow durations) are accepted, anything else raises
+    :class:`~repro.errors.UnsupportedScenarioError` naming the feature.
     """
 
     kind: ClassVar[str] = "multi_flow"
@@ -489,6 +518,7 @@ class MultiFlowSpec(SpecBase):
     seed: int = 1
     shared_paths: bool = False
     scenario: "ScenarioSpec | None" = None
+    backend: str = "packet"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "flows", tuple(self.flows))
@@ -507,24 +537,48 @@ class MultiFlowSpec(SpecBase):
             raise ExperimentError("at least one flow spec is required")
         if self.duration <= 0:
             raise ExperimentError("duration must be positive")
+        if self.backend not in ("packet", "fluid"):
+            raise ExperimentError(
+                f"multi-flow runs support backend 'packet' or 'fluid' "
+                f"(got {self.backend!r})")
+        if self.backend == "fluid":
+            self._ensure_fluid_eligible()
+
+    def _ensure_fluid_eligible(self) -> None:
+        """Eager shape check for the N-flow coupled fluid model."""
+        if self.scenario is not None:
+            from .scenario import ensure_fluid_multiflow_scenario
+
+            ensure_fluid_multiflow_scenario(self.scenario)
+            return
+        from ..errors import UnsupportedScenarioError
+        from ..fluid.model import FLUID_ALGORITHMS
+
+        bad = sorted({f.cc for f in self.flows if f.cc not in FLUID_ALGORITHMS})
+        if bad:
+            raise UnsupportedScenarioError(
+                f"the multi-flow fluid backend has no growth rule for "
+                f"{bad}; supported: {sorted(FLUID_ALGORITHMS)} "
+                "(use backend='packet')")
 
     # -- overrides -------------------------------------------------------
     @property
     def path_config(self) -> PathConfig:
         return self.config
 
-    @property
-    def backend(self) -> str:
-        return "packet"
-
     def with_backend(self, backend: str) -> "MultiFlowSpec":
-        if backend != "packet":
-            raise ExperimentError(
-                f"multi-flow runs are packet-only (got backend {backend!r}); "
-                "a multi-flow fluid model is on the roadmap")
-        return self
+        return self.replace(backend=backend)
 
     def with_config(self, config: PathConfig) -> "MultiFlowSpec":
+        if self.scenario is not None:
+            from .scenario import rebuild_canonical_scenario
+
+            rebuilt = rebuild_canonical_scenario(self.scenario, config)
+            if rebuilt is not None:
+                # canonical dumbbells re-derive their topology from the new
+                # config exactly as their factory would, so the uniform
+                # path overrides (CLI flags, test shrinking) apply cleanly
+                return self.replace(scenario=rebuilt, config=config)
         return self.replace(config=config)
 
     def with_duration(self, duration: float) -> "MultiFlowSpec":
@@ -532,6 +586,17 @@ class MultiFlowSpec(SpecBase):
 
     def with_seed(self, seed: int) -> "MultiFlowSpec":
         return self.replace(seed=seed)
+
+    def varied(self, parameter: str, value: Any) -> "MultiFlowSpec":
+        """Copy with the (possibly dotted) ``parameter`` set to ``value``.
+
+        Alongside flat fields (``"duration"``) and nested configs
+        (``"config.rtt"``), sequence components are addressed by integer
+        index — ``"scenario.flows.1.start_time"`` staggers the second
+        declared flow, ``"flows.0.total_bytes"`` resizes the first legacy
+        flow.  Replacements revalidate through ``__post_init__``.
+        """
+        return _set_dotted(self, parameter, value, root=parameter)
 
     # -- serialization ---------------------------------------------------
     @classmethod
@@ -544,6 +609,7 @@ class MultiFlowSpec(SpecBase):
             seed=data.get("seed", 1),
             shared_paths=data.get("shared_paths", False),
             scenario=_decode_scenario(data.get("scenario")),
+            backend=data.get("backend", "packet"),
         )
 
 
@@ -553,9 +619,11 @@ class MultiFlowSpec(SpecBase):
 
 #: Row layouts an executed sweep can report (see ``execute_sweep_spec``):
 #: ``comparison`` pairs goodput/stall/retransmission columns per algorithm,
-#: ``single`` adds the IFQ peak/drop columns of a one-algorithm sweep, and
-#: ``completion`` reports completion times plus the reno/restricted speedup.
-ROW_STYLES = ("comparison", "single", "completion")
+#: ``single`` adds the IFQ peak/drop columns of a one-algorithm sweep,
+#: ``completion`` reports completion times plus the reno/restricted speedup,
+#: and ``fairness`` (multi-flow base) reports aggregate goodput, Jain index
+#: and per-algorithm goodput shares at every grid point.
+ROW_STYLES = ("comparison", "single", "completion", "fairness")
 
 
 @dataclass(frozen=True)
@@ -567,15 +635,21 @@ class SweepSpec(SpecBase):
     name:
         Sweep identifier carried into the resulting ``SweepResult``.
     parameter:
-        Dotted :class:`RunSpec` field path varied across the grid, e.g.
+        Dotted field path varied across the grid, e.g.
         ``"config.ifq_capacity_packets"`` or ``"rss_config.setpoint_fraction"``.
+        Sequence components are addressed by integer index, so grids can
+        target declared scenario fields: ``"scenario.flows.1.start_time"``
+        staggers the second flow across the grid.
     values:
         Reported per-point values (the sweep table's parameter column).
     base:
         Template every grid point derives from (carries path, duration,
-        seed and backend).
+        seed and backend).  A :class:`RunSpec` for the single-flow row
+        styles; a :class:`MultiFlowSpec` for ``row_style="fairness"``,
+        whose scenario declares the algorithms itself.
     algorithms:
-        Algorithms compared at every point.
+        Algorithms compared at every point (ignored by ``"fairness"``,
+        where the multi-flow base declares the mix).
     field_values:
         Actual values written into the varied field when they differ from
         the reported ``values`` (e.g. Mbit/s reported, bit/s applied);
@@ -596,7 +670,7 @@ class SweepSpec(SpecBase):
     name: str = "sweep"
     parameter: str = "config.ifq_capacity_packets"
     values: tuple = ()
-    base: RunSpec = field(default_factory=RunSpec)
+    base: "RunSpec | MultiFlowSpec" = field(default_factory=RunSpec)
     algorithms: tuple[str, ...] = ("reno", "restricted")
     field_values: tuple | None = None
     parameter_label: str | None = None
@@ -611,12 +685,20 @@ class SweepSpec(SpecBase):
             if len(self.field_values) != len(self.values):
                 raise ExperimentError("field_values must match values one-to-one")
         if not self.parameter:
-            raise ExperimentError("parameter must name a RunSpec field")
-        if not self.algorithms:
-            raise ExperimentError("at least one algorithm is required")
+            raise ExperimentError("parameter must name a spec field")
         if self.row_style not in ROW_STYLES:
             raise ExperimentError(
                 f"unknown row_style {self.row_style!r}; choose one of {ROW_STYLES}")
+        if isinstance(self.base, MultiFlowSpec) != (self.row_style == "fairness"):
+            raise ExperimentError(
+                "row_style 'fairness' and a MultiFlowSpec base go together: "
+                "multi-flow grids report Jain/aggregate rows, single-flow "
+                f"grids take a RunSpec base (got {type(self.base).__name__} "
+                f"with row_style {self.row_style!r})")
+        if self.row_style == "fairness":
+            return  # the multi-flow base declares the algorithm mix itself
+        if not self.algorithms:
+            raise ExperimentError("at least one algorithm is required")
         if self.row_style == "single" and len(self.algorithms) != 1:
             # its unprefixed ifq_peak/ifq_drops columns cannot attribute
             # more than one algorithm
@@ -629,12 +711,21 @@ class SweepSpec(SpecBase):
         """Key of the parameter column in the sweep's rows."""
         return self.parameter_label or self.parameter.rsplit(".", 1)[-1]
 
-    def point_specs(self) -> list[tuple[Any, dict[str, RunSpec]]]:
-        """Per grid point: ``(reported value, {algorithm: RunSpec})``."""
-        points: list[tuple[Any, dict[str, RunSpec]]] = []
+    def point_specs(self) -> list[tuple[Any, dict[str, "RunSpec | MultiFlowSpec"]]]:
+        """Per grid point: ``(reported value, {algorithm: RunSpec})``.
+
+        ``row_style="fairness"`` grids derive one :class:`MultiFlowSpec`
+        per point (the scenario's declared mix is the "algorithm"), keyed
+        by the fixed label ``"flows"``.
+        """
+        points: list[tuple[Any, dict[str, RunSpec | MultiFlowSpec]]] = []
         applied = self.field_values if self.field_values is not None else self.values
         for value, applied_value in zip(self.values, applied):
-            by_algo: dict[str, RunSpec] = {}
+            if self.row_style == "fairness":
+                points.append(
+                    (value, {"flows": self.base.varied(self.parameter, applied_value)}))
+                continue
+            by_algo: dict[str, RunSpec | MultiFlowSpec] = {}
             for algo in self.algorithms:
                 spec = self.base.varied(self.parameter, applied_value).replace(cc=algo)
                 if self.retune_rss and algo == "restricted":
@@ -672,11 +763,19 @@ class SweepSpec(SpecBase):
     def from_dict(cls, data: dict) -> "SweepSpec":
         data = _checked(cls, data)
         field_values = data.get("field_values")
+        base_doc = data.get("base") or {}
+        # the base's "kind" tag picks the spec class (multi_flow bases back
+        # the fairness row style); absent tags decode as the historical
+        # RunSpec layout
+        if base_doc.get("kind") == MultiFlowSpec.kind:
+            base: RunSpec | MultiFlowSpec = MultiFlowSpec.from_dict(base_doc)
+        else:
+            base = RunSpec.from_dict(base_doc)
         return cls(
             name=data.get("name", "sweep"),
             parameter=data.get("parameter", "config.ifq_capacity_packets"),
             values=tuple(data.get("values", ())),
-            base=RunSpec.from_dict(data.get("base") or {}),
+            base=base,
             algorithms=tuple(data.get("algorithms", ("reno", "restricted"))),
             field_values=tuple(field_values) if field_values is not None else None,
             parameter_label=data.get("parameter_label"),

@@ -52,6 +52,7 @@ __all__ = [
     "attach_flow_spec",
     "attach_cross_traffic_spec",
     "build_loss_model",
+    "resolve_restricted_config",
     "scenario_cc_factory",
     "core_drops",
     "core_capacity_bps",
@@ -108,6 +109,34 @@ def compile_topology(
     return topology, nodes
 
 
+def resolve_restricted_config(
+    config: PathConfig,
+    cc_kwargs: dict | None = None,
+    rss_config: RestrictedSlowStartConfig | None = None,
+) -> RestrictedSlowStartConfig:
+    """The controller configuration a declared ``restricted`` flow gets.
+
+    Gains derive from the path config's RTT (the controller scales with the
+    feedback delay); ``cc_kwargs`` apply as
+    :class:`RestrictedSlowStartConfig` field overrides (e.g.
+    ``{"setpoint_fraction": 0.5}``).  Shared by the packet compiler and the
+    fluid backends so both engines accept exactly the same declarations.
+    """
+    rss = (rss_config if rss_config is not None
+           else RestrictedSlowStartConfig.for_path(config.rtt))
+    if cc_kwargs:
+        try:
+            rss = rss.replace(**cc_kwargs)
+        except TypeError:
+            raise ExperimentError(
+                f"cc_kwargs for a restricted flow are "
+                f"RestrictedSlowStartConfig overrides; got {cc_kwargs!r}, "
+                f"valid fields: "
+                f"{sorted(f.name for f in fields(RestrictedSlowStartConfig))}"
+            ) from None
+    return rss
+
+
 def scenario_cc_factory(
     cc: str,
     config: PathConfig,
@@ -116,27 +145,12 @@ def scenario_cc_factory(
 ) -> CCFactory | None:
     """Path-matched factory for algorithms needing per-path configuration.
 
-    The restricted controller's gains scale with the feedback delay, so
-    flows declared as ``cc="restricted"`` get gains derived from the
-    scenario config's RTT (exactly as the experiment runner always did);
-    their ``cc_kwargs`` are applied as
-    :class:`RestrictedSlowStartConfig` field overrides (e.g.
-    ``{"setpoint_fraction": 0.5}``).  Other algorithms return ``None`` and
+    Flows declared as ``cc="restricted"`` resolve through
+    :func:`resolve_restricted_config`; other algorithms return ``None`` and
     resolve through the CC registry, which receives ``cc_kwargs`` directly.
     """
     if cc == "restricted":
-        rss = (rss_config if rss_config is not None
-               else RestrictedSlowStartConfig.for_path(config.rtt))
-        if cc_kwargs:
-            try:
-                rss = rss.replace(**cc_kwargs)
-            except TypeError:
-                raise ExperimentError(
-                    f"cc_kwargs for a restricted flow are "
-                    f"RestrictedSlowStartConfig overrides; got {cc_kwargs!r}, "
-                    f"valid fields: "
-                    f"{sorted(f.name for f in fields(RestrictedSlowStartConfig))}"
-                ) from None
+        rss = resolve_restricted_config(config, cc_kwargs, rss_config)
         return lambda ctx: RestrictedSlowStart(ctx, rss)
     return None
 
@@ -149,6 +163,7 @@ def attach_flow_spec(scenario: Scenario, flow: FlowSpec, index: int) -> None:
         cc=factory if factory is not None else flow.cc,
         total_bytes=flow.total_bytes,
         start_time=flow.start_time,
+        stop_time=flow.stop_time,
         cc_kwargs=flow.cc_kwargs or None,
         port=flow.port,
         name=f"flow{index}:{flow.cc}",

@@ -192,6 +192,7 @@ class Scenario:
         cc: str | CCFactory = "reno",
         total_bytes: int | None = None,
         start_time: float = 0.0,
+        stop_time: float | None = None,
         options: TCPOptions | None = None,
         cc_kwargs: dict | None = None,
         name: str = "",
@@ -200,12 +201,15 @@ class Scenario:
 
         ``cc`` is either a registry name ("reno", "restricted", ...) or a
         factory callable; ``cc_kwargs`` are forwarded to registry factories.
+        ``stop_time`` stops the sender offering new data at that simulation
+        time (see :meth:`BulkSenderApp.stop`).
         """
         if not (0 <= index < self.n_paths):
             raise ConfigurationError(f"flow index {index} out of range (0..{self.n_paths - 1})")
         return self._attach_flow(
             self.senders[index], self.receivers[index],
             cc=cc, total_bytes=total_bytes, start_time=start_time,
+            stop_time=stop_time,
             options=options, cc_kwargs=cc_kwargs, port=None,
             name=name or f"flow{index}", sink_label=str(index),
         )
@@ -217,6 +221,7 @@ class Scenario:
         cc: str | CCFactory = "reno",
         total_bytes: int | None = None,
         start_time: float = 0.0,
+        stop_time: float | None = None,
         options: TCPOptions | None = None,
         cc_kwargs: dict | None = None,
         port: int | None = None,
@@ -238,6 +243,7 @@ class Scenario:
                     "terminate on hosts")
         return self._attach_flow(
             src, dst, cc=cc, total_bytes=total_bytes, start_time=start_time,
+            stop_time=stop_time,
             options=options, cc_kwargs=cc_kwargs, port=port,
             name=name or f"flow{src.name}->{dst.name}", sink_label=dst.name,
         )
@@ -250,6 +256,7 @@ class Scenario:
         cc: str | CCFactory,
         total_bytes: int | None,
         start_time: float,
+        stop_time: float | None = None,
         options: TCPOptions | None,
         cc_kwargs: dict | None,
         port: int | None,
@@ -273,6 +280,7 @@ class Scenario:
             remote_port=port,
             total_bytes=total_bytes,
             start_time=start_time,
+            stop_time=stop_time,
             options=opts,
             cc_factory=factory,
             name=name,

@@ -152,13 +152,16 @@ class TestRegistry:
         from repro.experiments.registry import _supports_fluid
 
         ids = {spec.experiment_id for spec in all_experiments()}
-        packet_ids = {f"E{i}" for i in range(1, 12)}
+        packet_ids = {f"E{i}" for i in range(1, 13)}
         assert packet_ids <= ids
-        # every fluid-capable backend-aware experiment also has a fluid
-        # fast-path variant; packet-only scenario entries (E11) have none
+        # every fluid-capable spec-carrying experiment also has a fluid
+        # fast-path variant; packet-only scenario entries (E11) have none,
+        # and legacy runner entries (E7..E9) derive none even when their
+        # runner accepts a backend keyword (E9)
         fluid_ids = {i for i in ids if i.endswith("F")}
         assert fluid_ids == {f"{spec.experiment_id}F" for spec in all_experiments()
-                             if spec.backend_aware and _supports_fluid(spec.spec)}
+                             if spec.spec is not None and spec.base_id is None
+                             and _supports_fluid(spec.spec)}
         assert ids == packet_ids | fluid_ids
 
     def test_lookup_case_insensitive(self):

@@ -103,7 +103,9 @@ class TestScenarioEntries:
         assert 0.0 < result.jain_index <= 1.0
 
     def test_parking_lot_rejects_fluid(self):
-        with pytest.raises(ExperimentError, match="packet-only"):
+        # multi-flow fluid exists now, but only for the canonical dumbbell:
+        # the parking lot's shape is named in the rejection
+        with pytest.raises(ExperimentError, match="packet backend instead"):
             get_experiment("E11").run(backend="fluid")
 
 
@@ -115,9 +117,22 @@ class TestLegacyEntries:
             assert {"config", "duration", "seed"} <= set(parameters), experiment_id
 
     def test_legacy_entries_reject_backend_selection(self):
+        # ... unless their runner takes a backend keyword (E9's fairness
+        # runner dispatches its MultiFlowSpec points to either engine)
         for experiment_id in LEGACY_IDS:
+            entry = get_experiment(experiment_id)
+            if entry.backend_aware:
+                continue
             with pytest.raises(ExperimentError, match="packet engine only"):
-                get_experiment(experiment_id).run(backend="fluid")
+                entry.run(backend="fluid")
+        assert get_experiment("E9").backend_aware
+
+    def test_fairness_runner_accepts_fluid_backend(self):
+        result = get_experiment("E9").run(
+            config=SMALL_PATH, duration=2.0, seed=2, backend="fluid",
+            flow_counts=(2,), mixes=("standard",))
+        assert len(result.rows) == 1
+        assert result.runs[(2, "standard")].backend == "fluid"
 
     def test_legacy_run_forwards_overrides(self):
         result = get_experiment("E8").run(

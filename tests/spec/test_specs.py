@@ -146,11 +146,20 @@ class TestValidationAndDispatch:
         with pytest.raises(ExperimentError, match="cannot execute"):
             execute({"kind": "run"})
 
-    def test_multi_flow_is_packet_only(self):
+    def test_multi_flow_backend_selection(self):
         spec = MultiFlowSpec(flows=(BulkFlowSpec(),), config=SMALL_PATH,
                              duration=1.0)
-        assert spec.with_backend("packet") is spec
-        with pytest.raises(ExperimentError, match="packet-only"):
+        assert spec.with_backend("packet") == spec
+        fluid = spec.with_backend("fluid")
+        assert fluid.backend == "fluid"
+        # only engines with a multi-flow implementation are accepted
+        with pytest.raises(ExperimentError, match="packet' or 'fluid"):
+            spec.with_backend("warp")
+
+    def test_multi_flow_fluid_rejects_unmodelled_algorithms(self):
+        spec = MultiFlowSpec(flows=(BulkFlowSpec(cc="cubic"),),
+                             config=SMALL_PATH, duration=1.0)
+        with pytest.raises(ExperimentError, match="no growth rule"):
             spec.with_backend("fluid")
 
     def test_varied_rejects_unknown_field(self):

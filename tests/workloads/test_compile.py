@@ -228,3 +228,82 @@ class TestScenarioExecution:
                 dataclasses.replace(base.flows[0],
                                     cc_kwargs={"warp": 9}),)),
                 duration=1.0, seed=1))
+
+
+class TestFlowDurationStopHook:
+    """``FlowSpec.duration`` must actually stop the sender (the historical
+    bug: a declared stop time validated at spec time but changed nothing
+    at compile time — a spec that changes nothing must never load
+    silently)."""
+
+    def _scenario_with_duration(self, duration):
+        import dataclasses
+
+        base = dumbbell(TINY_PATH, 1)
+        return base.replace(flows=(
+            dataclasses.replace(base.flows[0], duration=duration),))
+
+    def test_packet_flow_stops_at_declared_duration(self):
+        stopped = execute(MultiFlowSpec(
+            scenario=self._scenario_with_duration(1.0), duration=4.0, seed=1))
+        unbounded = execute(MultiFlowSpec(
+            scenario=dumbbell(TINY_PATH, 1), duration=4.0, seed=1))
+        flow = stopped.flows[0]
+        # the transfer is over (and counted complete) right after the stop
+        assert flow.completion_time is not None
+        assert flow.completion_time == pytest.approx(1.0, abs=0.5)
+        assert flow.bytes_acked < unbounded.flows[0].bytes_acked / 2
+
+    def test_primary_run_spec_flow_honours_duration(self):
+        result = execute(RunSpec(
+            scenario=self._scenario_with_duration(1.0), duration=4.0, seed=1))
+        assert result.flow.completion_time == pytest.approx(1.0, abs=0.5)
+
+    def test_packet_and_fluid_agree_on_stopped_transfer(self):
+        scenario = self._scenario_with_duration(1.5)
+        packet = execute(RunSpec(scenario=scenario, duration=4.0, seed=1))
+        fluid = execute(RunSpec(scenario=scenario, duration=4.0,
+                                backend="fluid"))
+        assert fluid.flow.completion_time == pytest.approx(
+            packet.flow.completion_time, abs=0.5)
+        assert fluid.flow.bytes_acked == pytest.approx(
+            packet.flow.bytes_acked, rel=0.3)
+
+    def test_second_flow_keeps_running_after_first_stops(self):
+        import dataclasses
+
+        base = dumbbell(TINY_PATH, 2, ccs="reno")
+        scenario = base.replace(flows=(
+            dataclasses.replace(base.flows[0], duration=1.0),
+            base.flows[1]))
+        result = execute(MultiFlowSpec(scenario=scenario, duration=4.0,
+                                       seed=1))
+        stopped, running = result.flows
+        assert running.bytes_acked > stopped.bytes_acked
+
+    def test_flow_duration_validation(self):
+        import dataclasses
+
+        base = dumbbell(TINY_PATH, 1)
+        with pytest.raises(Exception, match="duration must be positive"):
+            dataclasses.replace(base.flows[0], duration=-1.0)
+        flow = dataclasses.replace(base.flows[0], duration=2.5)
+        assert flow.stop_time == pytest.approx(flow.start_time + 2.5)
+
+    def test_stop_inside_handshake_still_completes(self):
+        # a duration shorter than the handshake RTT must not leave the flow
+        # dangling: it completes at the stop with zero payload on every
+        # engine (regression: on_all_acked never fires once stop() has
+        # emptied the send buffer during the handshake)
+        scenario = self._scenario_with_duration(0.001)
+        packet = execute(RunSpec(scenario=scenario, duration=2.0, seed=1))
+        fluid = execute(RunSpec(scenario=scenario, duration=2.0,
+                                backend="fluid"))
+        multi = execute(MultiFlowSpec(scenario=scenario, duration=2.0,
+                                      backend="fluid"))
+        for completion, bytes_acked in (
+                (packet.flow.completion_time, packet.flow.bytes_acked),
+                (fluid.flow.completion_time, fluid.flow.bytes_acked),
+                (multi.flows[0].completion_time, multi.flows[0].bytes_acked)):
+            assert completion == pytest.approx(0.001)
+            assert bytes_acked == 0
