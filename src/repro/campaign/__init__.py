@@ -1,0 +1,61 @@
+"""Campaign subsystem — content-addressed result store + memoized batches.
+
+Every declarative spec has a stable ``cache_key()`` and every executed
+result serialises to a self-describing JSON document; this package connects
+the two so the paper's full evaluation reruns *incrementally*:
+
+* :class:`ResultStore` — an on-disk cache mapping ``spec.cache_key()`` to
+  the result document, with atomic writes, integrity-checked reads,
+  ``gc`` and ``stats``;
+* :class:`CampaignSpec` — a frozen, JSON-round-trippable batch of unit
+  specs, registry experiment ids and sweeps, flattened to per-point units;
+* :func:`run_campaign` — the executor: hits from the store, misses through
+  the process pool, manifest out; rerunning a finished campaign does zero
+  simulation work.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, ResultStore, run_campaign
+
+    store = ResultStore(".repro-cache")
+    campaign = CampaignSpec(name="ablation", experiments=("E3F", "E2F"))
+    manifest = run_campaign(campaign, store)     # cold: computes everything
+    manifest = run_campaign(campaign, store)     # warm: 100% hits
+    assert manifest.misses == 0
+
+CLI: ``repro campaign run|status|gc``.  See the README's "Campaign &
+result cache" section for the store layout and invalidation policy.
+"""
+
+from .run import (
+    CampaignManifest,
+    UnitReport,
+    campaign_status,
+    execute_spec_documents,
+    run_campaign,
+    write_manifest,
+)
+from .spec import CampaignSpec, CampaignUnit
+from .store import (
+    DEFAULT_STORE_ROOT,
+    STORE_ENV,
+    GCStats,
+    ResultStore,
+    StoreStats,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignUnit",
+    "ResultStore",
+    "StoreStats",
+    "GCStats",
+    "STORE_ENV",
+    "DEFAULT_STORE_ROOT",
+    "run_campaign",
+    "campaign_status",
+    "execute_spec_documents",
+    "write_manifest",
+    "CampaignManifest",
+    "UnitReport",
+]

@@ -1,0 +1,294 @@
+"""Memoized, resumable campaign execution.
+
+:func:`run_campaign` is the batch orchestrator on top of the spec layer:
+it flattens a :class:`~repro.campaign.spec.CampaignSpec` to atomic units,
+partitions them into **hits** (already in the :class:`ResultStore`) and
+**misses**, executes only the misses — one pickled spec per worker via the
+same process fan-out the sweeps use — writes the new documents back, and
+returns a :class:`CampaignManifest` recording per-unit status, timings and
+the hit rate.
+
+Because the store writes are atomic and keyed purely by spec content, the
+executor is *resumable by construction*: interrupt a campaign halfway,
+rerun it, and everything already computed is a hit — a rerun of a finished
+campaign does zero simulation work.
+
+:func:`execute_spec_documents` is the underlying document-level batch
+helper (specs in, result documents out, store-served where possible); the
+fluid cross-validation grids route through it so ``repro validate
+--store`` is incremental too.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ExperimentError
+from ..spec import SpecBase
+from .spec import CampaignSpec, CampaignUnit
+from .store import ResultStore
+
+__all__ = [
+    "UnitReport",
+    "CampaignManifest",
+    "execute_spec_documents",
+    "run_campaign",
+    "campaign_status",
+    "write_manifest",
+]
+
+
+def _timed_document(spec: SpecBase) -> tuple[dict, float]:
+    """Worker body: execute one spec, return (document, wall seconds)."""
+    from ..experiments.results_io import result_document
+    from ..spec import execute
+
+    t0 = time.perf_counter()
+    result = execute(spec)
+    return result_document(result), time.perf_counter() - t0
+
+
+def _compute_documents(
+    specs: Sequence[SpecBase],
+    store: ResultStore | None,
+    max_workers: int | None,
+) -> list[tuple[dict, float]]:
+    """Execute specs, storing each document *as it completes*.
+
+    Write-back happens per result, not after the whole batch — that is
+    what makes campaigns resumable: interrupt a run (or let one unit
+    raise) and everything already computed is on disk for the rerun to
+    hit.  When a worker fails, every *successful* result is still stored
+    before the first failure propagates.  Returns (document, wall) pairs
+    in input order.
+    """
+    from ..experiments.parallel import default_worker_count
+
+    if max_workers is None:
+        max_workers = default_worker_count()
+    if max_workers <= 1 or len(specs) == 1:
+        out = []
+        for spec in specs:
+            document, wall = _timed_document(spec)
+            if store is not None:
+                store.put_document(document)
+            out.append((document, wall))
+        return out
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(_timed_document, spec) for spec in specs]
+        first_error: BaseException | None = None
+        for future in as_completed(futures):
+            try:
+                document, _wall = future.result()
+            except BaseException as exc:  # noqa: BLE001 - drain successes first
+                if first_error is None:
+                    first_error = exc
+                continue
+            if store is not None:
+                store.put_document(document)
+        if first_error is not None:
+            raise first_error
+        return [future.result() for future in futures]
+
+
+def execute_spec_documents(
+    specs: Sequence[SpecBase],
+    store: ResultStore | None = None,
+    max_workers: int | None = None,
+) -> list[dict]:
+    """Result documents for every spec, served from ``store`` when possible.
+
+    Specs whose ``cache_key`` is already stored are answered from disk
+    (zero simulation work); the rest execute via the process pool —
+    duplicates collapsed to one execution — and, when a store is given,
+    each is written back *as it completes* (see :func:`_compute_documents`).
+    Documents are returned in input order and are exactly what
+    :func:`repro.experiments.results_io.save_result` would have written.
+    """
+    if not specs:
+        raise ExperimentError("specs must not be empty")
+    keys = [spec.cache_key() for spec in specs]
+    documents: dict[str, dict] = {}
+    misses: dict[str, SpecBase] = {}
+    for spec, key in zip(specs, keys):
+        if key in documents or key in misses:
+            continue
+        hit = store.get(key) if store is not None else None
+        if hit is not None:
+            documents[key] = hit
+        else:
+            misses[key] = spec
+    if misses:
+        computed = _compute_documents(list(misses.values()), store, max_workers)
+        for key, (document, _wall) in zip(misses, computed):
+            documents[key] = document
+    return [documents[key] for key in keys]
+
+
+@dataclass
+class UnitReport:
+    """Per-unit manifest row: what happened to one atomic spec."""
+
+    label: str
+    kind: str
+    cache_key: str
+    #: ``"hit"`` (served from the store), ``"computed"`` (executed this
+    #: run), or ``"pending"`` (status-only inspection, not executed).
+    status: str
+    wall_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "kind": self.kind,
+                "cache_key": self.cache_key, "status": self.status,
+                "wall_s": round(self.wall_s, 6)}
+
+
+@dataclass
+class CampaignManifest:
+    """Everything one campaign run (or status inspection) observed."""
+
+    name: str
+    campaign_key: str
+    store_root: str
+    schema_version: int
+    executed: bool
+    units: list[UnitReport] = field(default_factory=list)
+    #: Flattened units sharing a cache key with an earlier unit (executed
+    #: once, reported once — this counts the collapsed duplicates).
+    deduplicated: int = 0
+    total_wall_s: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for unit in self.units if unit.status == "hit")
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for unit in self.units if unit.status != "hit")
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / len(self.units) if self.units else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "campaign_key": self.campaign_key,
+            "store_root": self.store_root,
+            "schema_version": self.schema_version,
+            "executed": self.executed,
+            "total_units": len(self.units),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 6),
+            "deduplicated": self.deduplicated,
+            "total_wall_s": round(self.total_wall_s, 6),
+            "units": [unit.to_dict() for unit in self.units],
+        }
+
+    def render(self) -> str:
+        verb = "run" if self.executed else "status"
+        lines = [
+            f"campaign {self.name!r} ({verb}) — {len(self.units)} units, "
+            f"store {self.store_root} (schema v{self.schema_version})",
+            f"  hits {self.hits}, "
+            + (f"computed {self.misses}" if self.executed
+               else f"pending {self.misses}")
+            + f" (hit rate {self.hit_rate:.1%})"
+            + (f", {self.deduplicated} deduplicated" if self.deduplicated else "")
+            + (f", wall {self.total_wall_s:.2f}s" if self.executed else ""),
+        ]
+        for unit in self.units:
+            wall = f" {unit.wall_s:8.3f}s" if unit.status == "computed" else " " * 10
+            lines.append(f"  [{unit.status:8s}]{wall} {unit.label:44s} "
+                         f"{unit.cache_key[:12]}")
+        return "\n".join(lines)
+
+
+def _dedup(units: list[CampaignUnit]) -> tuple[list[CampaignUnit], int]:
+    seen: set[str] = set()
+    unique = []
+    for unit in units:
+        key = unit.cache_key
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(unit)
+    return unique, len(units) - len(unique)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    max_workers: int | None = None,
+    execute_misses: bool = True,
+) -> CampaignManifest:
+    """Execute a campaign incrementally against ``store``.
+
+    Units already stored are hits (no simulation); the rest run across the
+    process pool (one pickled spec per worker) and are written back
+    atomically **as each unit completes**, so an interrupted campaign — or
+    one whose later unit fails — resumes where it left off.  With
+    ``execute_misses=False`` nothing runs — the manifest reports the
+    hit/pending partition (the ``repro campaign status`` view).
+    """
+    from ..experiments.results_io import SCHEMA_VERSION
+
+    units, deduplicated = _dedup(spec.expand())
+    manifest = CampaignManifest(
+        name=spec.name,
+        campaign_key=spec.cache_key(),
+        store_root=str(store.root),
+        schema_version=SCHEMA_VERSION,
+        executed=execute_misses,
+        deduplicated=deduplicated,
+    )
+    t0 = time.perf_counter()
+    reports: dict[str, UnitReport] = {}
+    missing: list[CampaignUnit] = []
+    for unit in units:
+        key = unit.cache_key
+        if store.get(key) is not None:
+            reports[key] = UnitReport(label=unit.label, kind=unit.spec.kind,
+                                      cache_key=key, status="hit")
+        else:
+            missing.append(unit)
+            reports[key] = UnitReport(label=unit.label, kind=unit.spec.kind,
+                                      cache_key=key, status="pending")
+    if execute_misses and missing:
+        computed = _compute_documents([unit.spec for unit in missing],
+                                      store, max_workers)
+        for unit, (_document, wall) in zip(missing, computed):
+            report = reports[unit.cache_key]
+            report.status = "computed"
+            report.wall_s = wall
+    manifest.units = [reports[unit.cache_key] for unit in units]
+    manifest.total_wall_s = time.perf_counter() - t0
+    return manifest
+
+
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignManifest:
+    """The hit/pending partition of a campaign, without executing anything."""
+    return run_campaign(spec, store, execute_misses=False)
+
+
+def write_manifest(manifest: CampaignManifest,
+                   path: str | pathlib.Path | None = None) -> pathlib.Path:
+    """Write a manifest's JSON document; defaults into the store's
+    ``manifests/<campaign_key>.json`` so reruns overwrite their predecessor.
+    """
+    if path is None:
+        path = (pathlib.Path(manifest.store_root) / "manifests"
+                / f"{manifest.campaign_key}.json")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True)
+                    + "\n")
+    return path

@@ -1,0 +1,171 @@
+"""Declarative campaign spec — a named batch of cacheable experiment work.
+
+A :class:`CampaignSpec` is a frozen, JSON-round-trippable spec in the
+:mod:`repro.spec` registry style (``kind="campaign"``) that names three
+kinds of work:
+
+* ``units`` — explicit unit specs (:class:`~repro.spec.RunSpec`,
+  :class:`~repro.spec.ComparisonSpec`, :class:`~repro.spec.MultiFlowSpec`);
+* ``experiments`` — registry experiment ids (``"E3"``, ``"E2F"``, ...),
+  resolved to their declarative specs (legacy runner-only entries are
+  rejected eagerly by name);
+* ``sweeps`` — :class:`~repro.spec.SweepSpec` grids.
+
+:meth:`CampaignSpec.expand` flattens everything to *atomic* units — one
+``RunSpec``/``MultiFlowSpec`` per point and algorithm — so caching and
+process fan-out happen at point granularity: re-running a campaign after
+editing one sweep value recomputes exactly the new points, and two
+campaigns sharing grid points share their cached results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..errors import ExperimentError
+from ..spec import ComparisonSpec, MultiFlowSpec, RunSpec, SpecBase, SweepSpec
+from ..spec.specs import _checked, spec_from_dict
+
+__all__ = ["CampaignSpec", "CampaignUnit"]
+
+#: Spec kinds allowed in ``CampaignSpec.units`` (sweeps go in ``sweeps=``).
+_UNIT_KINDS = (RunSpec, ComparisonSpec, MultiFlowSpec)
+
+#: Spec kinds an expanded (atomic) unit can be.
+_ATOMIC_KINDS = (RunSpec, MultiFlowSpec)
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One atomic, independently cacheable piece of campaign work."""
+
+    label: str
+    spec: "RunSpec | MultiFlowSpec"
+
+    @property
+    def cache_key(self) -> str:
+        return self.spec.cache_key()
+
+
+@dataclass(frozen=True)
+class CampaignSpec(SpecBase):
+    """A named, serializable batch of experiment work (see module docstring).
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier carried into manifests and artifact names.
+    units:
+        Explicit unit specs; comparisons flatten to one run per algorithm.
+    experiments:
+        Registry ids resolved through :func:`repro.experiments.get_experiment`;
+        only spec-carrying entries qualify (legacy runners have no cache
+        key), and unknown/legacy ids are rejected at construction time.
+    sweeps:
+        Sweep grids, flattened to one atomic spec per (point, algorithm).
+    """
+
+    kind: ClassVar[str] = "campaign"
+
+    name: str = "campaign"
+    units: tuple = ()
+    experiments: tuple[str, ...] = ()
+    sweeps: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "units", tuple(self.units))
+        object.__setattr__(self, "experiments", tuple(self.experiments))
+        object.__setattr__(self, "sweeps", tuple(self.sweeps))
+        if not (self.units or self.experiments or self.sweeps):
+            raise ExperimentError(
+                "an empty campaign does nothing: give units=, experiments= "
+                "(registry ids) and/or sweeps=")
+        for unit in self.units:
+            if isinstance(unit, SweepSpec):
+                raise ExperimentError(
+                    f"sweep {unit.name!r} belongs in sweeps=, not units=")
+            if not isinstance(unit, _UNIT_KINDS):
+                raise ExperimentError(
+                    f"campaign units must be one of "
+                    f"{sorted(c.kind for c in _UNIT_KINDS)} specs, got "
+                    f"{type(unit).__name__}")
+        for sweep in self.sweeps:
+            if not isinstance(sweep, SweepSpec):
+                raise ExperimentError(
+                    f"campaign sweeps must be SweepSpec, got "
+                    f"{type(sweep).__name__}")
+        for experiment_id in self.experiments:
+            self._resolve(experiment_id)  # eager: unknown/legacy ids fail here
+
+    @staticmethod
+    def _resolve(experiment_id: str) -> SpecBase:
+        from ..experiments.registry import get_experiment
+
+        entry = get_experiment(experiment_id)
+        if entry.spec is None:
+            raise ExperimentError(
+                f"experiment {entry.experiment_id} has no declarative spec "
+                "(legacy runner) — it carries no cache key, so campaigns "
+                "cannot memoize it; run it directly instead")
+        return entry.spec
+
+    # ------------------------------------------------------------------
+    def expand(self) -> list[CampaignUnit]:
+        """Flatten to atomic units (one spec per point and algorithm).
+
+        Duplicate cache keys are *not* removed here — the executor dedups
+        so the manifest can report how much work the flattening shared.
+        """
+        out: list[CampaignUnit] = []
+        for i, unit in enumerate(self.units):
+            out.extend(_flatten(f"unit{i}", unit))
+        for experiment_id in self.experiments:
+            out.extend(_flatten(experiment_id.upper(),
+                                self._resolve(experiment_id)))
+        for sweep in self.sweeps:
+            out.extend(_flatten(sweep.name, sweep))
+        return out
+
+    # -- serialization ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        data = _checked(cls, data)
+        units = tuple(_decode_member(doc, _UNIT_KINDS, "units")
+                      for doc in data.get("units", ()))
+        sweeps = tuple(_decode_member(doc, (SweepSpec,), "sweeps")
+                       for doc in data.get("sweeps", ()))
+        return cls(
+            name=data.get("name", "campaign"),
+            units=units,
+            experiments=tuple(data.get("experiments", ())),
+            sweeps=sweeps,
+        )
+
+
+def _decode_member(doc: dict, allowed: tuple, where: str) -> SpecBase:
+    spec = spec_from_dict(doc)
+    if not isinstance(spec, allowed):
+        raise ExperimentError(
+            f"campaign {where} entries must be one of "
+            f"{sorted(c.kind for c in allowed)} specs, got {spec.kind!r}")
+    return spec
+
+
+def _flatten(label: str, spec: SpecBase) -> list[CampaignUnit]:
+    """Atomic units of one campaign member, labelled for the manifest."""
+    if isinstance(spec, _ATOMIC_KINDS):
+        return [CampaignUnit(label=label, spec=spec)]
+    if isinstance(spec, ComparisonSpec):
+        return [CampaignUnit(label=f"{label}/{cc}", spec=run_spec)
+                for cc, run_spec in spec.run_specs().items()]
+    if isinstance(spec, SweepSpec):
+        out = []
+        for value, by_algo in spec.point_specs():
+            for algo, point_spec in by_algo.items():
+                out.append(CampaignUnit(
+                    label=f"{label}[{spec.row_key}={value}]/{algo}",
+                    spec=point_spec))
+        return out
+    raise ExperimentError(
+        f"cannot flatten a {type(spec).__name__} into campaign units")

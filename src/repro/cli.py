@@ -14,6 +14,9 @@ Python:
     python -m repro scenario list                 # the scenario gallery
     python -m repro scenario dump parking_lot -o pl.json
     python -m repro run --scenario pl.json --duration 10
+    python -m repro campaign run E3F E2F          # memoized batch (rerun = hits)
+    python -m repro campaign status E3F           # hit/pending partition
+    python -m repro campaign gc --all             # clear the result store
     python -m repro tune --rule allcock_modified
 
 Experiments that return a renderable result print the same table/series the
@@ -169,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("-o", "--output", default=None,
                      help="save the raw result (plus its spec and cache key) "
                           "as JSON to this path")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="also record the run's raw result in this "
+                          "content-addressed result store (write-through; "
+                          "campaigns and 'repro validate --store' sharing "
+                          "the spec hit it later)")
 
     spec_cmd = sub.add_parser(
         "spec", help="inspect and serialize the declarative experiment specs")
@@ -196,6 +204,51 @@ def build_parser() -> argparse.ArgumentParser:
                                     "instead of stdout")
     scenario_sub.add_parser("list", help="list the scenario gallery")
 
+    campaign_cmd = sub.add_parser(
+        "campaign", help="memoized batch runs against the content-addressed "
+                         "result store (rerun = cache hits)")
+    campaign_sub = campaign_cmd.add_subparsers(dest="campaign_command",
+                                               required=True)
+    store_help = ("result store directory (default: $REPRO_RESULT_STORE "
+                  "or ./.repro-cache)")
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a campaign incrementally: store hits are "
+                    "served from disk, only misses simulate")
+    campaign_run.add_argument(
+        "sources", nargs="+",
+        help="what to run: registry experiment ids (E3, E2F, ...) and/or "
+             "spec JSON files (campaign, sweep, run, comparison, "
+             "multi_flow or scenario documents; '-' reads stdin)")
+    campaign_run.add_argument("--store", default=None, metavar="DIR",
+                              help=store_help)
+    campaign_run.add_argument("--jobs", type=int, default=None,
+                              help="worker processes for the misses "
+                                   "(default: half the CPUs, or "
+                                   "$REPRO_MAX_WORKERS)")
+    campaign_run.add_argument("--manifest", default=None, metavar="PATH",
+                              help="write the JSON manifest here (default: "
+                                   "<store>/manifests/<campaign key>.json)")
+    campaign_status = campaign_sub.add_parser(
+        "status", help="report the hit/pending partition without running "
+                       "anything")
+    campaign_status.add_argument("sources", nargs="+",
+                                 help="same sources as 'campaign run'")
+    campaign_status.add_argument("--store", default=None, metavar="DIR",
+                                 help=store_help)
+    campaign_status.add_argument("--manifest", default=None, metavar="PATH",
+                                 help="also write the status manifest JSON "
+                                      "to this path")
+    campaign_gc = campaign_sub.add_parser(
+        "gc", help="drop unusable store entries (corrupt, stale schema "
+                   "version, integrity failures)")
+    campaign_gc.add_argument("--store", default=None, metavar="DIR",
+                             help=store_help)
+    campaign_gc.add_argument("--older-than-days", type=float, default=None,
+                             help="additionally drop valid entries older "
+                                  "than this many days")
+    campaign_gc.add_argument("--all", action="store_true", dest="clear",
+                             help="wipe every entry")
+
     compare = sub.add_parser("compare", help="standard TCP vs restricted slow-start")
     compare.add_argument("--duration", type=float, default=10.0)
     compare.add_argument("--algorithms", nargs="+", default=["reno", "restricted"])
@@ -215,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--fairness-duration", type=float, default=None,
                           help="multi-flow mix horizon (default 20 s, where "
                                "the Jain tolerance is tuned)")
+    validate.add_argument("--store", default=None, metavar="DIR",
+                          help="serve grid points from (and record them "
+                               "into) this content-addressed result store, "
+                               "so reruns of an unchanged grid are "
+                               "incremental")
 
     return parser
 
@@ -253,8 +311,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: give either {' or '.join(sources)}, not both",
               file=sys.stderr)
         return 2
+    store = None
+    if args.store is not None:
+        from .campaign import ResultStore
+
+        store = ResultStore(args.store)
     if args.spec_file or args.scenario_file:
         spec = _load_spec_arg(args.spec_file or args.scenario_file)
+        if spec.kind == "campaign":
+            print(f"error: {args.spec_file or args.scenario_file} is a "
+                  "campaign spec; run it with 'repro campaign run'",
+                  file=sys.stderr)
+            return 2
         if args.scenario_file and not isinstance(spec, ScenarioSpec):
             print(f"error: {args.scenario_file} is a {spec.kind!r} spec, not "
                   "a scenario; run it with --spec", file=sys.stderr)
@@ -263,7 +331,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # a bare scenario runs every declared flow as a multi-flow job
             spec = MultiFlowSpec(scenario=spec)
         spec = _apply_overrides(spec, args)
-        result = execute(spec)
+        result = execute(spec, store=store)
         _print_result(result, args.output)
         return 0
     if not args.experiment:
@@ -291,6 +359,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
         backend=args.backend if entry.backend_aware else None,
+        store=store,
     )
     _print_result(result, args.output)
     return 0
@@ -339,6 +408,81 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_from_sources(sources: Sequence[str]):
+    """Assemble the campaign to run from CLI sources (ids and spec files)."""
+    from .campaign import CampaignSpec
+    from .spec import SweepSpec
+
+    ids: list[str] = []
+    units: list[SpecBase] = []
+    sweeps: list[SweepSpec] = []
+    campaigns: list[CampaignSpec] = []
+    for source in sources:
+        if source == "-" or source.endswith(".json") \
+                or pathlib.Path(source).exists():
+            spec = _load_spec_arg(source)
+            if isinstance(spec, CampaignSpec):
+                campaigns.append(spec)
+            elif isinstance(spec, SweepSpec):
+                sweeps.append(spec)
+            elif isinstance(spec, ScenarioSpec):
+                units.append(MultiFlowSpec(scenario=spec))
+            else:
+                units.append(spec)
+        else:
+            ids.append(source)
+    if campaigns:
+        if len(campaigns) > 1 or ids or units or sweeps:
+            raise ReproError(
+                "give exactly one campaign file, or assemble a campaign "
+                "from experiment ids / unit spec files — not a mix of "
+                "campaign files with other sources")
+        return campaigns[0]
+    return CampaignSpec(units=tuple(units), experiments=tuple(ids),
+                        sweeps=tuple(sweeps))
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import ResultStore, run_campaign, write_manifest
+
+    # Campaign specs are content-addressed: a silently-applied global
+    # override would change every unit's cache key while the user thinks
+    # they are rerunning "the same" campaign — reject instead.
+    ignored = [flag for flag, value in (
+        ("--bandwidth-mbps", args.bandwidth_mbps),
+        ("--rtt-ms", args.rtt_ms),
+        ("--ifq", args.ifq),
+        ("--backend", args.backend),
+        ("--seed", args.seed),
+    ) if value is not None]
+    if ignored:
+        print(f"error: campaign sources are content-addressed specs; "
+              f"{', '.join(ignored)} cannot apply — regenerate the spec "
+              "with the overrides instead (e.g. 'repro spec dump')",
+              file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    if args.campaign_command == "gc":
+        print(store.stats().render())
+        print(store.gc(
+            older_than_s=(args.older_than_days * 86400.0
+                          if args.older_than_days is not None else None),
+            clear=args.clear).render())
+        return 0
+    spec = _campaign_from_sources(args.sources)
+    manifest = run_campaign(spec, store,
+                            max_workers=getattr(args, "jobs", None),
+                            execute_misses=args.campaign_command == "run")
+    print(manifest.render())
+    if args.campaign_command == "run":
+        path = write_manifest(manifest, args.manifest)
+        print(f"wrote manifest to {path}")
+    elif args.manifest:
+        path = write_manifest(manifest, args.manifest)
+        print(f"wrote status manifest to {path}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     config = _path_config(args)
     comparison = run_comparison(tuple(args.algorithms), config=config,
@@ -378,6 +522,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         argv += ["--skip-fairness"]
     if args.fairness_duration is not None:
         argv += ["--fairness-duration", str(args.fairness_duration)]
+    if args.store is not None:
+        argv += ["--store", args.store]
     return validate_main(argv)
 
 
@@ -406,6 +552,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_spec(args)
         if args.command == "scenario":
             return _cmd_scenario(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "tune":

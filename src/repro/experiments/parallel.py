@@ -21,6 +21,7 @@ from ..errors import ExperimentError
 from ..spec import MultiFlowSpec, RunSpec, SpecBase, execute
 
 __all__ = [
+    "MAX_WORKERS_ENV",
     "default_worker_count",
     "map_specs",
     "map_runs",
@@ -31,8 +32,33 @@ __all__ = [
 T = TypeVar("T")
 
 
+#: Environment variable capping process fan-out without code changes (CI,
+#: shared boxes).  Must be an integer >= 0; 0 (and 1) force serial runs.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
 def default_worker_count() -> int:
-    """A conservative worker count (half the CPUs, at least one)."""
+    """A conservative worker count (half the CPUs, at least one).
+
+    A ``REPRO_MAX_WORKERS`` environment variable overrides the CPU-derived
+    default for every ``max_workers=None`` call site at once: ``0`` (or
+    ``1``) forces serial execution, larger values set the pool size.  The
+    value is validated eagerly — a non-integer or negative setting raises
+    :class:`ExperimentError` naming the variable rather than silently
+    falling back.
+    """
+    override = os.environ.get(MAX_WORKERS_ENV)
+    if override is not None:
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ExperimentError(
+                f"{MAX_WORKERS_ENV} must be an integer >= 0, got {override!r}"
+            ) from None
+        if workers < 0:
+            raise ExperimentError(
+                f"{MAX_WORKERS_ENV} must be an integer >= 0, got {workers}")
+        return workers
     cpus = os.cpu_count() or 1
     return max(cpus // 2, 1)
 

@@ -102,6 +102,7 @@ class ExperimentSpec:
         seed: int | None = None,
         backend: str | None = None,
         max_workers: int | None = None,
+        store=None,
         **overrides,
     ):
         """Execute the experiment with uniform overrides applied.
@@ -110,7 +111,18 @@ class ExperimentSpec:
         ``with_*`` methods and extra keywords are rejected; legacy entries
         forward ``config``/``duration``/``seed`` plus any extra keywords to
         their runner and reject backend selection.
+
+        ``store`` (a :class:`repro.campaign.ResultStore`) records the
+        executed spec's raw result in the content-addressed cache
+        (write-through), so campaign runs and ``repro validate --store``
+        sharing the same spec hit it later.  Only spec-carrying entries
+        qualify — legacy runners produce results without a cache key.
         """
+        if store is not None and self.spec is None:
+            raise ExperimentError(
+                f"experiment {self.experiment_id} is a legacy runner whose "
+                "results carry no spec/cache key; it cannot be recorded in "
+                "a result store")
         if self.spec is not None:
             if overrides:
                 raise ExperimentError(
@@ -130,7 +142,10 @@ class ExperimentSpec:
                 spec = spec.with_seed(seed)
             if backend is not None:
                 spec = spec.with_backend(backend)
-            result = execute(spec, max_workers=max_workers)
+            # the *raw* spec results are what the cache keys address (the
+            # folded build_result view is derived presentation); execute's
+            # write-through stores the composite and its atomic components
+            result = execute(spec, max_workers=max_workers, store=store)
             return self.build_result(result) if self.build_result else result
         if backend not in (None, "packet") and not self.backend_aware:
             raise ExperimentError(

@@ -37,11 +37,18 @@ from typing import Any
 import numpy as np
 
 from ..errors import ExperimentError
-from ..spec import SpecBase
+from ..spec import SpecBase, spec_from_dict
 from .runner import ComparisonResult, FlowResult, MultiFlowResult, SingleFlowResult
 from .sweeps import SweepResult
 
-__all__ = ["to_jsonable", "save_result", "load_result", "SCHEMA_VERSION"]
+__all__ = [
+    "to_jsonable",
+    "result_document",
+    "save_result",
+    "load_result",
+    "validate_document",
+    "SCHEMA_VERSION",
+]
 
 #: Bumped whenever the on-disk layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -89,9 +96,14 @@ def _kind_of(result: Any) -> str:
     )
 
 
-def save_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
-    """Serialise a result object to ``path`` (JSON).  Returns the path."""
-    path = pathlib.Path(path)
+def result_document(result: Any) -> dict:
+    """The plain-data document a result serialises to (see module docstring).
+
+    The same document is what :func:`save_result` writes to disk and what
+    the campaign result store (:mod:`repro.campaign`) caches under the
+    spec's ``cache_key`` — building it here keeps exactly one definition of
+    the on-disk layout.
+    """
     document = {
         "kind": _kind_of(result),
         "schema_version": SCHEMA_VERSION,
@@ -101,9 +113,46 @@ def save_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
     if spec is not None:
         document["spec"] = spec.to_dict()
         document["cache_key"] = spec.cache_key()
+    return document
+
+
+def save_result(result: Any, path: str | pathlib.Path) -> pathlib.Path:
+    """Serialise a result object to ``path`` (JSON).  Returns the path."""
+    path = pathlib.Path(path)
+    document = result_document(result)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True))
     return path
+
+
+def validate_document(document: Any, source: str = "document") -> dict:
+    """Check a loaded result document's shape, schema version and integrity.
+
+    The integrity check recomputes the embedded spec's ``cache_key`` from
+    the spec document itself: a stored ``cache_key`` that does not match is
+    either a tampered/hand-edited file or a stale artefact of an older
+    serialization — both silently poison spec-keyed caching, so they are
+    rejected loudly instead of returned.
+    """
+    if not isinstance(document, dict) or "payload" not in document:
+        raise ExperimentError(f"{source} is not a saved repro result")
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ExperimentError(
+            f"unsupported result schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") not in _KINDS:
+        raise ExperimentError(f"unknown result kind {document.get('kind')!r}")
+    if "spec" in document:
+        recomputed = spec_from_dict(document["spec"]).cache_key()
+        if document.get("cache_key") != recomputed:
+            raise ExperimentError(
+                f"{source} fails its integrity check: the embedded spec's "
+                f"cache_key recomputes to {recomputed} but the document "
+                f"records {document.get('cache_key')!r} — the file was "
+                "tampered with or saved by an incompatible serialization"
+            )
+    return document
 
 
 def load_result(path: str | pathlib.Path) -> dict:
@@ -113,6 +162,9 @@ def load_result(path: str | pathlib.Path) -> dict:
     where the payload mirrors the dataclass fields of the original result.
     Reconstruction into live dataclasses is deliberately not attempted — the
     consumers of saved results (plotting, regression diffs) want plain data.
+    Documents embedding a spec are integrity-checked: the spec's
+    ``cache_key`` is recomputed and a mismatch raises
+    :class:`ExperimentError` instead of returning a tampered/stale document.
     """
     path = pathlib.Path(path)
     if not path.exists():
@@ -121,13 +173,4 @@ def load_result(path: str | pathlib.Path) -> dict:
         document = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         raise ExperimentError(f"corrupt result file {path}: {exc}") from exc
-    if not isinstance(document, dict) or "payload" not in document:
-        raise ExperimentError(f"{path} is not a saved repro result")
-    version = document.get("schema_version")
-    if version != SCHEMA_VERSION:
-        raise ExperimentError(
-            f"unsupported result schema version {version!r} (expected {SCHEMA_VERSION})"
-        )
-    if document.get("kind") not in _KINDS:
-        raise ExperimentError(f"unknown result kind {document.get('kind')!r}")
-    return document
+    return validate_document(document, source=str(path))

@@ -128,14 +128,24 @@ def _sweep_row(spec: SweepSpec, value, results: dict[str, object]) -> dict:
     return row
 
 
-def execute_sweep_spec(spec: SweepSpec, *, max_workers: int | None = None) -> SweepResult:
-    """Expand a sweep grid into run specs, fan out, fold into rows."""
+def execute_sweep_spec(spec: SweepSpec, *, max_workers: int | None = None,
+                       store=None) -> SweepResult:
+    """Expand a sweep grid into run specs, fan out, fold into rows.
+
+    ``store`` (a :class:`repro.campaign.ResultStore`) records every
+    per-point result write-through before the fold discards it, so a
+    campaign naming the same grid points hits them later.
+    """
     result = SweepResult(name=spec.name, parameter=spec.row_key)
     points = spec.point_specs()
     if not points:
         return result
     flat = [run_spec for _, by_algo in points for run_spec in by_algo.values()]
-    runs = iter(map_specs(flat, max_workers=max_workers))
+    executed = map_specs(flat, max_workers=max_workers)
+    if store is not None:
+        for run in executed:
+            store.put(run)
+    runs = iter(executed)
     for value, by_algo in points:
         results = {algo: next(runs) for algo in by_algo}
         result.rows.append(_sweep_row(spec, value, results))

@@ -76,14 +76,18 @@ def execute_fluid_run(spec: RunSpec):
     if spec.local_congestion_policy is not None:
         options = options.replace(local_congestion_policy=spec.local_congestion_policy)
 
-    # the scenario's first flow places the transfer; its declared duration
-    # (stop hook) is honoured exactly like the packet backend does
+    # the scenario's first flow places the transfer; its declared start
+    # (delayed app launch) and duration (stop hook) are honoured exactly
+    # like the packet backend does
+    start_time = (spec.scenario.flows[0].start_time
+                  if spec.scenario is not None else 0.0)
     stop_time = (spec.scenario.flows[0].stop_time
                  if spec.scenario is not None else None)
     rule = fluid_growth_rule(spec.cc, cfg, cc_kwargs=spec.cc_kwargs or None,
                              rss_config=spec.rss_config)
     model = FluidFlowModel(cfg, rule, options=options, seed=spec.seed,
-                           total_bytes=spec.total_bytes, stop_time=stop_time)
+                           total_bytes=spec.total_bytes,
+                           start_time=start_time, stop_time=stop_time)
     raw: FluidRunResult = model.run(
         spec.duration,
         run_past_duration_until_complete=spec.run_past_duration_until_complete)

@@ -306,6 +306,13 @@ class FluidFlowModel:
     seed:
         Recorded in the result for interface parity; the fluid model is
         deterministic and does not consume random numbers.
+    start_time:
+        Simulation time at which the sender application starts (the fluid
+        counterpart of the :class:`~repro.host.apps.BulkSenderApp` start
+        hook behind ``FlowSpec.start_time``): the handshake round trip
+        begins here and data flows one RTT later.  Goodput is measured over
+        the *active* part of the transfer — since ``start_time``, exactly
+        like the packet application's accounting.
     stop_time:
         Simulation time at which the sender stops offering new data (the
         fluid counterpart of the :class:`~repro.host.apps.BulkSenderApp`
@@ -320,6 +327,7 @@ class FluidFlowModel:
         options: TCPOptions | None = None,
         seed: int = 1,
         total_bytes: int | None = None,
+        start_time: float = 0.0,
         stop_time: float | None = None,
     ) -> None:
         self.config = config
@@ -327,8 +335,11 @@ class FluidFlowModel:
         self.options = options if options is not None else config.tcp_options()
         self.seed = int(seed)
         self.total_bytes = total_bytes
-        if stop_time is not None and stop_time <= 0:
-            raise ExperimentError("stop_time must be positive or None")
+        if start_time < 0:
+            raise ExperimentError("start_time must be >= 0")
+        self.start_time = float(start_time)
+        if stop_time is not None and stop_time <= start_time:
+            raise ExperimentError("stop_time must be after start_time or None")
         self.stop_time = stop_time
 
         self.pipe = config.bdp_packets
@@ -559,16 +570,18 @@ class FluidFlowModel:
         if run_past_duration_until_complete and self.total_bytes is not None:
             horizon = duration * 10.0
 
-        times = [0.0]
+        start = self.start_time
+        times = [min(start, horizon)]
         cwnds = [self.cwnd]
         queues = [0.0]
         acked = [0.0]
 
-        # the three-way handshake costs one round trip before data flows
+        # the app starts at start_time; the three-way handshake costs one
+        # further round trip before data flows
         data_horizon = horizon
         if self.stop_time is not None:
             data_horizon = min(horizon, self.stop_time)
-        now = rtt
+        now = min(start + rtt, data_horizon)
         while now < data_horizon - 1e-12:
             span = min(rtt, data_horizon - now)
             self._run_round(now, rtt, fraction=span / rtt)
@@ -586,12 +599,11 @@ class FluidFlowModel:
 
         # Goodput follows the packet backend's accounting: completed finite
         # transfers are measured up to the completion time, everything else
-        # over the full integration horizon.
+        # over the full integration horizon — in both cases since the app's
+        # start_time (the active part of the transfer).
         elapsed = max(now, min(duration, horizon))
-        if self.completion_time is not None:
-            goodput_window = self.completion_time
-        else:
-            goodput_window = elapsed
+        end = self.completion_time if self.completion_time is not None else elapsed
+        goodput_window = max(end - start, 0.0)
         goodput = self.bytes_acked * 8.0 / goodput_window if goodput_window > 0 else 0.0
         return FluidRunResult(
             config=self.config,

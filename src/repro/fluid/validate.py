@@ -196,40 +196,47 @@ def cross_validate(
     seed: int = 2,
     tolerance: Tolerance = DEFAULT_TOLERANCE,
     max_workers: int | None = 0,
+    store=None,
 ) -> ValidationReport:
     """Run both backends over ``grid`` × ``algorithms`` and compare.
 
     ``max_workers`` fans the (expensive) packet runs out over processes;
     the default runs serially, which is what the test suite wants.
+    ``store`` (a :class:`repro.campaign.ResultStore`) makes the grid
+    incremental: points already cached — by a previous validation run or
+    any campaign sharing them — are served from disk, and newly computed
+    points are written back, so a rerun after an interruption (or an
+    unchanged CI grid) does zero simulation work.
     """
-    from ..experiments.parallel import map_runs
-    from ..experiments.runner import run_single_flow
+    from ..campaign.run import execute_spec_documents
+    from ..spec import RunSpec
 
     points = list(grid) if grid is not None else default_grid()
     if not points:
         raise ExperimentError("validation grid must not be empty")
 
     report = ValidationReport(duration=duration, seed=seed, tolerance=tolerance)
-    kwargs_list = [
-        dict(cc=cc, config=cfg, duration=duration, seed=seed, backend=backend)
-        for cfg in points
-        for cc in algorithms
+    cells = [(cfg, cc) for cfg in points for cc in algorithms]
+    specs = [
+        RunSpec(cc=cc, config=cfg, duration=duration, seed=seed, backend=backend)
+        for cfg, cc in cells
         for backend in ("packet", "fluid")
     ]
-    results = map_runs(run_single_flow, kwargs_list, max_workers=max_workers)
-    for i in range(0, len(results), 2):
-        packet, fluid = results[i], results[i + 1]
+    documents = execute_spec_documents(specs, store=store,
+                                       max_workers=max_workers)
+    for (cfg, _cc), i in zip(cells, range(0, len(documents), 2)):
+        packet, fluid = documents[i]["payload"], documents[i + 1]["payload"]
         row = ValidationRow(
-            algorithm=packet.flow.algorithm,
-            config=packet.config,
-            packet_goodput_bps=packet.goodput_bps,
-            fluid_goodput_bps=fluid.goodput_bps,
-            packet_send_stalls=packet.flow.send_stalls,
-            fluid_send_stalls=fluid.flow.send_stalls,
-            packet_ifq_peak=packet.ifq_peak,
-            fluid_ifq_peak=fluid.ifq_peak,
-            packet_events=packet.events_processed,
-            fluid_steps=fluid.events_processed,
+            algorithm=packet["flow"]["algorithm"],
+            config=cfg,
+            packet_goodput_bps=packet["flow"]["goodput_bps"],
+            fluid_goodput_bps=fluid["flow"]["goodput_bps"],
+            packet_send_stalls=packet["flow"]["send_stalls"],
+            fluid_send_stalls=fluid["flow"]["send_stalls"],
+            packet_ifq_peak=packet["ifq_peak"],
+            fluid_ifq_peak=fluid["ifq_peak"],
+            packet_events=packet["events_processed"],
+            fluid_steps=fluid["events_processed"],
             failures=[],
         )
         _check(row, tolerance)
@@ -412,6 +419,7 @@ def cross_validate_fairness(
     seed: int = 2,
     tolerance: FairnessTolerance = DEFAULT_FAIRNESS_TOLERANCE,
     max_workers: int | None = 0,
+    store=None,
 ) -> FairnessValidationReport:
     """Run every mix on both backends and compare the fairness quantities.
 
@@ -423,8 +431,10 @@ def cross_validate_fairness(
     so short horizons compare transient scatter rather than the fairness
     the experiments report.  ``max_workers`` fans the runs out over
     processes; the default runs serially (what the test suite wants).
+    ``store`` (a :class:`repro.campaign.ResultStore`) serves already-cached
+    mixes from disk and records new ones, making the grid incremental.
     """
-    from ..experiments.parallel import map_specs
+    from ..campaign.run import execute_spec_documents
     from ..spec import MultiFlowSpec
 
     points = list(grid) if grid is not None else default_fairness_grid()
@@ -437,20 +447,21 @@ def cross_validate_fairness(
         for _, scenario in points
         for backend in ("packet", "fluid")
     ]
-    results = map_specs(specs, max_workers=max_workers)
+    documents = execute_spec_documents(specs, store=store,
+                                       max_workers=max_workers)
     report = FairnessValidationReport(duration=duration, seed=seed,
                                       tolerance=tolerance)
-    for (label, scenario), i in zip(points, range(0, len(results), 2)):
-        packet, fluid = results[i], results[i + 1]
+    for (label, scenario), i in zip(points, range(0, len(documents), 2)):
+        packet, fluid = documents[i]["payload"], documents[i + 1]["payload"]
         row = FairnessValidationRow(
             mix=label,
             n_flows=len(scenario.flows),
-            packet_aggregate_bps=packet.aggregate_goodput_bps,
-            fluid_aggregate_bps=fluid.aggregate_goodput_bps,
-            packet_jain=packet.jain_index,
-            fluid_jain=fluid.jain_index,
-            packet_goodputs=[f.goodput_bps for f in packet.flows],
-            fluid_goodputs=[f.goodput_bps for f in fluid.flows],
+            packet_aggregate_bps=packet["aggregate_goodput_bps"],
+            fluid_aggregate_bps=fluid["aggregate_goodput_bps"],
+            packet_jain=packet["jain_index"],
+            fluid_jain=fluid["jain_index"],
+            packet_goodputs=[f["goodput_bps"] for f in packet["flows"]],
+            fluid_goodputs=[f["goodput_bps"] for f in fluid["flows"]],
         )
         _check_fairness(row, tolerance)
         report.rows.append(row)
@@ -478,20 +489,33 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="multi-flow mix horizon (the Jain tolerance is "
                              "tuned at 20 s; shorter horizons compare "
                              "transients)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="serve grid points from (and record them into) "
+                             "this content-addressed result store, making "
+                             "reruns of an unchanged grid incremental")
     args = parser.parse_args(argv)
+    store = None
+    if args.store is not None:
+        from ..campaign import ResultStore
+
+        store = ResultStore(args.store)
     grid = default_grid()
     if args.points is not None:
         grid = grid[: args.points]
     # interactive/CI entry point: fan the packet runs out over processes
     report = cross_validate(grid=grid, duration=args.duration, seed=args.seed,
-                            max_workers=None)
+                            max_workers=None, store=store)
     print(report.render())
     ok = report.ok
     if not args.skip_fairness:
         fairness = cross_validate_fairness(
-            duration=args.fairness_duration, seed=args.seed, max_workers=None)
+            duration=args.fairness_duration, seed=args.seed, max_workers=None,
+            store=store)
         print(fairness.render())
         ok = ok and fairness.ok
+    if store is not None:
+        print(f"result store: {store.hits} hits, {store.misses} misses "
+              f"({store.root})")
     return 0 if ok else 1
 
 

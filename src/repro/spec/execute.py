@@ -18,7 +18,7 @@ from .specs import ComparisonSpec, MultiFlowSpec, RunSpec, SpecBase, SweepSpec
 __all__ = ["execute"]
 
 
-def execute(spec: SpecBase, *, max_workers: int | None = None):
+def execute(spec: SpecBase, *, max_workers: int | None = None, store=None):
     """Run ``spec`` and return its result.
 
     * :class:`RunSpec` → ``SingleFlowResult`` (via the backend registry);
@@ -31,13 +31,20 @@ def execute(spec: SpecBase, *, max_workers: int | None = None):
     ``max_workers`` controls process fan-out for the composite specs
     (``None`` picks a conservative default, 0/1 run serially in-process);
     workers pickle exactly one spec each.
+
+    ``store`` (a :class:`repro.campaign.ResultStore`) records every
+    executed spec-carrying result write-through: the composite *and* its
+    atomic components (one per comparison algorithm / sweep point), so
+    campaigns — which address work at the flattened per-run granularity —
+    hit them later.
     """
     if isinstance(spec, ScenarioSpec):
-        return execute(MultiFlowSpec(scenario=spec), max_workers=max_workers)
+        return execute(MultiFlowSpec(scenario=spec), max_workers=max_workers,
+                       store=store)
     if isinstance(spec, RunSpec):
-        return _execute_run(spec)
+        return _stored(store, _execute_run(spec))
     if isinstance(spec, ComparisonSpec):
-        return _execute_comparison(spec, max_workers=max_workers)
+        return _execute_comparison(spec, max_workers=max_workers, store=store)
     if isinstance(spec, MultiFlowSpec):
         if spec.backend == "fluid":
             from ..fluid.backend import execute_fluid_multi_flow
@@ -48,16 +55,22 @@ def execute(spec: SpecBase, *, max_workers: int | None = None):
 
             result = execute_multi_flow_spec(spec)
         result.spec = spec
-        return result
+        return _stored(store, result)
     if isinstance(spec, SweepSpec):
         from ..experiments.sweeps import execute_sweep_spec
 
-        result = execute_sweep_spec(spec, max_workers=max_workers)
+        result = execute_sweep_spec(spec, max_workers=max_workers, store=store)
         result.spec = spec
-        return result
+        return _stored(store, result)
     raise ExperimentError(
         f"cannot execute {type(spec).__name__}; expected one of "
         "RunSpec, ComparisonSpec, MultiFlowSpec, SweepSpec, ScenarioSpec")
+
+
+def _stored(store, result):
+    if store is not None:
+        store.put(result)
+    return result
 
 
 def _execute_run(spec: RunSpec):
@@ -66,7 +79,8 @@ def _execute_run(spec: RunSpec):
     return result
 
 
-def _execute_comparison(spec: ComparisonSpec, *, max_workers: int | None = None):
+def _execute_comparison(spec: ComparisonSpec, *, max_workers: int | None = None,
+                        store=None):
     from ..experiments.runner import ComparisonResult
 
     run_specs = spec.run_specs()
@@ -77,6 +91,9 @@ def _execute_comparison(spec: ComparisonSpec, *, max_workers: int | None = None)
         runs = dict(zip(run_specs, results))
     else:
         runs = {cc: _execute_run(run_spec) for cc, run_spec in run_specs.items()}
+    if store is not None:
+        for child in runs.values():
+            store.put(child)
     result = ComparisonResult(baseline=spec.baseline, runs=runs)
     result.spec = spec
-    return result
+    return _stored(store, result)

@@ -749,16 +749,16 @@ def fluid_unsupported_features(spec: ScenarioSpec) -> list[str]:
 
     The single-flow fluid backend (``RunSpec(backend="fluid")``) models
     exactly the canonical single-flow dumbbell (sender IFQ → one bottleneck
-    → receiver) parameterised by the scenario's ``config``.  Returns an
-    empty list when the scenario is fluid-expressible.  Multi-flow dumbbells
-    are checked by :func:`fluid_multiflow_unsupported_features` instead.
+    → receiver) parameterised by the scenario's ``config``; the declared
+    flow's ``start_time`` (delayed app launch) and ``duration`` stop are
+    honoured.  Returns an empty list when the scenario is fluid-expressible.
+    Multi-flow dumbbells are checked by
+    :func:`fluid_multiflow_unsupported_features` instead.
     """
     features: list[str] = []
     if len(spec.flows) != 1:
         features.append(f"{len(spec.flows)} flows (the single-flow model; "
                         "run it through MultiFlowSpec(backend='fluid'))")
-    elif spec.flows[0].start_time != 0.0:
-        features.append("a delayed flow start")
     features.extend(_fluid_shape_features(spec, 1,
                                           check_canonical=not features))
     return features

@@ -57,6 +57,11 @@ __all__ = [
 #: Maps the ``kind`` discriminator in a spec document to its dataclass.
 SPEC_KINDS: dict[str, type["SpecBase"]] = {}
 
+#: Kinds registered by packages layered *above* repro.spec: importing the
+#: named module registers the class (via ``SpecBase.__init_subclass__``),
+#: so decoding stays lazy and the spec layer keeps importing nothing heavy.
+_LAZY_KINDS = {"campaign": "repro.campaign.spec"}
+
 
 # ---------------------------------------------------------------------------
 # encoding / decoding helpers
@@ -794,11 +799,16 @@ def spec_from_dict(data: Any) -> SpecBase:
         raise ExperimentError(
             "a spec document must be a JSON object with a 'kind' entry")
     kind = data["kind"]
+    if kind not in SPEC_KINDS and kind in _LAZY_KINDS:
+        import importlib
+
+        importlib.import_module(_LAZY_KINDS[kind])
     try:
         cls = SPEC_KINDS[kind]
     except KeyError:
         raise ExperimentError(
-            f"unknown spec kind {kind!r}; known kinds: {sorted(SPEC_KINDS)}"
+            f"unknown spec kind {kind!r}; known kinds: "
+            f"{sorted(set(SPEC_KINDS) | set(_LAZY_KINDS))}"
         ) from None
     return cls.from_dict(data)
 

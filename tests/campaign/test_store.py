@@ -1,0 +1,184 @@
+"""Tests for the content-addressed result store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.errors import ExperimentError
+from repro.experiments.results_io import SCHEMA_VERSION, result_document
+from repro.spec import RunSpec, execute
+from repro.testing import TINY_PATH
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def fluid_result():
+    return execute(RunSpec(cc="reno", config=TINY_PATH, duration=1.0,
+                           seed=1, backend="fluid"))
+
+
+class TestPutGet:
+    def test_roundtrip(self, store, fluid_result):
+        key = store.put(fluid_result)
+        assert key == fluid_result.spec.cache_key()
+        assert store.contains(key)
+        document = store.get(key)
+        assert document["kind"] == "single_flow"
+        assert document["cache_key"] == key
+        assert (document["payload"]["flow"]["bytes_acked"]
+                == fluid_result.flow.bytes_acked)
+
+    def test_get_miss_returns_none(self, store):
+        assert store.get("0" * 64) is None
+        assert not store.contains("0" * 64)
+
+    def test_hit_miss_counters(self, store, fluid_result):
+        key = store.put(fluid_result)
+        store.get("0" * 64)
+        store.get(key)
+        assert store.misses == 1
+        assert store.hits == 1
+
+    def test_put_overwrites_atomically(self, store, fluid_result):
+        key = store.put(fluid_result)
+        store.put(fluid_result)
+        assert store.get(key) is not None
+        # no temporary files left behind
+        leftovers = list(store.objects_dir.glob("**/*.tmp"))
+        assert leftovers == []
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ExperimentError):
+            store.get("not-a-key")
+
+    def test_result_without_spec_rejected(self, store, fluid_result):
+        fluid_result.spec = None
+        with pytest.raises(ExperimentError):
+            store.put(fluid_result)
+
+    def test_document_without_cache_key_rejected(self, store, fluid_result):
+        document = result_document(fluid_result)
+        document.pop("cache_key")
+        document.pop("spec")
+        with pytest.raises(ExperimentError):
+            store.put_document(document)
+
+
+class TestIntegrityAndSchema:
+    def test_stale_schema_is_a_miss(self, store, fluid_result):
+        key = store.put(fluid_result)
+        path = store.path_for(key)
+        document = json.loads(path.read_text())
+        document["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        assert store.get(key) is None
+
+    def test_tampered_spec_is_a_miss(self, store, fluid_result):
+        key = store.put(fluid_result)
+        path = store.path_for(key)
+        document = json.loads(path.read_text())
+        document["spec"]["duration"] = 99.0  # cache_key no longer matches
+        path.write_text(json.dumps(document))
+        assert store.get(key) is None
+
+    def test_corrupt_json_is_a_miss(self, store, fluid_result):
+        key = store.put(fluid_result)
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_misfiled_document_is_a_miss(self, store, fluid_result):
+        key = store.put(fluid_result)
+        wrong = "f" * 64
+        target = store.path_for(wrong)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(store.path_for(key).read_text())
+        assert store.get(wrong) is None
+
+
+class TestMaintenance:
+    def test_stats(self, store, fluid_result):
+        store.put(fluid_result)
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert stats.by_kind == {"single_flow": 1}
+        assert stats.stale == 0
+
+    def test_stats_empty_store(self, store):
+        stats = store.stats()
+        assert stats.entries == 0
+        assert "0 entries" in stats.render()
+
+    def test_gc_removes_stale_keeps_valid(self, store, fluid_result):
+        key = store.put(fluid_result)
+        other = execute(RunSpec(cc="reno", config=TINY_PATH, duration=0.5,
+                                seed=2, backend="fluid"))
+        stale_key = store.put(other)
+        path = store.path_for(stale_key)
+        document = json.loads(path.read_text())
+        document["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+
+        stats = store.gc()
+        assert stats.removed == 1
+        assert stats.kept == 1
+        assert stats.reclaimed_bytes > 0
+        assert store.get(key) is not None
+
+    def test_gc_clear_wipes_everything(self, store, fluid_result):
+        store.put(fluid_result)
+        stats = store.gc(clear=True)
+        assert stats.removed == 1
+        assert store.stats().entries == 0
+
+    def test_gc_older_than(self, store, fluid_result):
+        import os
+        import time
+
+        key = store.put(fluid_result)
+        old = time.time() - 3600.0
+        os.utime(store.path_for(key), (old, old))
+        assert store.gc(older_than_s=7200.0).removed == 0
+        assert store.gc(older_than_s=60.0).removed == 1
+
+
+class TestDefaults:
+    def test_env_var_names_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env-store"))
+        assert ResultStore().root == tmp_path / "env-store"
+
+    def test_fallback_default_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        assert str(ResultStore().root) == ".repro-cache"
+
+
+class TestJunkFilenames:
+    """Maintenance must tolerate files a strict key lookup cannot name."""
+
+    def _plant_junk(self, store):
+        junk = store.objects_dir / "ab" / "not-a-key.json"
+        junk.parent.mkdir(parents=True, exist_ok=True)
+        junk.write_text("backup copy")
+        return junk
+
+    def test_stats_counts_junk_as_stale(self, store, fluid_result):
+        store.put(fluid_result)
+        self._plant_junk(store)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.stale == 1
+
+    def test_gc_reclaims_junk(self, store, fluid_result):
+        store.put(fluid_result)
+        junk = self._plant_junk(store)
+        stats = store.gc()
+        assert stats.removed == 1
+        assert not junk.exists()
+        assert store.stats().entries == 1

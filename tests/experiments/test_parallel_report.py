@@ -85,3 +85,36 @@ class TestReportRendering:
 
     def test_render_series_empty(self):
         assert "empty" in render_series("x", np.array([]), np.array([]))
+
+
+class TestMaxWorkersEnv:
+    """REPRO_MAX_WORKERS caps fan-out without code changes."""
+
+    def test_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+        assert default_worker_count() == 3
+
+    def test_zero_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
+        assert default_worker_count() == 0
+        # map_specs treats <= 1 as serial in-process execution
+        from repro.spec import RunSpec
+        from repro.experiments import map_specs
+
+        results = map_specs([RunSpec(config=SMALL_PATH, duration=0.5,
+                                     backend="fluid")])
+        assert results[0].flow.bytes_acked > 0
+
+    def test_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "many")
+        with pytest.raises(ExperimentError, match="REPRO_MAX_WORKERS"):
+            default_worker_count()
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "-2")
+        with pytest.raises(ExperimentError, match="REPRO_MAX_WORKERS"):
+            default_worker_count()
+
+    def test_unset_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert default_worker_count() >= 1

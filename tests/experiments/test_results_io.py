@@ -89,3 +89,55 @@ class TestSaveLoadRoundtrip:
         path.write_text(json.dumps([1, 2, 3]))
         with pytest.raises(ExperimentError):
             load_result(path)
+
+
+class TestIntegrityCheck:
+    """Documents embedding a spec must hash-check on load."""
+
+    def _saved(self, tmp_path):
+        from repro.spec import RunSpec, execute
+
+        result = execute(RunSpec(cc="reno", config=SMALL_PATH, duration=1.0,
+                                 backend="fluid"))
+        return save_result(result, tmp_path / "r.json")
+
+    def test_untampered_document_loads(self, tmp_path):
+        from repro.spec import spec_from_dict
+
+        path = self._saved(tmp_path)
+        document = load_result(path)
+        assert "spec" in document
+        assert (spec_from_dict(document["spec"]).cache_key()
+                == document["cache_key"])
+
+    def test_tampered_spec_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        document = json.loads(path.read_text())
+        document["spec"]["seed"] = 999  # payload now lies about its origin
+        path.write_text(json.dumps(document))
+        with pytest.raises(ExperimentError, match="integrity"):
+            load_result(path)
+
+    def test_tampered_cache_key_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        document = json.loads(path.read_text())
+        document["cache_key"] = "0" * 64
+        path.write_text(json.dumps(document))
+        with pytest.raises(ExperimentError, match="integrity"):
+            load_result(path)
+
+    def test_missing_cache_key_with_spec_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        document = json.loads(path.read_text())
+        del document["cache_key"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(ExperimentError, match="integrity"):
+            load_result(path)
+
+    def test_specless_document_still_loads(self, tmp_path):
+        # pre-spec documents (no provenance) have nothing to check
+        path = self._saved(tmp_path)
+        document = json.loads(path.read_text())
+        del document["spec"], document["cache_key"]
+        path.write_text(json.dumps(document))
+        assert load_result(path)["kind"] == "single_flow"

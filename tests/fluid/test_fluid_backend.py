@@ -120,3 +120,84 @@ class TestSerialisation:
         with pytest.raises(ExperimentError, match="backend"):
             run_single_flow("reno", config=SMALL_PATH, duration=1.0,
                             backend="psychic")
+
+
+class TestDelayedStart:
+    """RunSpec-level delayed starts on the single-flow fluid model.
+
+    The scenario's first flow places the measured transfer; its declared
+    ``start_time`` must delay the fluid integration exactly like the packet
+    engine's delayed app launch — it used to be rejected as unsupported.
+    """
+
+    @staticmethod
+    def delayed_scenario(start_time: float):
+        import dataclasses
+
+        from repro.spec import dumbbell
+
+        scenario = dumbbell(SMALL_PATH, 1)
+        return dataclasses.replace(
+            scenario,
+            flows=(dataclasses.replace(scenario.flows[0],
+                                       start_time=start_time),))
+
+    def test_delayed_start_accepted_by_fluid_spec(self):
+        from repro.spec import RunSpec
+
+        spec = RunSpec(cc="reno", scenario=self.delayed_scenario(1.0),
+                       duration=3.0, backend="fluid")
+        assert spec.scenario.flows[0].start_time == 1.0
+
+    def test_delay_reduces_delivered_bytes(self):
+        from repro.spec import RunSpec, execute
+
+        prompt = execute(RunSpec(cc="reno", scenario=self.delayed_scenario(0.0),
+                                 duration=3.0, backend="fluid"))
+        delayed = execute(RunSpec(cc="reno", scenario=self.delayed_scenario(1.5),
+                                  duration=3.0, backend="fluid"))
+        assert 0 < delayed.flow.bytes_acked < prompt.flow.bytes_acked
+        # traces begin at the app start, not at t=0
+        assert delayed.ifq_times[0] == pytest.approx(1.5)
+
+    def test_delayed_goodput_agrees_with_packet(self):
+        from repro.fluid.validate import DEFAULT_TOLERANCE
+        from repro.spec import RunSpec, execute
+
+        scenario = self.delayed_scenario(1.0)
+        packet = execute(RunSpec(cc="reno", scenario=scenario, duration=3.0,
+                                 seed=2, backend="packet"))
+        fluid = execute(RunSpec(cc="reno", scenario=scenario, duration=3.0,
+                                seed=2, backend="fluid"))
+        rel = (abs(fluid.flow.goodput_bps - packet.flow.goodput_bps)
+               / packet.flow.goodput_bps)
+        assert rel <= DEFAULT_TOLERANCE.goodput_rtol
+
+    def test_start_after_horizon_moves_nothing(self):
+        from repro.spec import RunSpec, execute
+
+        result = execute(RunSpec(cc="reno", scenario=self.delayed_scenario(10.0),
+                                 duration=2.0, backend="fluid"))
+        assert result.flow.bytes_acked == 0
+        assert result.flow.goodput_bps == 0.0
+
+    def test_delayed_start_with_stop_hook(self):
+        import dataclasses
+
+        from repro.spec import RunSpec, execute
+
+        scenario = self.delayed_scenario(1.0)
+        scenario = dataclasses.replace(
+            scenario,
+            flows=(dataclasses.replace(scenario.flows[0], duration=1.0),))
+        result = execute(RunSpec(cc="reno", scenario=scenario, duration=5.0,
+                                 backend="fluid"))
+        # the sender stops offering data at start_time + duration = 2.0 s
+        assert result.flow.completion_time == pytest.approx(2.0)
+
+    def test_model_rejects_negative_start(self):
+        from repro.fluid.model import FluidFlowModel, fluid_growth_rule
+
+        rule = fluid_growth_rule("reno", SMALL_PATH)
+        with pytest.raises(ExperimentError, match="start_time"):
+            FluidFlowModel(SMALL_PATH, rule, start_time=-1.0)

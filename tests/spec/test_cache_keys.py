@@ -1,0 +1,83 @@
+"""Golden cache-key tests — the serialization contract, pinned.
+
+A spec's ``cache_key()`` is the address of its cached result: any change
+to a spec's fields, defaults, encoding or canonicalisation silently
+invalidates every stored result (and, worse, could silently *collide*).
+Pinning one known digest per spec kind turns an accidental serialization
+change into an explicit test failure here, where the author can decide
+whether the change is intended — and bump
+:data:`repro.experiments.results_io.SCHEMA_VERSION` if it is.
+
+If a failure below is intentional: regenerate the digests (each spec's
+``cache_key()``), update GOLDEN_KEYS, and document the invalidation in the
+README's cache-invalidation table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.spec import (
+    ComparisonSpec,
+    MultiFlowSpec,
+    RunSpec,
+    SweepSpec,
+    dumbbell,
+    spec_from_json,
+)
+from repro.workloads.scenarios import PathConfig
+
+
+def _specs() -> dict[str, object]:
+    """One representative (default-ish) spec per registered kind."""
+    run = RunSpec()
+    sweep = SweepSpec(values=(25, 100))
+    return {
+        "run": run,
+        "comparison": ComparisonSpec(),
+        "multi_flow": MultiFlowSpec(scenario=dumbbell(PathConfig(), 2)),
+        "sweep": sweep,
+        "scenario": dumbbell(PathConfig(), 1),
+        "campaign": CampaignSpec(units=(run,), sweeps=(sweep,)),
+    }
+
+
+#: kind -> pinned sha256 hex digest of the spec built by ``_specs()``.
+GOLDEN_KEYS = {
+    "run": "dc5db14a5cbc29acd6d5b594f1e8b15e6c112b0e0aaeddb5cc3a6a2e1a721f48",
+    "comparison": "8b673c07d9aa823afd7f69daef92179127b06a3fe501954db6a0af8a3d4f299a",
+    "multi_flow": "b11bac768c60f1aaa63ec1b0a4835ab1e5944ef72cceac2c0da9244068367dfc",
+    "sweep": "fdc39477da5319fa102be18357c23bf85d33c143f73098833da842f5bece2552",
+    "scenario": "1362a0da8e6425dd42bb77e385febdb423c940b5a889491234aedae17dea80a6",
+    "campaign": "e8edaa7b3b43143dd368f9b2dab03779aa589bf50243aa9c23ac38942f5b95ed",
+}
+
+
+class TestGoldenCacheKeys:
+    def test_every_kind_is_pinned(self):
+        # a newly registered spec kind must add a golden digest here
+        assert set(_specs()) == set(GOLDEN_KEYS)
+
+    @pytest.mark.parametrize("kind", sorted(GOLDEN_KEYS))
+    def test_cache_key_matches_golden(self, kind):
+        spec = _specs()[kind]
+        assert spec.kind == kind
+        assert spec.cache_key() == GOLDEN_KEYS[kind], (
+            f"{kind} spec serialization changed: every stored result of "
+            "this kind is invalidated.  If intended, update GOLDEN_KEYS, "
+            "bump results_io.SCHEMA_VERSION if the result layout moved "
+            "too, and extend the README cache-invalidation table.")
+
+    @pytest.mark.parametrize("kind", sorted(GOLDEN_KEYS))
+    def test_json_round_trip_preserves_key(self, kind):
+        spec = _specs()[kind]
+        assert spec_from_json(spec.to_json()).cache_key() == spec.cache_key()
+
+    def test_integral_floats_canonicalise_to_one_key(self):
+        assert (RunSpec(duration=2).cache_key()
+                == RunSpec(duration=2.0).cache_key())
+
+    def test_distinct_specs_get_distinct_keys(self):
+        keys = {spec.cache_key() for spec in _specs().values()}
+        assert len(keys) == len(GOLDEN_KEYS)

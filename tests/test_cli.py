@@ -309,3 +309,102 @@ class TestFluidBackend:
     def test_tune_rejects_backend_flag(self, capsys):
         assert main(["--backend", "fluid", "tune"]) == 2
         assert "cannot apply" in capsys.readouterr().err
+
+
+class TestCampaignCommands:
+    def test_campaign_run_and_warm_rerun(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        manifest = tmp_path / "m.json"
+        assert main(["campaign", "run", "E3F", "--store", store]) == 0
+        assert "computed" in capsys.readouterr().out
+        assert main(["campaign", "run", "E3F", "--store", store,
+                     "--manifest", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate 100.0%" in out
+        document = json.loads(manifest.read_text())
+        assert document["misses"] == 0
+        assert document["hits"] == document["total_units"] == 12
+
+    def test_campaign_status_executes_nothing(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "status", "E3F", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "pending 12" in out
+        # status must not have written anything into the store
+        assert not (tmp_path / "store" / "objects").exists()
+
+    def test_campaign_accepts_spec_files(self, capsys, tmp_path):
+        spec_path = tmp_path / "e2f.json"
+        assert main(["spec", "dump", "E2F", "--duration", "2",
+                     "-o", str(spec_path)]) == 0
+        capsys.readouterr()
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", str(spec_path),
+                     "--store", store]) == 0
+        assert "computed 2" in capsys.readouterr().out
+
+    def test_campaign_gc(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "E3F", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "gc", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "12 entries" in out and "removed 0" in out
+        assert main(["campaign", "gc", "--store", store, "--all"]) == 0
+        assert "removed 12" in capsys.readouterr().out
+
+    def test_campaign_rejects_path_overrides(self, capsys, tmp_path):
+        assert main(["--ifq", "5", "campaign", "run", "E3F",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "content-addressed" in capsys.readouterr().err
+
+    def test_campaign_rejects_legacy_experiments(self, capsys, tmp_path):
+        assert main(["campaign", "run", "E7",
+                     "--store", str(tmp_path / "s")]) == 2
+        assert "E7" in capsys.readouterr().err
+
+    def test_run_spec_rejects_campaign_documents(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+        from repro.spec import dump_spec
+
+        path = dump_spec(CampaignSpec(experiments=("E3F",)),
+                         tmp_path / "c.json")
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "campaign run" in capsys.readouterr().err
+
+    def test_run_store_write_through_feeds_campaign(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["run", "E2F", "--duration", "2",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        # the recorded comparison hits when the same spec file reruns
+        spec_path = tmp_path / "e2f.json"
+        assert main(["spec", "dump", "E2F", "--duration", "2",
+                     "-o", str(spec_path)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(spec_path),
+                     "--store", store]) == 0
+        assert "hits 2" in capsys.readouterr().out
+
+    def test_validate_store_flag_forwards(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        code = main(["validate", "--duration", "2", "--points", "1",
+                     "--skip-fairness", "--store", store])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "result store:" in out and "6 misses" in out
+        code = main(["validate", "--duration", "2", "--points", "1",
+                     "--skip-fairness", "--store", store])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6 hits, 0 misses" in out
+
+    def test_run_scenario_flag_names_campaign_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec
+        from repro.spec import dump_spec
+
+        path = dump_spec(CampaignSpec(experiments=("E3F",)),
+                         tmp_path / "camp.json")
+        assert main(["run", "--scenario", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "camp.json" in err and "campaign run" in err
