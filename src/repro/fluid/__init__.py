@@ -14,7 +14,12 @@ Select it anywhere the experiment harness runs a single flow::
     fast = run_single_flow("restricted", duration=25.0, backend="fluid")
 """
 
-from .backend import FLUID_BACKEND, execute_fluid_multi_flow, run_single_flow_fluid
+from .backend import (
+    FLUID_BACKEND,
+    VECTOR_FLOW_THRESHOLD,
+    execute_fluid_multi_flow,
+    run_single_flow_fluid,
+)
 from .model import (
     FLUID_ALGORITHMS,
     FluidFlowInput,
@@ -39,13 +44,20 @@ from .validate import (
     ValidationRow,
     cross_validate,
     cross_validate_fairness,
+    cross_validate_population,
     default_fairness_grid,
     default_grid,
 )
+from .vector import ChurnArrival, FlowArrivalSpec, FluidPopulationModel
 
 __all__ = [
     "FLUID_BACKEND",
     "FLUID_ALGORITHMS",
+    "VECTOR_FLOW_THRESHOLD",
+    "FluidPopulationModel",
+    "FlowArrivalSpec",
+    "ChurnArrival",
+    "cross_validate_population",
     "run_single_flow_fluid",
     "execute_fluid_multi_flow",
     "FluidFlowModel",

@@ -23,6 +23,7 @@ import warnings
 import numpy as np
 
 from ..core.config import RestrictedSlowStartConfig
+from ..errors import ExperimentError
 from ..spec import RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
@@ -39,10 +40,20 @@ __all__ = [
     "execute_fluid_run",
     "execute_fluid_multi_flow",
     "FLUID_BACKEND",
+    "VECTOR_FLOW_THRESHOLD",
 ]
 
 #: Backend name used throughout the experiment harness.
 FLUID_BACKEND = "fluid"
+
+#: Flow count above which :func:`execute_fluid_multi_flow` dispatches to the
+#: vectorized :class:`~repro.fluid.vector.FluidPopulationModel` instead of
+#: the per-flow :class:`~repro.fluid.model.FluidMultiFlowModel`.  The two
+#: engines integrate the same round structure (see the parity suite), so the
+#: threshold is a pure performance knob: below it the scalar model's lower
+#: constant factors win, above it the array passes do.  Churned specs always
+#: run vectorized regardless of count.
+VECTOR_FLOW_THRESHOLD = 32
 
 
 def execute_fluid_run(spec: RunSpec):
@@ -197,7 +208,38 @@ def _multiflow_rule(flow, cfg: PathConfig):
     return fluid_growth_rule(flow.cc, cfg, cc_kwargs=flow.cc_kwargs or None)
 
 
-def execute_fluid_multi_flow(spec):
+def _churn_inputs(churn, cfg: PathConfig, duration: float, seed: int,
+                  n_pairs: int) -> list[FluidFlowInput]:
+    """Sample a :class:`~repro.fluid.vector.FlowArrivalSpec` population.
+
+    Stateless growth rules (Reno, limited slow-start) are shared across the
+    whole population; stateful controllers (restricted) get one instance per
+    flow.  Arrivals carry ``quantize_start=True`` so the vector engine
+    activates them at round boundaries instead of cutting per-arrival
+    rounds (see :class:`~repro.fluid.model.FluidFlowInput`).
+    """
+    from ..sim.randomness import RandomStreams
+
+    arrivals = churn.sample(duration, RandomStreams(seed), n_pairs=n_pairs)
+    shared_rule = None
+    if churn.cc != "restricted":
+        shared_rule = fluid_growth_rule(churn.cc, cfg)
+    return [
+        FluidFlowInput(
+            name=f"churn{i}:{churn.cc}",
+            cc=churn.cc,
+            rule=(shared_rule if shared_rule is not None
+                  else fluid_growth_rule(churn.cc, cfg)),
+            ifq=arrival.pair,
+            start_time=arrival.start_time,
+            total_bytes=arrival.total_bytes,
+            quantize_start=True,
+        )
+        for i, arrival in enumerate(arrivals)
+    ]
+
+
+def execute_fluid_multi_flow(spec, engine: str | None = None):
     """Run a :class:`~repro.spec.MultiFlowSpec` on the coupled fluid model.
 
     Accepts both spec forms: a declared ``scenario`` (which must pass
@@ -207,6 +249,16 @@ def execute_fluid_multi_flow(spec):
     exactly one mapping from declarations to model inputs.  Returns the
     same :class:`~repro.experiments.runner.MultiFlowResult` the packet
     engine produces, tagged ``backend="fluid"``.
+
+    ``engine`` selects the integrator: ``"scalar"``
+    (:class:`FluidMultiFlowModel`), ``"vector"``
+    (:class:`~repro.fluid.vector.FluidPopulationModel`), or ``None`` (the
+    default) to dispatch automatically — vectorized whenever the spec
+    declares churn or the flow count exceeds
+    :data:`VECTOR_FLOW_THRESHOLD`.  A declared ``churn`` population
+    (:class:`~repro.fluid.vector.FlowArrivalSpec`) is sampled here,
+    deterministically from the spec's seed, and appended to the declared
+    flows round-robin over the scenario's dumbbell pairs.
     """
     from ..analysis.metrics import jain_fairness_index, utilization
     from ..experiments.runner import FlowResult, MultiFlowResult
@@ -224,17 +276,38 @@ def execute_fluid_multi_flow(spec):
 
     cfg = scenario.config
     inputs = []
+    pairs = []
     for i, flow in enumerate(scenario.flows):
+        pair = _dumbbell_pair_index(flow)
+        pairs.append(pair)
         inputs.append(FluidFlowInput(
             name=f"flow{i}:{flow.cc}",
             cc=flow.cc,
             rule=_multiflow_rule(flow, cfg),
-            ifq=_dumbbell_pair_index(flow),
+            ifq=pair,
             start_time=flow.start_time,
             stop_time=flow.stop_time,
             total_bytes=flow.total_bytes,
         ))
-    model = FluidMultiFlowModel(cfg, inputs, seed=spec.seed)
+
+    churn = getattr(spec, "churn", None)
+    if churn is not None:
+        inputs.extend(_churn_inputs(churn, cfg, spec.duration, spec.seed,
+                                    n_pairs=max(pairs) + 1))
+
+    if engine is None:
+        engine = ("vector" if churn is not None
+                  or len(inputs) > VECTOR_FLOW_THRESHOLD else "scalar")
+    if engine == "vector":
+        from .vector import FluidPopulationModel
+
+        model = FluidPopulationModel(cfg, inputs, seed=spec.seed)
+    elif engine == "scalar":
+        model = FluidMultiFlowModel(cfg, inputs, seed=spec.seed)
+    else:
+        raise ExperimentError(
+            f"unknown fluid multi-flow engine {engine!r}; "
+            "use 'scalar', 'vector' or None (auto)")
     raw = model.run(spec.duration)
 
     flows = []

@@ -48,6 +48,7 @@ the packet backend but does not influence the dynamics.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -649,6 +650,14 @@ class FluidFlowInput:
     on distinct dumbbell pairs get distinct indices, flows sharing a sender
     (the ``shared_path`` scenario) share one — and therefore contend for the
     same queue headroom, exactly like the packet engine's shared host.
+
+    ``quantize_start`` marks population-churn arrivals: the vectorized
+    engine activates them at the first round boundary at or after their
+    ``start_time`` instead of cutting a dedicated integration round —
+    sub-RTT arrival phase is below the per-RTT model's resolution, and one
+    cut per arrival would make a 5k-arrival run cost thousands of extra
+    rounds.  Declared (non-churn) flows keep exact cuts, preserving parity
+    with :class:`FluidMultiFlowModel`.
     """
 
     name: str
@@ -658,6 +667,7 @@ class FluidFlowInput:
     start_time: float = 0.0
     stop_time: float | None = None
     total_bytes: int | None = None
+    quantize_start: bool = False
 
     def __post_init__(self) -> None:
         if self.start_time < 0:
@@ -1051,16 +1061,21 @@ class FluidMultiFlowModel:
             if all(st.done for st in self.flows):
                 break
 
+        # The real integrated end time: when the loop breaks early because
+        # every flow finished, ``now`` is the boundary of the last round
+        # actually run — matching :meth:`FluidFlowModel.run`'s ``elapsed``
+        # accounting rather than the nominal horizon.
+        elapsed = min(now, duration)
         outcomes = []
         for st in self.flows:
-            end = st.completion_time if st.completion_time is not None else duration
-            elapsed = max(end - st.spec.start_time, 0.0)
-            goodput = st.bytes_acked * 8.0 / elapsed if elapsed > 0 else 0.0
+            end = st.completion_time if st.completion_time is not None else elapsed
+            active_span = max(end - st.spec.start_time, 0.0)
+            goodput = st.bytes_acked * 8.0 / active_span if active_span > 0 else 0.0
             outcomes.append(FluidFlowOutcome(
                 name=st.spec.name,
                 algorithm=st.spec.cc,
                 start_time=st.spec.start_time,
-                duration=elapsed,
+                duration=active_span,
                 bytes_acked=st.bytes_acked,
                 goodput_bps=goodput,
                 send_stalls=st.send_stalls,
@@ -1076,7 +1091,7 @@ class FluidMultiFlowModel:
             ))
         return FluidMultiFlowResult(
             config=self.config,
-            duration=duration,
+            duration=elapsed,
             seed=self.seed,
             flows=outcomes,
             bottleneck_loss_events=self.bottleneck_loss_events,

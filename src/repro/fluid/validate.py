@@ -56,6 +56,9 @@ __all__ = [
     "cross_validate_fairness",
     "default_fairness_grid",
     "DEFAULT_FAIRNESS_TOLERANCE",
+    "PopulationValidationRow",
+    "PopulationValidationReport",
+    "cross_validate_population",
 ]
 
 #: Algorithms whose fluid counterparts are validated.
@@ -468,6 +471,145 @@ def cross_validate_fairness(
     return report
 
 
+# ---------------------------------------------------------------------------
+# scalar-vs-vector population cross-validation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PopulationValidationRow:
+    """Scalar-vs-vector fluid engine comparison of one multi-flow mix."""
+
+    mix: str
+    n_flows: int
+    scalar_aggregate_bps: float
+    vector_aggregate_bps: float
+    scalar_jain: float
+    vector_jain: float
+    scalar_goodputs: list[float]
+    vector_goodputs: list[float]
+    scalar_stalls: int
+    vector_stalls: int
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def aggregate_rel_error(self) -> float:
+        if self.scalar_aggregate_bps <= 0:
+            return float("inf") if self.vector_aggregate_bps > 0 else 0.0
+        return (abs(self.vector_aggregate_bps - self.scalar_aggregate_bps)
+                / self.scalar_aggregate_bps)
+
+    @property
+    def jain_error(self) -> float:
+        return abs(self.vector_jain - self.scalar_jain)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class PopulationValidationReport:
+    """All rows of a scalar-vs-vector cross-validation run."""
+
+    duration: float
+    seed: int
+    tolerance: FairnessTolerance
+    rows: list[PopulationValidationRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def failures(self) -> list[str]:
+        return [f"{row.mix}: {failure}"
+                for row in self.rows for failure in row.failures]
+
+    def render(self) -> str:
+        lines = [
+            f"fluid scalar-vs-vector cross-validation — {len(self.rows)} "
+            f"mixes, duration={self.duration:.1f}s, seed={self.seed}, "
+            f"Jain atol={self.tolerance.jain_atol:.2f}, aggregate "
+            f"rtol={self.tolerance.aggregate_rtol:.0%}",
+        ]
+        for row in self.rows:
+            status = "ok  " if row.ok else "FAIL"
+            lines.append(
+                f"  [{status}] {row.mix:24s} ({row.n_flows} flows)  "
+                f"aggregate {row.vector_aggregate_bps / 1e6:6.2f} vs "
+                f"{row.scalar_aggregate_bps / 1e6:6.2f} Mbit/s "
+                f"(err {row.aggregate_rel_error:5.1%})  "
+                f"Jain {row.vector_jain:.3f} vs {row.scalar_jain:.3f} "
+                f"(|Δ| {row.jain_error:.3f})  "
+                f"stalls {row.vector_stalls} vs {row.scalar_stalls}"
+            )
+        if not self.ok:
+            lines.append("failures:")
+            lines.extend(f"  - {f}" for f in self.failures())
+        return "\n".join(lines)
+
+
+def cross_validate_population(
+    grid: Sequence[tuple[str, object]] | None = None,
+    duration: float = 20.0,
+    seed: int = 2,
+    tolerance: FairnessTolerance = DEFAULT_FAIRNESS_TOLERANCE,
+) -> PopulationValidationReport:
+    """Run every mix on both *fluid* engines and compare.
+
+    The vectorized :class:`~repro.fluid.vector.FluidPopulationModel` is
+    forced (``engine="vector"``) against the per-flow
+    :class:`~repro.fluid.model.FluidMultiFlowModel` on the same mixes the
+    packet cross-validation uses, under the same fairness tolerances —
+    the regression gate that keeps the population engine honest.  In
+    practice the two agree to floating-point noise on per-pair dumbbells
+    (see the parity test suite); the documented tolerances bound the
+    summation-order differences a shared IFQ can introduce.  Both engines
+    are cheap, so the grid runs in-process with no result store.
+    """
+    from ..fluid.backend import execute_fluid_multi_flow
+    from ..spec import MultiFlowSpec
+
+    points = list(grid) if grid is not None else default_fairness_grid()
+    if not points:
+        raise ExperimentError("population validation grid must not be empty")
+
+    report = PopulationValidationReport(duration=duration, seed=seed,
+                                        tolerance=tolerance)
+    for label, scenario in points:
+        spec = MultiFlowSpec(scenario=scenario, duration=duration, seed=seed,
+                             backend="fluid")
+        scalar = execute_fluid_multi_flow(spec, engine="scalar")
+        vector = execute_fluid_multi_flow(spec, engine="vector")
+        row = PopulationValidationRow(
+            mix=label,
+            n_flows=len(scenario.flows),
+            scalar_aggregate_bps=scalar.aggregate_goodput_bps,
+            vector_aggregate_bps=vector.aggregate_goodput_bps,
+            scalar_jain=scalar.jain_index,
+            vector_jain=vector.jain_index,
+            scalar_goodputs=[f.goodput_bps for f in scalar.flows],
+            vector_goodputs=[f.goodput_bps for f in vector.flows],
+            scalar_stalls=scalar.total_send_stalls,
+            vector_stalls=vector.total_send_stalls,
+        )
+        if row.aggregate_rel_error > tolerance.aggregate_rtol:
+            row.failures.append(
+                f"aggregate goodput differs by {row.aggregate_rel_error:.1%} "
+                f"(> {tolerance.aggregate_rtol:.0%}): vector "
+                f"{row.vector_aggregate_bps:.0f} vs scalar "
+                f"{row.scalar_aggregate_bps:.0f} bps")
+        if row.jain_error > tolerance.jain_atol:
+            row.failures.append(
+                f"Jain index differs by {row.jain_error:.3f} "
+                f"(> {tolerance.jain_atol:.2f}): vector {row.vector_jain:.3f} "
+                f"vs scalar {row.scalar_jain:.3f}")
+        row.failures.extend(_ordering_failures(
+            row.scalar_goodputs, row.vector_goodputs,
+            tolerance.ordering_margin))
+        report.rows.append(row)
+    return report
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Smoke entry point: ``python -m repro.fluid.validate``.
 
@@ -485,6 +627,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="limit the grid to the first N points")
     parser.add_argument("--skip-fairness", action="store_true",
                         help="run only the single-flow grid")
+    parser.add_argument("--skip-population", action="store_true",
+                        help="skip the scalar-vs-vector fluid engine grid")
     parser.add_argument("--fairness-duration", type=float, default=20.0,
                         help="multi-flow mix horizon (the Jain tolerance is "
                              "tuned at 20 s; shorter horizons compare "
@@ -513,6 +657,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             store=store)
         print(fairness.render())
         ok = ok and fairness.ok
+    if not args.skip_population:
+        population = cross_validate_population(
+            duration=args.fairness_duration, seed=args.seed)
+        print(population.render())
+        ok = ok and population.ok
     if store is not None:
         print(f"result store: {store.hits} hits, {store.misses} misses "
               f"({store.root})")

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, ClassVar
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fluid.vector import FlowArrivalSpec
     from .scenario import ScenarioSpec
 
 from ..control.pid import PIDGains
@@ -140,6 +141,14 @@ def _decode_scenario(data: dict | None):
     from .scenario import ScenarioSpec
 
     return ScenarioSpec.from_dict(data)
+
+
+def _decode_churn(data: dict | None):
+    if data is None:
+        return None
+    from ..fluid.vector import FlowArrivalSpec
+
+    return FlowArrivalSpec.from_dict(data)
 
 
 def _adopt_scenario_config(spec) -> None:
@@ -513,6 +522,13 @@ class MultiFlowSpec(SpecBase):
     canonical N-pair dumbbell (including ``shared_path`` sharing, staggered
     starts, per-flow durations) are accepted, anything else raises
     :class:`~repro.errors.UnsupportedScenarioError` naming the feature.
+
+    ``churn`` (a :class:`~repro.fluid.vector.FlowArrivalSpec`) adds an
+    open-loop flow population on top of the declared flows: Poisson
+    arrivals with drawn sizes, sampled deterministically from ``seed`` and
+    spread round-robin over the dumbbell pairs.  Churn is modelled only by
+    the fluid backend's vectorized population engine, so it requires
+    ``backend="fluid"``.
     """
 
     kind: ClassVar[str] = "multi_flow"
@@ -524,6 +540,7 @@ class MultiFlowSpec(SpecBase):
     shared_paths: bool = False
     scenario: "ScenarioSpec | None" = None
     backend: str = "packet"
+    churn: "FlowArrivalSpec | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "flows", tuple(self.flows))
@@ -546,8 +563,26 @@ class MultiFlowSpec(SpecBase):
             raise ExperimentError(
                 f"multi-flow runs support backend 'packet' or 'fluid' "
                 f"(got {self.backend!r})")
+        if self.churn is not None:
+            self._ensure_churn_eligible()
         if self.backend == "fluid":
             self._ensure_fluid_eligible()
+
+    def _ensure_churn_eligible(self) -> None:
+        """Eager checks for an open-loop churn population."""
+        from ..fluid.vector import FlowArrivalSpec
+
+        if not isinstance(self.churn, FlowArrivalSpec):
+            raise ExperimentError(
+                f"churn must be a FlowArrivalSpec, got "
+                f"{type(self.churn).__name__}")
+        if self.backend != "fluid":
+            from ..errors import UnsupportedScenarioError
+
+            raise UnsupportedScenarioError(
+                "open-loop flow churn (FlowArrivalSpec) is modelled only by "
+                "the fluid backend's population engine; set backend='fluid' "
+                "(the packet engine has no churn workload)")
 
     def _ensure_fluid_eligible(self) -> None:
         """Eager shape check for the N-flow coupled fluid model."""
@@ -604,6 +639,14 @@ class MultiFlowSpec(SpecBase):
         return _set_dotted(self, parameter, value, root=parameter)
 
     # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        # churn is omitted when absent so pre-churn documents — and their
+        # cache keys, which address every stored result — are unchanged
+        data = super().to_dict()
+        if data.get("churn") is None:
+            data.pop("churn", None)
+        return data
+
     @classmethod
     def from_dict(cls, data: dict) -> "MultiFlowSpec":
         data = _checked(cls, data)
@@ -615,6 +658,7 @@ class MultiFlowSpec(SpecBase):
             shared_paths=data.get("shared_paths", False),
             scenario=_decode_scenario(data.get("scenario")),
             backend=data.get("backend", "packet"),
+            churn=_decode_churn(data.get("churn")),
         )
 
 
