@@ -39,6 +39,7 @@ from .experiments import (
     comparison_table,
     get_experiment,
     multi_flow_table,
+    render_aqm_gallery,
     render_baselines,
     render_fairness,
     render_figure1,
@@ -48,6 +49,7 @@ from .experiments import (
     run_comparison,
     single_flow_summary,
 )
+from .experiments.aqm_gallery import AQMGalleryResult
 from .experiments.baselines import BaselineComparisonResult
 from .experiments.fairness import FairnessResult
 from .experiments.figure1 import Figure1Result
@@ -89,6 +91,7 @@ _RENDERERS: dict[type, Callable] = {
     TuningAblationResult: render_tuning_ablation,
     BaselineComparisonResult: render_baselines,
     FairnessResult: render_fairness,
+    AQMGalleryResult: render_aqm_gallery,
     SingleFlowResult: _render_single_flow,
     ComparisonResult: lambda r: comparison_table(r, title="algorithm comparison").render(),
     MultiFlowResult: lambda r: multi_flow_table(r, title="multi-flow run").render(),
@@ -156,7 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the registered experiments")
 
     run = sub.add_parser(
-        "run", help="run a registered experiment (E1..E11), a spec file or "
+        "run", help="run a registered experiment (E1..E13), a spec file or "
                     "a scenario file")
     run.add_argument("experiment", nargs="?", default=None,
                      help="experiment id, e.g. E1 (omit with --spec/--scenario)")

@@ -25,6 +25,7 @@ from typing import Callable
 from ..errors import ExperimentError
 from ..spec import MultiFlowSpec, SpecBase, execute, parking_lot
 from ..workloads.scenarios import PathConfig
+from .aqm_gallery import run_aqm_gallery
 from .baselines import run_baseline_comparison
 from .fairness import run_fairness
 from .figure1 import figure1_from_comparison, figure1_spec
@@ -241,6 +242,13 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         "scenario.flows.1.start_time",
         "benchmarks/bench_fluid_fairness.py",
         spec=fairness_sweep_spec(),
+    ),
+    "E13": ExperimentSpec(
+        "E13", "extension",
+        "AQM + ECN gallery: restricted/reno/cubic/prague over "
+        "droptail/red/codel/dualpi2 bottlenecks",
+        "benchmarks/bench_aqm_gallery.py",
+        runner=run_aqm_gallery,
     ),
 }
 

@@ -138,6 +138,9 @@ class SingleFlowResult:
     #: The declarative spec that produced this result (provenance; the
     #: basis for spec-keyed result caching).
     spec: RunSpec | None = None
+    #: CE marks applied by the bottleneck queue (0 unless it runs an
+    #: ECN-marking AQM).
+    bottleneck_marks: int = 0
 
     @property
     def goodput_bps(self) -> float:
@@ -187,6 +190,9 @@ class MultiFlowResult:
     backend: str = "packet"
     #: The declarative spec that produced this result (provenance).
     spec: MultiFlowSpec | None = None
+    #: CE marks applied by the bottleneck queue (0 unless it runs an
+    #: ECN-marking AQM).
+    bottleneck_marks: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -226,12 +232,20 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
         )
         primary_ifq = scenario.sender_ifq(0)
         bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
+        bottleneck_marks = lambda: scenario.bottleneck_interface().queue.stats.marked  # noqa: E731
     else:
-        from ..workloads.compile import attach_workload, compile_scenario, core_drops
+        from ..workloads.compile import (
+            attach_workload,
+            compile_scenario,
+            core_drops,
+            core_marks,
+        )
 
         scn = spec.scenario
         scenario = compile_scenario(sim, scn, attach_flows=False)
         primary = scn.flows[0]
+        if primary.ecn:
+            options = options.replace(ecn=True)
         app, _sink = scenario.add_bulk_flow_between(
             primary.src, primary.dst, cc=primary_cc,
             total_bytes=spec.total_bytes, start_time=primary.start_time,
@@ -244,8 +258,10 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
         if len(scenario.routers) == 2:
             # same counter the legacy dumbbell path reports
             bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
+            bottleneck_marks = lambda: scenario.bottleneck_interface().queue.stats.marked  # noqa: E731
         else:
             bottleneck_drops = lambda: core_drops(scenario.topology)  # noqa: E731
+            bottleneck_marks = lambda: core_marks(scenario.topology)  # noqa: E731
 
     trace_interval = (spec.trace_interval if spec.trace_interval is not None
                       else DEFAULT_PACKET_TRACE_INTERVAL)
@@ -278,6 +294,7 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
         ifq_peak=ifq_queue.stats.peak_packets,
         ifq_drops=ifq_queue.stats.dropped,
         bottleneck_drops=bottleneck_drops(),
+        bottleneck_marks=bottleneck_marks(),
         cwnd_times=cwnd_times,
         cwnd_segments=cwnd_vals,
         acked_times=acked_times,
@@ -333,13 +350,19 @@ def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
         jain_index=jain_fairness_index(goodputs),
         link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
         bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+        bottleneck_marks=scenario.bottleneck_interface().queue.stats.marked,
         total_send_stalls=sum(f.send_stalls for f in flows),
     )
 
 
 def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
     """Run a declared scenario's flows (and cross traffic) as a multi-flow run."""
-    from ..workloads.compile import compile_scenario, core_capacity_bps, core_drops
+    from ..workloads.compile import (
+        compile_scenario,
+        core_capacity_bps,
+        core_drops,
+        core_marks,
+    )
 
     scn = spec.scenario
     cfg = scn.config
@@ -359,6 +382,7 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
         # the declared bottleneck link's rate, which a hand-written spec may
         # set independently of config.bottleneck_rate_bps
         drops = scenario.bottleneck_interface().queue.stats.dropped
+        marks = scenario.bottleneck_interface().queue.stats.marked
         capacity = scenario.bottleneck_interface().rate_bps
     else:
         # multi-bottleneck graphs: count drops over every core queue and
@@ -366,6 +390,7 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
         # reported utilisation stays in [0, 1]; router-less toy graphs fall
         # back to the total forward link capacity
         drops = core_drops(scenario.topology)
+        marks = core_marks(scenario.topology)
         capacity = (core_capacity_bps(scenario.topology)
                     or float(sum(l.rate_bps for l in scenario.topology.links)))
     return MultiFlowResult(
@@ -377,6 +402,7 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
         jain_index=jain_fairness_index(goodputs),
         link_utilization=utilization(aggregate, capacity),
         bottleneck_drops=drops,
+        bottleneck_marks=marks,
         total_send_stalls=sum(f.send_stalls for f in flows),
     )
 

@@ -1,6 +1,7 @@
 """Network substrate: packets, queues, interfaces, links, routers, topologies."""
 
 from .address import Address, AddressAllocator, FlowId
+from .aqm import CoDelQueue, DualPI2Queue
 from .interface import InterfaceStats, NetworkInterface
 from .lossmodels import (
     BernoulliLoss,
@@ -10,7 +11,16 @@ from .lossmodels import (
     NoLoss,
 )
 from .node import Node
-from .packet import PROTO_TCP, PROTO_UDP, Packet
+from .packet import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_ECT1,
+    ECN_NOT_ECT,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    ecn_capable,
+)
 from .queues import DropTailQueue, InfiniteQueue, PacketQueue, QueueStats, REDQueue
 from .router import Router
 from .topology import LinkSpec, Topology, default_queue_factory
@@ -22,10 +32,17 @@ __all__ = [
     "Packet",
     "PROTO_TCP",
     "PROTO_UDP",
+    "ECN_NOT_ECT",
+    "ECN_ECT0",
+    "ECN_ECT1",
+    "ECN_CE",
+    "ecn_capable",
     "PacketQueue",
     "DropTailQueue",
     "REDQueue",
     "InfiniteQueue",
+    "CoDelQueue",
+    "DualPI2Queue",
     "QueueStats",
     "NetworkInterface",
     "InterfaceStats",

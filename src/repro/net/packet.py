@@ -15,11 +15,31 @@ import itertools
 
 from .address import Address, FlowId
 
-__all__ = ["Packet", "PROTO_TCP", "PROTO_UDP"]
+__all__ = [
+    "Packet",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "ECN_NOT_ECT",
+    "ECN_ECT1",
+    "ECN_ECT0",
+    "ECN_CE",
+    "ecn_capable",
+]
 
 #: Protocol tags carried by packets (mirrors the IP protocol field).
 PROTO_TCP = "tcp"
 PROTO_UDP = "udp"
+
+#: ECN codepoints (two-bit IP header field, RFC 3168 values).
+ECN_NOT_ECT = 0  #: not ECN-capable transport
+ECN_ECT1 = 1  #: ECN-capable, ECT(1) — used by L4S/Prague senders (RFC 9331)
+ECN_ECT0 = 2  #: ECN-capable, ECT(0) — classic ECN senders
+ECN_CE = 3  #: congestion experienced (set by AQM instead of dropping)
+
+
+def ecn_capable(packet: "Packet") -> bool:
+    """True when an AQM may CE-mark ``packet`` instead of dropping it."""
+    return packet.ecn in (ECN_ECT0, ECN_ECT1)
 
 _uid_counter = itertools.count(1)
 
@@ -41,6 +61,10 @@ class Packet:
     created_at:
         Simulation time at which the packet was created (used to measure
         one-way and queueing delays).
+    ecn:
+        ECN codepoint (:data:`ECN_NOT_ECT` default); senders set
+        :data:`ECN_ECT0`/:data:`ECN_ECT1` on ECN-capable packets and AQMs
+        rewrite those to :data:`ECN_CE` instead of dropping.
     """
 
     __slots__ = (
@@ -53,6 +77,7 @@ class Packet:
         "created_at",
         "enqueued_at",
         "hops",
+        "ecn",
     )
 
     def __init__(
@@ -63,6 +88,7 @@ class Packet:
         flow: FlowId | None = None,
         protocol: str = PROTO_UDP,
         created_at: float = 0.0,
+        ecn: int = ECN_NOT_ECT,
     ) -> None:
         self.uid = next(_uid_counter)
         self.size_bytes = int(size_bytes)
@@ -76,6 +102,8 @@ class Packet:
         self.enqueued_at = created_at
         #: Number of store-and-forward hops traversed so far.
         self.hops = 0
+        #: ECN codepoint (mutable: AQMs rewrite ECT → CE in flight).
+        self.ecn = ecn
 
     # ------------------------------------------------------------------
     @property

@@ -5,13 +5,19 @@ network interface queue (``txqueuelen``) and router buffers.  Every queue
 tracks the occupancy statistics the experiments need (drops, peak and
 time-averaged occupancy) without requiring an external tracer.
 
-Three disciplines are provided:
+Three disciplines are provided here:
 
 * :class:`DropTailQueue` — finite FIFO, drop arriving packet when full
   (Linux ``pfifo``; what both the IFQ and the routers in the paper use).
 * :class:`REDQueue` — Random Early Detection, used in ablations to show the
   proposed controller does not depend on drop-tail behaviour.
 * :class:`InfiniteQueue` — unbounded FIFO for ideal-buffer baselines.
+
+Modern AQM disciplines (CoDel, DualPI2) live in :mod:`repro.net.aqm` and
+build on the same :class:`PacketQueue` base.  Queues that support ECN mark
+ECN-capable packets (rewrite ECT → CE via :meth:`PacketQueue._mark`)
+instead of dropping them; marks are counted separately from drops in
+:class:`QueueStats` and never double-counted.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from typing import Callable, Deque, Optional
 import numpy as np
 
 from ..errors import ConfigurationError
-from .packet import Packet
+from .packet import ECN_CE, Packet, ecn_capable
 
 __all__ = ["QueueStats", "PacketQueue", "DropTailQueue", "REDQueue", "InfiniteQueue"]
 
@@ -34,9 +40,11 @@ class QueueStats:
         "enqueued",
         "dequeued",
         "dropped",
+        "marked",
         "bytes_enqueued",
         "bytes_dequeued",
         "bytes_dropped",
+        "bytes_marked",
         "peak_packets",
         "peak_bytes",
         "_occupancy_integral",
@@ -47,9 +55,11 @@ class QueueStats:
         self.enqueued = 0
         self.dequeued = 0
         self.dropped = 0
+        self.marked = 0
         self.bytes_enqueued = 0
         self.bytes_dequeued = 0
         self.bytes_dropped = 0
+        self.bytes_marked = 0
         self.peak_packets = 0
         self.peak_bytes = 0
         self._occupancy_integral = 0.0
@@ -73,9 +83,11 @@ class QueueStats:
             "enqueued": self.enqueued,
             "dequeued": self.dequeued,
             "dropped": self.dropped,
+            "marked": self.marked,
             "bytes_enqueued": self.bytes_enqueued,
             "bytes_dequeued": self.bytes_dequeued,
             "bytes_dropped": self.bytes_dropped,
+            "bytes_marked": self.bytes_marked,
             "peak_packets": self.peak_packets,
             "peak_bytes": self.peak_bytes,
         }
@@ -130,7 +142,7 @@ class PacketQueue:
     # properties
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._queue)
+        return self.qlen
 
     @property
     def qlen(self) -> int:
@@ -148,8 +160,16 @@ class PacketQueue:
 
     @property
     def is_full(self) -> bool:
-        """True when one more full-size packet would certainly be rejected."""
-        if self.capacity_packets is not None and len(self._queue) >= self.capacity_packets:
+        """True when one more full-size packet would certainly be rejected.
+
+        A queue is full when either limit is exhausted: the packet count has
+        reached ``capacity_packets``, or the queued bytes have reached
+        ``capacity_bytes`` (so any further packet, whatever its size, fails
+        the byte check in :meth:`_within_capacity`).
+        """
+        if self.capacity_packets is not None and self.qlen >= self.capacity_packets:
+            return True
+        if self.capacity_bytes is not None and self._bytes >= self.capacity_bytes:
             return True
         return False
 
@@ -157,7 +177,7 @@ class PacketQueue:
         """Occupancy as a fraction of the packet capacity (0 when unbounded)."""
         if not self.capacity_packets:
             return 0.0
-        return len(self._queue) / self.capacity_packets
+        return self.qlen / self.capacity_packets
 
     # ------------------------------------------------------------------
     # admission policy (subclass hook)
@@ -167,10 +187,44 @@ class PacketQueue:
         raise NotImplementedError
 
     def _within_capacity(self, packet: Packet) -> bool:
-        if self.capacity_packets is not None and len(self._queue) + 1 > self.capacity_packets:
+        if self.capacity_packets is not None and self.qlen + 1 > self.capacity_packets:
             return False
         if self.capacity_bytes is not None and self._bytes + packet.size_bytes > self.capacity_bytes:
             return False
+        return True
+
+    def _count_drop(self, packet: Packet) -> None:
+        """Account one dropped packet and notify drop listeners."""
+        self.stats.dropped += 1
+        self.stats.bytes_dropped += packet.size_bytes
+        for listener in self.drop_listeners:
+            listener(self, packet)
+
+    def _count_enqueue(self, packet: Packet) -> None:
+        """Account one admitted packet (call after it is physically queued)."""
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size_bytes
+        if self.qlen > self.stats.peak_packets:
+            self.stats.peak_packets = self.qlen
+        if self._bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self._bytes
+
+    def _count_dequeue(self, packet: Packet) -> None:
+        """Account one dequeued packet (call after it physically left)."""
+        self.stats.dequeued += 1
+        self.stats.bytes_dequeued += packet.size_bytes
+
+    def _mark(self, packet: Packet) -> bool:
+        """CE-mark ``packet`` if it is ECN-capable; returns True on mark.
+
+        Marking replaces a drop: a marked packet keeps flowing and is never
+        also counted in the drop statistics.
+        """
+        if not ecn_capable(packet):
+            return False
+        packet.ecn = ECN_CE
+        self.stats.marked += 1
+        self.stats.bytes_marked += packet.size_bytes
         return True
 
     # ------------------------------------------------------------------
@@ -179,22 +233,14 @@ class PacketQueue:
     def enqueue(self, packet: Packet) -> bool:
         """Try to enqueue ``packet``; returns False (and counts a drop) on failure."""
         now = self._clock()
-        self.stats.observe(now, len(self._queue))
+        self.stats.observe(now, self.qlen)
         if not self._admit(packet):
-            self.stats.dropped += 1
-            self.stats.bytes_dropped += packet.size_bytes
-            for listener in self.drop_listeners:
-                listener(self, packet)
+            self._count_drop(packet)
             return False
         packet.enqueued_at = now
         self._queue.append(packet)
         self._bytes += packet.size_bytes
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += packet.size_bytes
-        if len(self._queue) > self.stats.peak_packets:
-            self.stats.peak_packets = len(self._queue)
-        if self._bytes > self.stats.peak_bytes:
-            self.stats.peak_bytes = self._bytes
+        self._count_enqueue(packet)
         return True
 
     def dequeue(self) -> Packet | None:
@@ -202,11 +248,10 @@ class PacketQueue:
         if not self._queue:
             return None
         now = self._clock()
-        self.stats.observe(now, len(self._queue))
+        self.stats.observe(now, self.qlen)
         packet = self._queue.popleft()
         self._bytes -= packet.size_bytes
-        self.stats.dequeued += 1
-        self.stats.bytes_dequeued += packet.size_bytes
+        self._count_dequeue(packet)
         return packet
 
     def peek(self) -> Packet | None:
@@ -220,7 +265,7 @@ class PacketQueue:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         cap = self.capacity_packets if self.capacity_packets is not None else "inf"
-        return f"<{type(self).__name__} {self.name} {len(self._queue)}/{cap}>"
+        return f"<{type(self).__name__} {self.name} {self.qlen}/{cap}>"
 
 
 class DropTailQueue(PacketQueue):
@@ -267,7 +312,21 @@ class REDQueue(PacketQueue):
     weight:
         EWMA weight for the average queue size.
     rng:
-        ``numpy.random.Generator`` used for the drop coin flips.
+        ``numpy.random.Generator`` used for the drop coin flips.  Required:
+        compiled queues receive a named stream from the run's seeded
+        :mod:`repro.sim.randomness` hierarchy (e.g. ``sim.rng("aqm:...")``)
+        so drop decisions follow the experiment seed.
+    ecn:
+        When True, early "drops" on ECN-capable packets become CE marks
+        (RFC 3168): the packet is admitted and counted in
+        ``stats.marked``/``early_marks`` instead.  Forced drops (physical
+        overflow) and the region above ``max_threshold`` still drop.
+    mean_pkt_time:
+        Typical transmission time of one packet on the outgoing link
+        (seconds).  Used for the Floyd & Jacobson idle-period correction:
+        after the queue has sat empty for ``m = idle / mean_pkt_time``
+        packet times, the average decays by ``(1 - weight) ** m`` as if
+        ``m`` small packets had arrived at an empty queue.
     """
 
     def __init__(
@@ -280,6 +339,8 @@ class REDQueue(PacketQueue):
         rng: np.random.Generator | None = None,
         clock: Callable[[], float] | None = None,
         name: str = "red",
+        ecn: bool = False,
+        mean_pkt_time: float = 0.001,
     ) -> None:
         if not (0 < min_threshold < max_threshold <= capacity_packets):
             raise ConfigurationError(
@@ -289,17 +350,43 @@ class REDQueue(PacketQueue):
             raise ConfigurationError("max_p must be in (0, 1]")
         if not (0.0 < weight <= 1.0):
             raise ConfigurationError("weight must be in (0, 1]")
+        if mean_pkt_time <= 0.0:
+            raise ConfigurationError("mean_pkt_time must be > 0")
+        if rng is None:
+            raise ConfigurationError(
+                "REDQueue requires an explicit rng (a seeded stream from "
+                "sim.rng(...)); a hardwired default would make drop "
+                "coin-flips identical for every experiment seed"
+            )
         super().__init__(capacity_packets, None, clock, name)
         self.min_threshold = float(min_threshold)
         self.max_threshold = float(max_threshold)
         self.max_p = float(max_p)
         self.weight = float(weight)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
+        self.ecn = bool(ecn)
+        self.mean_pkt_time = float(mean_pkt_time)
         self.avg = 0.0
         self.early_drops = 0
+        self.early_marks = 0
         self.forced_drops = 0
+        self._idle_since: float | None = None
+
+    def dequeue(self) -> Packet | None:
+        packet = super().dequeue()
+        if packet is not None and not self._queue:
+            # queue just went idle: remember when, so the next arrival can
+            # apply the Floyd & Jacobson idle-period decay to the average
+            self._idle_since = self._clock()
+        return packet
 
     def _admit(self, packet: Packet) -> bool:
+        if self._idle_since is not None:
+            idle = self._clock() - self._idle_since
+            if idle > 0:
+                m = idle / self.mean_pkt_time
+                self.avg *= (1.0 - self.weight) ** m
+            self._idle_since = None
         # update the EWMA of the queue size on each arrival
         self.avg = (1.0 - self.weight) * self.avg + self.weight * len(self._queue)
         if not self._within_capacity(packet):
@@ -319,6 +406,10 @@ class REDQueue(PacketQueue):
         else:
             p = 1.0
         if self.rng.random() < p:
+            # RFC 3168: mark instead of drop in the early region only
+            if self.ecn and self.avg < self.max_threshold and self._mark(packet):
+                self.early_marks += 1
+                return True
             self.early_drops += 1
             return False
         return True

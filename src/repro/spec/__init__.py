@@ -28,8 +28,10 @@ from .scenario import (
     LinkSpec,
     LossSpec,
     NodeSpec,
+    QueueSpec,
     ScenarioSpec,
     TopologySpec,
+    aqm_dumbbell,
     asymmetric_path,
     available_scenarios,
     dumbbell,
@@ -38,8 +40,10 @@ from .scenario import (
     fluid_multiflow_unsupported_features,
     fluid_unsupported_features,
     from_bulk_flows,
+    l4s_dumbbell,
     lossy_link,
     parking_lot,
+    red_bottleneck,
     scenario_factory,
     shared_path,
 )
@@ -67,6 +71,7 @@ __all__ = [
     "NodeSpec",
     "LinkSpec",
     "LossSpec",
+    "QueueSpec",
     "FlowSpec",
     "CrossTrafficSpec",
     "dumbbell",
@@ -74,6 +79,9 @@ __all__ = [
     "parking_lot",
     "asymmetric_path",
     "lossy_link",
+    "aqm_dumbbell",
+    "l4s_dumbbell",
+    "red_bottleneck",
     "from_bulk_flows",
     "SCENARIO_FACTORIES",
     "scenario_factory",

@@ -27,7 +27,7 @@ paper's testbed byte-for-byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from ..errors import ExperimentError, UnsupportedScenarioError
@@ -37,6 +37,7 @@ from .specs import SpecBase, _checked, _construct, _decode_path_config
 __all__ = [
     "NodeSpec",
     "LossSpec",
+    "QueueSpec",
     "LinkSpec",
     "TopologySpec",
     "FlowSpec",
@@ -47,6 +48,9 @@ __all__ = [
     "parking_lot",
     "asymmetric_path",
     "lossy_link",
+    "aqm_dumbbell",
+    "l4s_dumbbell",
+    "red_bottleneck",
     "from_bulk_flows",
     "SCENARIO_FACTORIES",
     "scenario_factory",
@@ -71,6 +75,19 @@ LOSS_MODEL_PARAMS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
 }
 
 _CROSS_TRAFFIC_KINDS = ("cbr", "poisson", "onoff")
+
+#: Queue disciplines the spec layer can declare, mapped to their optional
+#: parameter names (mirrors the :mod:`repro.net.queues` /
+#: :mod:`repro.net.aqm` constructors; capacity and ECN capability are
+#: first-class ``QueueSpec`` fields, not params).
+QUEUE_DISCIPLINES: dict[str, tuple[str, ...]] = {
+    "droptail": ("capacity_bytes",),
+    "red": ("min_threshold", "max_threshold", "max_p", "weight",
+            "mean_pkt_time"),
+    "codel": ("target", "interval"),
+    "dualpi2": ("target", "tupdate", "alpha", "beta", "coupling",
+                "step_threshold", "ecn_classic"),
+}
 
 
 # ---------------------------------------------------------------------------
@@ -119,13 +136,58 @@ class LossSpec:
 
 
 @dataclass(frozen=True)
+class QueueSpec:
+    """Declarative description of one direction's queue discipline.
+
+    A plain ``int`` in :class:`LinkSpec` still means "drop-tail with that
+    many packets" (keeping every legacy spec document and cache key
+    byte-identical); a ``QueueSpec`` additionally selects an AQM discipline
+    (``red``/``codel``/``dualpi2``), whether it CE-marks ECN-capable
+    packets instead of dropping, and discipline parameters (see
+    :data:`QUEUE_DISCIPLINES`; unset parameters take the compile-time
+    defaults derived from the link).
+    """
+
+    discipline: str = "droptail"
+    capacity_packets: int = 100
+    ecn: bool = False
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.discipline not in QUEUE_DISCIPLINES:
+            raise ExperimentError(
+                f"unknown queue discipline {self.discipline!r}; known "
+                f"disciplines: {sorted(QUEUE_DISCIPLINES)}")
+        if self.capacity_packets <= 0:
+            raise ExperimentError("queue capacity_packets must be positive")
+        if self.ecn and self.discipline == "droptail":
+            raise ExperimentError(
+                "droptail queues cannot CE-mark; pick an AQM discipline "
+                f"({sorted(set(QUEUE_DISCIPLINES) - {'droptail'})}) for ecn=True")
+        known = QUEUE_DISCIPLINES[self.discipline]
+        unknown = sorted(set(self.params) - set(known))
+        if unknown:
+            raise ExperimentError(
+                f"unknown {self.discipline} queue parameter(s) {unknown}; "
+                f"known parameters: {sorted(known)}")
+
+
+def _queue_spec_of(value: "int | QueueSpec") -> QueueSpec:
+    """Normalise a LinkSpec queue field to a :class:`QueueSpec`."""
+    if isinstance(value, QueueSpec):
+        return value
+    return QueueSpec(capacity_packets=value)
+
+
+@dataclass(frozen=True)
 class LinkSpec:
     """One bidirectional edge of the topology graph.
 
     ``a``/``b`` name the endpoints; the *forward* direction is a→b.  Each
-    direction gets its own drop-tail queue capacity and (optionally) its own
-    loss model; ``rate_ba_bps`` declares an asymmetric reverse-direction
-    line rate (``None`` mirrors the forward rate).
+    direction gets its own queue — a plain ``int`` capacity (drop-tail) or
+    a full :class:`QueueSpec` — and (optionally) its own loss model;
+    ``rate_ba_bps`` declares an asymmetric reverse-direction line rate
+    (``None`` mirrors the forward rate).
     """
 
     a: str
@@ -133,8 +195,8 @@ class LinkSpec:
     rate_bps: float
     delay_s: float
     rate_ba_bps: float | None = None
-    queue_ab_packets: int = 100
-    queue_ba_packets: int = 100
+    queue_ab_packets: int | QueueSpec = 100
+    queue_ba_packets: int | QueueSpec = 100
     loss_ab: LossSpec | None = None
     loss_ba: LossSpec | None = None
     name: str | None = None
@@ -149,8 +211,21 @@ class LinkSpec:
             raise ExperimentError(f"link {label!r} reverse rate must be positive")
         if self.delay_s < 0:
             raise ExperimentError(f"link {label!r} delay must be >= 0")
-        if self.queue_ab_packets <= 0 or self.queue_ba_packets <= 0:
-            raise ExperimentError(f"link {label!r} queue capacities must be positive")
+        for queue in (self.queue_ab_packets, self.queue_ba_packets):
+            # QueueSpec validates itself in its own __post_init__
+            if not isinstance(queue, QueueSpec) and queue <= 0:
+                raise ExperimentError(
+                    f"link {label!r} queue capacities must be positive")
+
+    @property
+    def queue_ab(self) -> QueueSpec:
+        """The a→b queue as a normalised :class:`QueueSpec`."""
+        return _queue_spec_of(self.queue_ab_packets)
+
+    @property
+    def queue_ba(self) -> QueueSpec:
+        """The b→a queue as a normalised :class:`QueueSpec`."""
+        return _queue_spec_of(self.queue_ba_packets)
 
 
 @dataclass(frozen=True)
@@ -209,6 +284,11 @@ class FlowSpec:
     writing at ``start_time + duration`` (the :class:`BulkSenderApp` stop
     hook), in-flight data is still delivered, and the flow counts as
     completed at the final ACK.  ``None`` sends for the whole run.
+
+    ``ecn=True`` makes both endpoints offer RFC 3168 ECN on the handshake;
+    data packets then carry the algorithm's ECT codepoint and AQM CE marks
+    echo back as ECE.  Encoded documents omit the field when ``False`` so
+    legacy specs and cache keys are unchanged.
     """
 
     src: str
@@ -219,6 +299,7 @@ class FlowSpec:
     total_bytes: int | None = None
     port: int | None = None
     cc_kwargs: dict = field(default_factory=dict)
+    ecn: bool = False
 
     def __post_init__(self) -> None:
         if self.src == self.dst:
@@ -283,12 +364,23 @@ def _decode_loss(data: dict | None) -> LossSpec | None:
     return _construct(LossSpec, {**data, "params": dict(data.get("params") or {})})
 
 
+def _decode_queue(value) -> "int | QueueSpec":
+    if isinstance(value, dict):
+        return _construct(QueueSpec,
+                          {**value, "params": dict(value.get("params") or {})})
+    return value
+
+
 def _decode_link(data: dict) -> LinkSpec:
-    return _construct(LinkSpec, {
+    decoded = {
         **data,
         "loss_ab": _decode_loss(data.get("loss_ab")),
         "loss_ba": _decode_loss(data.get("loss_ba")),
-    })
+    }
+    for key in ("queue_ab_packets", "queue_ba_packets"):
+        if key in decoded:
+            decoded[key] = _decode_queue(decoded[key])
+    return _construct(LinkSpec, decoded)
 
 
 def _decode_topology(data: dict | None) -> TopologySpec | None:
@@ -410,6 +502,15 @@ class ScenarioSpec(SpecBase):
         self._no_override("seed")
 
     # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        # flow "ecn": false is omitted so pre-ECN documents — and their
+        # cache keys, which address every stored result — are unchanged
+        data = super().to_dict()
+        for flow in data.get("flows") or ():
+            if flow.get("ecn") is False:
+                del flow["ecn"]
+        return data
+
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
         data = _checked(cls, data)
@@ -633,6 +734,96 @@ def lossy_link(config: PathConfig | None = None, *, loss: float = 1e-3,
                         flows=flows)
 
 
+#: Receive-window cap (in bandwidth-delay products) for AQM scenarios.
+_AQM_RWND_FACTOR = 1.25
+
+
+def _aqm_config(config: PathConfig | None) -> PathConfig:
+    """Config for the AQM gallery: congestion must hit the *bottleneck*.
+
+    The paper's testbed has NIC rate == bottleneck rate, so its congestion
+    forms at the sender IFQ and the router queue barely fills — an AQM
+    there would have nothing to do.  Unless the caller pinned an access
+    rate, raise it to 4x the bottleneck so the router queue is the
+    contended resource.
+
+    The receive window is also capped at 1.25x the BDP (the default is
+    4x): the modelled 2.4-era NewReno has no SACK and repairs one loss per
+    round trip, so an uncapped slow start that overshoots the router
+    buffer by a full window loses hundreds of segments and spends tens of
+    seconds in a single recovery episode — every cell would measure that
+    crawl instead of the queue discipline under test.
+    """
+    cfg = config if config is not None else PathConfig()
+    if cfg.access_rate_bps is None:
+        cfg = replace(cfg, access_rate_bps=4.0 * cfg.bottleneck_rate_bps)
+    if cfg.rwnd_factor > _AQM_RWND_FACTOR:
+        cfg = replace(cfg, rwnd_factor=_AQM_RWND_FACTOR)
+    return cfg
+
+
+def _with_bottleneck_queue(topo: TopologySpec, queue: QueueSpec) -> TopologySpec:
+    """The same topology with both bottleneck directions using ``queue``."""
+    links = tuple(
+        replace(link, queue_ab_packets=queue, queue_ba_packets=queue)
+        if link.name == "bottleneck" else link
+        for link in topo.links)
+    return replace(topo, links=links)
+
+
+def aqm_dumbbell(config: PathConfig | None = None, n_flows: int = 1, *,
+                 discipline: str = "red",
+                 queue_params: dict | None = None,
+                 ecn: bool = False,
+                 ccs: str | Sequence[str] = "reno",
+                 start_times: Sequence[float] | None = None,
+                 name: str | None = None) -> ScenarioSpec:
+    """A dumbbell whose bottleneck runs an AQM discipline.
+
+    The general factory behind :func:`l4s_dumbbell` and
+    :func:`red_bottleneck` (and the E13 gallery sweep): both bottleneck
+    directions get a :class:`QueueSpec` with the declared ``discipline``,
+    and ``ecn=True`` additionally makes the queue CE-mark and every flow
+    negotiate ECN.  ``discipline="droptail"`` gives the plain baseline.
+    """
+    cfg = _aqm_config(config)
+    base = dumbbell(cfg, n_flows, ccs=ccs, start_times=start_times)
+    if discipline == "droptail" and not ecn:
+        topo, flows = base.topology, base.flows
+    else:
+        queue = QueueSpec(discipline=discipline,
+                          capacity_packets=cfg.router_buffer_packets,
+                          ecn=ecn, params=dict(queue_params or {}))
+        topo = _with_bottleneck_queue(base.topology, queue)
+        flows = tuple(replace(f, ecn=ecn) for f in base.flows)
+    return ScenarioSpec(name=name or f"aqm_{discipline}", config=cfg,
+                        topology=topo, flows=flows)
+
+
+def l4s_dumbbell(config: PathConfig | None = None, n_flows: int = 1, *,
+                 ccs: str | Sequence[str] = "prague",
+                 start_times: Sequence[float] | None = None) -> ScenarioSpec:
+    """An L4S dumbbell: DualPI2 marking bottleneck, ECN Prague flows.
+
+    The headline AQM scenario — scalable marking keeps the standing queue
+    near the DualPI2 target, so Prague sees a steady CE-mark signal and
+    (near-)zero bottleneck drops where a drop-tail baseline drops bursts.
+    """
+    return aqm_dumbbell(config, n_flows, discipline="dualpi2", ecn=True,
+                        ccs=ccs, start_times=start_times,
+                        name="l4s_dumbbell")
+
+
+def red_bottleneck(config: PathConfig | None = None, n_flows: int = 1, *,
+                   ecn: bool = False,
+                   ccs: str | Sequence[str] = "reno",
+                   start_times: Sequence[float] | None = None) -> ScenarioSpec:
+    """A dumbbell with a classic RED bottleneck (optionally ECN-marking)."""
+    return aqm_dumbbell(config, n_flows, discipline="red", ecn=ecn,
+                        ccs=ccs, start_times=start_times,
+                        name="red_bottleneck")
+
+
 def from_bulk_flows(specs: Sequence, config: PathConfig | None = None,
                     shared_paths: bool = False) -> ScenarioSpec:
     """The scenario equivalent of the legacy ``run_multi_flow`` arguments.
@@ -672,6 +863,9 @@ SCENARIO_FACTORIES: dict[str, Callable[..., ScenarioSpec]] = {
     "parking_lot": parking_lot,
     "asymmetric_path": asymmetric_path,
     "lossy_link": lossy_link,
+    "aqm_dumbbell": aqm_dumbbell,
+    "l4s_dumbbell": l4s_dumbbell,
+    "red_bottleneck": red_bottleneck,
 }
 
 
@@ -727,6 +921,17 @@ def _fluid_shape_features(spec: ScenarioSpec, n_pairs: int, *,
             f"{n_routers} routers (only the 2-router dumbbell is modelled)")
     if any(link.loss_ab or link.loss_ba for link in topo.links):
         features.append("per-link loss models")
+    disciplines = sorted({
+        queue.discipline
+        for link in topo.links
+        for queue in (link.queue_ab_packets, link.queue_ba_packets)
+        if isinstance(queue, QueueSpec)})
+    if disciplines:
+        features.append(
+            "AQM queue disciplines (declarative QueueSpec queues: "
+            + ", ".join(disciplines) + ")")
+    if any(flow.ecn for flow in spec.flows):
+        features.append("ECN-enabled flows")
     if any(link.rate_ba_bps is not None for link in topo.links):
         features.append("asymmetric link rates")
     if topo.routing_weight is not None:

@@ -5,6 +5,7 @@ from .cubic import CubicCC
 from .hystart import HyStartCC
 from .limited_slow_start import LimitedSlowStartCC
 from .newreno import NewRenoCC
+from .prague import PragueCC
 from .registry import available_algorithms, cc_factory, create_cc, register_cc
 from .reno import RenoCC
 
@@ -16,6 +17,7 @@ __all__ = [
     "LimitedSlowStartCC",
     "HyStartCC",
     "CubicCC",
+    "PragueCC",
     "register_cc",
     "create_cc",
     "cc_factory",

@@ -26,6 +26,10 @@ Hook call protocol (driven by :class:`repro.tcp.connection.TCPConnection`):
 ``on_local_congestion``        the host IFQ rejected a segment (send-stall)
                                *and* the policy says to react
 ``on_clamp_to_flight``         milder stall policy: clamp, don't reduce
+``on_ecn_feedback``            every new ACK on an ECN connection, with the
+                               ECE flag state (per-ACK mark bookkeeping)
+``on_ecn_echo``                the connection reacts to ECE, at most once
+                               per RTT (the CWR episode gates re-entry)
 =============================  ==============================================
 """
 
@@ -35,6 +39,7 @@ import math
 from typing import Callable
 
 from ...errors import ConfigurationError
+from ...net.packet import ECN_ECT0
 from ...sim.engine import Simulator
 from ..options import TCPOptions
 
@@ -93,6 +98,12 @@ class CongestionControl:
 
     #: Registry name; subclasses must override.
     name = "base"
+
+    #: ECN codepoint stamped on outgoing data when ECN is negotiated.
+    #: Classic ccs use ECT(0); L4S-style ccs override with ECT(1)
+    #: (:data:`repro.net.packet.ECN_ECT1`) so DualPI2 routes them to the
+    #: low-latency queue.
+    ect_codepoint: int = ECN_ECT0
 
     def __init__(self, ctx: CCContext) -> None:
         self.ctx = ctx
@@ -171,6 +182,29 @@ class CongestionControl:
         """Retransmission timeout: collapse to the loss window."""
         self.ssthresh = self.ssthresh_after_loss(in_flight_bytes)
         self.cwnd = self.loss_cwnd
+        self.reductions += 1
+
+    # ------------------------------------------------------------------
+    # ECN reactions
+    # ------------------------------------------------------------------
+    def on_ecn_feedback(self, acked_bytes: int, ece: bool,
+                        rtt_sample: float | None) -> None:
+        """Per-ACK ECN bookkeeping (called for every new ACK when ECN is on).
+
+        The base class ignores it; DCTCP/Prague-style ccs use it to track
+        the marked fraction of acknowledged bytes.
+        """
+
+    def on_ecn_echo(self, in_flight_bytes: int) -> None:
+        """React to an ECE echo (classic RFC 3168 reaction, once per RTT).
+
+        The connection gates this with its CWR episode machinery so a burst
+        of marked segments produces a single reduction per round trip.  The
+        classic reaction halves the window like a loss, but — marks being
+        delivered, not lost — nothing is retransmitted.
+        """
+        self.ssthresh = self.ssthresh_after_loss(in_flight_bytes)
+        self.cwnd = max(self.ssthresh, self.min_cwnd)
         self.reductions += 1
 
     # ------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""DCTCP/Prague-style congestion control: fractional backoff on ECN marks.
+
+Classic ECN (RFC 3168) halves the window on any marked round trip, which
+wastes the fine-grained signal an L4S AQM provides.  DCTCP (and TCP Prague,
+its L4S descendant) instead keeps an EWMA ``alpha`` of the *fraction* of
+acknowledged bytes that carried an ECE echo and backs off proportionally::
+
+    alpha <- (1 - g) * alpha + g * marked_fraction      (once per RTT)
+    cwnd  <- cwnd * (1 - alpha / 2)                     (per marked RTT)
+
+so a lightly-marked round trip costs a few percent of the window rather
+than half of it.  Growth is Reno-style (the simulator has no pacing), and
+data is sent with ECT(1) so a DualPI2 bottleneck steers it into the
+low-latency L4S queue and gives the shallow-threshold marking this backoff
+expects.  Loss handling is untouched: a real drop still halves the window.
+"""
+
+from __future__ import annotations
+
+from ...net.packet import ECN_ECT1
+from .reno import RenoCC
+
+__all__ = ["PragueCC"]
+
+
+class PragueCC(RenoCC):
+    """Prague/DCTCP-style fractional ECN backoff (RFC 9331-flavoured)."""
+
+    name = "prague"
+
+    ect_codepoint = ECN_ECT1
+
+    #: EWMA gain for the marked-fraction estimate (DCTCP's g = 1/16).
+    gain = 1.0 / 16.0
+
+    def __init__(self, ctx, alpha: float = 1.0) -> None:
+        super().__init__(ctx)
+        # start pessimistic (DCTCP convention): the first marked RTT after
+        # startup backs off like classic ECN, then alpha converges to the
+        # actual marking level
+        self.alpha = float(alpha)
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+        self._window_end = 0.0
+        self._srtt: float | None = None
+
+    # ------------------------------------------------------------------
+    def on_ecn_feedback(self, acked_bytes: int, ece: bool,
+                        rtt_sample: float | None) -> None:
+        if rtt_sample is not None:
+            self._srtt = (rtt_sample if self._srtt is None
+                          else 0.875 * self._srtt + 0.125 * rtt_sample)
+        self._acked_bytes += acked_bytes
+        if ece:
+            self._marked_bytes += acked_bytes
+        now = self.ctx.now
+        if now < self._window_end or self._acked_bytes <= 0:
+            return
+        frac = self._marked_bytes / self._acked_bytes
+        self.alpha = (1.0 - self.gain) * self.alpha + self.gain * frac
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+        self._window_end = now + (self._srtt if self._srtt is not None else 0.0)
+
+    def on_ecn_echo(self, in_flight_bytes: int) -> None:
+        reduced = self.cwnd * (1.0 - self.alpha / 2.0)
+        self.ssthresh = max(reduced, 2.0)
+        self.cwnd = max(self.ssthresh, self.min_cwnd)
+        self.reductions += 1

@@ -18,6 +18,7 @@ from .cubic import CubicCC
 from .hystart import HyStartCC
 from .limited_slow_start import LimitedSlowStartCC
 from .newreno import NewRenoCC
+from .prague import PragueCC
 from .reno import RenoCC
 
 __all__ = ["register_cc", "create_cc", "available_algorithms", "cc_factory"]
@@ -76,3 +77,4 @@ register_cc(NewRenoCC.name, NewRenoCC)
 register_cc(LimitedSlowStartCC.name, LimitedSlowStartCC)
 register_cc(HyStartCC.name, HyStartCC)
 register_cc(CubicCC.name, CubicCC)
+register_cc(PragueCC.name, PragueCC)

@@ -29,6 +29,7 @@ from typing import Callable
 from ..errors import TCPStateError
 from ..instrumentation.web100 import Web100Stats
 from ..net.address import Address, FlowId
+from ..net.packet import ECN_CE, ECN_NOT_ECT
 from ..sim.engine import Simulator
 from ..sim.timers import Timer
 from .cc.base import CCContext, CongestionControl
@@ -114,6 +115,19 @@ class TCPConnection:
         self.peer_rwnd = self.options.rwnd_bytes
         self.last_send_time = 0.0
 
+        # --- ECN state --------------------------------------------------------
+        #: True once both endpoints offered ECN on the handshake.
+        self.ecn_enabled = False
+        #: Receiver side: a CE mark was seen; echo ECE until CWR arrives.
+        self._ecn_echo_pending = False
+        #: Sender side: set CWR on the next outgoing data segment.
+        self._cwr_pending = False
+        #: Diagnostics: CE-marked data segments received, ECE-flagged ACKs
+        #: seen, and once-per-RTT ECN window reductions taken.
+        self.ce_received = 0
+        self.ece_received = 0
+        self.ecn_responses = 0
+
         # --- receive state ----------------------------------------------------
         self.irs = 0
         self.rcv_nxt = 0
@@ -191,6 +205,9 @@ class TCPConnection:
         """Handle an incoming SYN for a listening port (passive open)."""
         if self.state != ConnState.CLOSED:
             raise TCPStateError(f"cannot accept SYN in state {self.state}")
+        # RFC 3168 negotiation: the ECN-setup SYN carries ECE+CWR; agree
+        # (SYN-ACK with ECE) only when this endpoint offers ECN too.
+        self.ecn_enabled = self.options.ecn and seg.ece and seg.cwr
         self.irs = seg.seq
         self.rcv_nxt = seg.seq + 1
         self.ts_recent = seg.ts_val
@@ -243,6 +260,9 @@ class TCPConnection:
 
     # ------------------------------------------------------------------
     def _complete_active_handshake(self, seg: TCPSegment) -> None:
+        # an ECN-setup SYN-ACK has ECE set and CWR clear; anything else
+        # (including a plain SYN-ACK from a non-ECN peer) leaves ECN off
+        self.ecn_enabled = self.options.ecn and seg.ece and not seg.cwr
         self.snd_una = seg.ack
         self.irs = seg.seq
         self.rcv_nxt = seg.seq + 1
@@ -268,6 +288,9 @@ class TCPConnection:
         now = self.sim.now
         if ack > self.snd_nxt:
             return  # acknowledges data we never sent; ignore
+        if self.ecn_enabled and seg.ece:
+            self.ece_received += 1
+            self._react_to_ecn_echo()
         if ack > self.snd_una:
             self._process_new_ack(seg, ack, now)
         elif ack == self.snd_una and self.snd_nxt > self.snd_una and seg.is_pure_ack:
@@ -285,6 +308,9 @@ class TCPConnection:
             rtt_sample = max(now - seg.ts_ecr, 0.0)
             rto = self.rto_estimator.update(rtt_sample)
             self.stats.observe_rtt(rtt_sample, self.rto_estimator.srtt or rtt_sample, rto)
+
+        if self.ecn_enabled:
+            self.cc.on_ecn_feedback(acked, seg.ece, rtt_sample)
 
         if self.cong_state == CongState.RECOVERY:
             if ack >= self.recover:
@@ -351,6 +377,29 @@ class TCPConnection:
         else:
             self.stats.CongAvoid += 1
         self.cc.on_ack(acked, rtt_sample, in_flight)
+
+    def _react_to_ecn_echo(self) -> None:
+        """Window reduction for an ECE echo, at most once per round trip.
+
+        Reuses the CWR episode machinery: after reducing, ``cwr_high_seq``
+        pins the episode end and further ECE-flagged ACKs are ignored until
+        the reduced window's data is acknowledged (RFC 3168 §6.1.2).
+        Ongoing loss recovery takes precedence — a drop is a stronger
+        signal than a mark.
+        """
+        if self.cong_state not in (CongState.OPEN, CongState.DISORDER):
+            return
+        if self.snd_nxt <= self.snd_una:
+            return  # nothing in flight to reduce for
+        now = self.sim.now
+        self.cc.on_ecn_echo(self.bytes_in_flight)
+        self.cwr_high_seq = self.snd_nxt
+        self._set_cong_state(CongState.CWR)
+        self._cwr_pending = True
+        self.ecn_responses += 1
+        self.stats.record_signal("CongestionSignals", now)
+        self.stats.observe_cwnd(self.cc.cwnd_bytes)
+        self.stats.observe_ssthresh(self.cc.ssthresh_bytes)
 
     def _enter_recovery(self) -> None:
         now = self.sim.now
@@ -497,6 +546,14 @@ class TCPConnection:
     # ==================================================================
     def _process_data(self, seg: TCPSegment) -> None:
         opts = self.options
+        if self.ecn_enabled:
+            if seg.cwr:
+                # the sender reacted; stop echoing (a CE mark on this very
+                # segment re-latches below)
+                self._ecn_echo_pending = False
+            if seg.ecn == ECN_CE:
+                self.ce_received += 1
+                self._ecn_echo_pending = True
         if seg.seq == self.rcv_nxt:
             if self.delack_pending == 0:
                 # echo the timestamp of the earliest segment the next ACK covers
@@ -517,6 +574,8 @@ class TCPConnection:
                 not opts.delayed_ack
                 or self.delack_pending >= opts.delack_segments
                 or self.ooo_segments
+                # DCTCP-style immediate feedback: don't sit on an ECE echo
+                or (self.ecn_enabled and self._ecn_echo_pending)
             ):
                 self._send_ack()
             elif not self.delack_timer.is_running:
@@ -553,6 +612,25 @@ class TCPConnection:
         retransmission: bool = False,
     ) -> TCPSegment:
         now = self.sim.now
+        ece = cwr = False
+        ecn_codepoint = ECN_NOT_ECT
+        if syn:
+            if not ack_flag:
+                # ECN-setup SYN: ECE+CWR both set (RFC 3168 §6.1.1)
+                ece = cwr = self.options.ecn
+            else:
+                # ECN-setup SYN-ACK: ECE set, CWR clear
+                ece = self.ecn_enabled
+        elif self.ecn_enabled:
+            if ack_flag and self._ecn_echo_pending:
+                ece = True
+            if payload > 0:
+                # retransmissions must not be ECT (RFC 3168 §6.1.5)
+                if not retransmission:
+                    ecn_codepoint = self.cc.ect_codepoint
+                if self._cwr_pending:
+                    cwr = True
+                    self._cwr_pending = False
         return TCPSegment(
             src=self.local_addr,
             dst=self.remote_addr,
@@ -568,6 +646,9 @@ class TCPConnection:
             header_bytes=self.options.header_bytes,
             created_at=now,
             retransmission=retransmission,
+            ece=ece,
+            cwr=cwr,
+            ecn=ecn_codepoint,
         )
 
     def _set_state(self, new_state: ConnState) -> None:

@@ -55,6 +55,10 @@ class TCPOptions:
         Optional cap on segments released by a single ACK (``None`` = no cap).
     timestamps:
         Use timestamp echo for RTT sampling (avoids Karn ambiguity).
+    ecn:
+        Offer RFC 3168 ECN on the handshake.  ECN is only *used* when both
+        endpoints offer it; against a non-ECN peer the connection degrades
+        cleanly to plain drop-based congestion control.
     """
 
     mss: int = DEFAULT_MSS
@@ -73,6 +77,7 @@ class TCPOptions:
     stall_retry_interval: float = 0.005
     max_burst_segments: int | None = None
     timestamps: bool = True
+    ecn: bool = False
 
     def __post_init__(self) -> None:
         if self.mss <= 0:

@@ -29,6 +29,8 @@ class TCPSegment(Packet):
         "ts_val",
         "ts_ecr",
         "retransmission",
+        "ece",
+        "cwr",
     )
 
     def __init__(
@@ -48,6 +50,9 @@ class TCPSegment(Packet):
         header_bytes: int = DEFAULT_HEADER_BYTES,
         created_at: float = 0.0,
         retransmission: bool = False,
+        ece: bool = False,
+        cwr: bool = False,
+        ecn: int = 0,
     ) -> None:
         super().__init__(
             size_bytes=payload_bytes + header_bytes,
@@ -56,6 +61,7 @@ class TCPSegment(Packet):
             flow=flow,
             protocol=PROTO_TCP,
             created_at=created_at,
+            ecn=ecn,
         )
         #: First sequence number covered by this segment.
         self.seq = seq
@@ -74,6 +80,11 @@ class TCPSegment(Packet):
         self.ts_ecr = ts_ecr
         #: True when this segment is a retransmission (diagnostics only).
         self.retransmission = retransmission
+        #: RFC 3168 ECN header flags.  ``ece`` echoes congestion back to the
+        #: sender (also the ECN-setup flag on SYN/SYN-ACK); ``cwr`` tells
+        #: the receiver the sender reacted, stopping the ECE echo.
+        self.ece = ece
+        self.cwr = cwr
 
     # ------------------------------------------------------------------
     @property

@@ -8,6 +8,11 @@ Every :class:`repro.host.host.Host` owns one :class:`TCPStack`.  The stack
   a SYN arrives,
 * demultiplexes incoming segments to the owning connection by the
   (local address, remote address, local port, remote port) 4-tuple.
+
+ECN note: segments are delivered whole (header flags plus IP codepoint), so
+the ECE/CWR echo loop lives entirely in :class:`TCPConnection`; a passive
+open negotiates ECN from the listener's ``options.ecn`` against the
+incoming ECN-setup SYN.
 """
 
 from __future__ import annotations

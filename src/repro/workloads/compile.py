@@ -31,8 +31,9 @@ from ..net.lossmodels import (
     GilbertElliottLoss,
     LossModel,
 )
+from ..net.aqm import CoDelQueue, DualPI2Queue
 from ..net.node import Node
-from ..net.queues import DropTailQueue
+from ..net.queues import DropTailQueue, PacketQueue, REDQueue
 from ..net.router import Router
 from ..net.topology import Topology
 from ..sim.engine import Simulator
@@ -40,6 +41,7 @@ from ..spec.scenario import (
     CrossTrafficSpec,
     FlowSpec,
     LossSpec,
+    QueueSpec,
     ScenarioSpec,
     TopologySpec,
 )
@@ -52,9 +54,11 @@ __all__ = [
     "attach_flow_spec",
     "attach_cross_traffic_spec",
     "build_loss_model",
+    "build_queue",
     "resolve_restricted_config",
     "scenario_cc_factory",
     "core_drops",
+    "core_marks",
     "core_capacity_bps",
 ]
 
@@ -70,6 +74,39 @@ def build_loss_model(spec: LossSpec | None) -> LossModel | None:
     if spec is None:
         return None
     return _LOSS_CLASSES[spec.model](**spec.params)
+
+
+def build_queue(queue: "int | QueueSpec", sim: Simulator, clock, name: str, *,
+                rate_bps: float) -> PacketQueue:
+    """Instantiate one direction's declared queue.
+
+    A plain ``int`` compiles exactly as before — a drop-tail queue with no
+    RNG stream drawn — keeping legacy scenarios bit-identical.  A
+    :class:`~repro.spec.scenario.QueueSpec` dispatches on its discipline;
+    the randomised disciplines (``red``, ``dualpi2``) draw a named
+    ``aqm:<queue name>`` stream from the simulator's seeded hierarchy, so
+    their coin flips follow the experiment seed.  RED's unset thresholds
+    default to capacity/12 and capacity/4, and its average-decay packet
+    time to one MTU at the link rate.
+    """
+    if not isinstance(queue, QueueSpec):
+        return DropTailQueue(queue, clock=clock, name=name)
+    cap = queue.capacity_packets
+    params = dict(queue.params)
+    if queue.discipline == "droptail":
+        return DropTailQueue(cap, capacity_bytes=params.get("capacity_bytes"),
+                             clock=clock, name=name)
+    if queue.discipline == "red":
+        params.setdefault("min_threshold", max(1.0, cap / 12.0))
+        params.setdefault("max_threshold", max(2.0, cap / 4.0))
+        params.setdefault("mean_pkt_time", 8.0 * 1500 / rate_bps)
+        return REDQueue(cap, rng=sim.rng(f"aqm:{name}"), clock=clock,
+                        name=name, ecn=queue.ecn, **params)
+    if queue.discipline == "codel":
+        return CoDelQueue(capacity_packets=cap, ecn=queue.ecn, clock=clock,
+                          name=name, **params)
+    return DualPI2Queue(capacity_packets=cap, rng=sim.rng(f"aqm:{name}"),
+                        ecn=queue.ecn, clock=clock, name=name, **params)
 
 
 def compile_topology(
@@ -96,10 +133,13 @@ def compile_topology(
     for link in spec.links:
         topology.add_link(
             nodes[link.a], nodes[link.b], link.rate_bps, link.delay_s,
-            queue_factory=lambda c, n, cap=link.queue_ab_packets:
-                DropTailQueue(cap, clock=c, name=n),
-            queue_factory_ba=lambda c, n, cap=link.queue_ba_packets:
-                DropTailQueue(cap, clock=c, name=n),
+            queue_factory=lambda c, n, q=link.queue_ab_packets,
+                r=link.rate_bps:
+                build_queue(q, sim, c, n, rate_bps=r),
+            queue_factory_ba=lambda c, n, q=link.queue_ba_packets,
+                r=(link.rate_ba_bps if link.rate_ba_bps is not None
+                   else link.rate_bps):
+                build_queue(q, sim, c, n, rate_bps=r),
             loss_model=build_loss_model(link.loss_ab),
             loss_model_ba=build_loss_model(link.loss_ba),
             rate_ba_bps=link.rate_ba_bps,
@@ -164,6 +204,8 @@ def attach_flow_spec(scenario: Scenario, flow: FlowSpec, index: int) -> None:
         total_bytes=flow.total_bytes,
         start_time=flow.start_time,
         stop_time=flow.stop_time,
+        # both endpoints offer ECN so the handshake negotiates it
+        options=scenario.config.tcp_options(ecn=True) if flow.ecn else None,
         cc_kwargs=flow.cc_kwargs or None,
         port=flow.port,
         name=f"flow{index}:{flow.cc}",
@@ -259,6 +301,20 @@ def core_drops(topology: Topology) -> int:
         if isinstance(link.node_a, Router) and isinstance(link.node_b, Router):
             total += link.iface_ab.queue.stats.dropped
             total += link.iface_ba.queue.stats.dropped
+    return total
+
+
+def core_marks(topology: Topology) -> int:
+    """CE marks applied on router→router (core) queues, both directions.
+
+    The ECN sibling of :func:`core_drops` — on an AQM bottleneck a healthy
+    L4S flow shows marks here where a drop-tail baseline shows drops.
+    """
+    total = 0
+    for link in topology.links:
+        if isinstance(link.node_a, Router) and isinstance(link.node_b, Router):
+            total += link.iface_ab.queue.stats.marked
+            total += link.iface_ba.queue.stats.marked
     return total
 
 

@@ -152,7 +152,7 @@ class TestRegistry:
         from repro.experiments.registry import _supports_fluid
 
         ids = {spec.experiment_id for spec in all_experiments()}
-        packet_ids = {f"E{i}" for i in range(1, 13)}
+        packet_ids = {f"E{i}" for i in range(1, 14)}
         assert packet_ids <= ids
         # every fluid-capable spec-carrying experiment also has a fluid
         # fast-path variant; packet-only scenario entries (E11) have none,

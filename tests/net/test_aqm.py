@@ -1,0 +1,323 @@
+"""Tests for the AQM disciplines (CoDel, DualPI2) and ECN marking.
+
+Also pins the shared accounting invariants across *all* disciplines:
+arrivals == enqueued + dropped, byte counters balance, and a marked packet
+is never also counted as a drop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net import (
+    ECN_CE,
+    ECN_ECT0,
+    ECN_ECT1,
+    ECN_NOT_ECT,
+    CoDelQueue,
+    DropTailQueue,
+    DualPI2Queue,
+    Packet,
+    REDQueue,
+    ecn_capable,
+)
+
+
+def make_packet(size=1500, ecn=ECN_NOT_ECT):
+    return Packet(size, src=1, dst=2, ecn=ecn)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestEcnCodepoints:
+    def test_capability(self):
+        assert ecn_capable(make_packet(ecn=ECN_ECT0))
+        assert ecn_capable(make_packet(ecn=ECN_ECT1))
+        assert not ecn_capable(make_packet(ecn=ECN_NOT_ECT))
+        assert not ecn_capable(make_packet(ecn=ECN_CE))
+
+    def test_default_is_not_ect(self):
+        assert make_packet().ecn == ECN_NOT_ECT
+
+
+class TestByteCapacityIsFull:
+    def test_is_full_honours_capacity_bytes(self):
+        # regression: is_full used to consider only the packet-count limit
+        q = DropTailQueue(100, capacity_bytes=3000)
+        q.enqueue(make_packet(1500))
+        assert not q.is_full
+        q.enqueue(make_packet(1500))
+        assert q.is_full
+        assert len(q) == 2  # far below the packet-count limit
+
+
+class TestCoDelQueue:
+    def make_codel(self, clock, **kwargs):
+        kwargs.setdefault("capacity_packets", 1000)
+        return CoDelQueue(clock=clock, **kwargs)
+
+    def fill(self, q, n, ecn=ECN_NOT_ECT):
+        for _ in range(n):
+            q.enqueue(make_packet(ecn=ecn))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CoDelQueue(target=0.0)
+        with pytest.raises(ConfigurationError):
+            CoDelQueue(interval=-1.0)
+
+    def test_fifo_below_target(self):
+        clock = FakeClock()
+        q = self.make_codel(clock)
+        packets = [make_packet() for _ in range(5)]
+        for p in packets:
+            q.enqueue(p)
+        clock.advance(0.001)  # sojourn below the 5 ms target
+        out = [q.dequeue() for _ in range(5)]
+        assert [p.uid for p in out] == [p.uid for p in packets]
+        assert q.head_drops == 0 and q.stats.dropped == 0
+
+    def test_tail_drop_when_physically_full(self):
+        q = CoDelQueue(capacity_packets=2, clock=FakeClock())
+        self.fill(q, 3)
+        assert q.stats.dropped == 1 and q.head_drops == 0
+
+    def test_drops_after_sustained_delay(self):
+        clock = FakeClock()
+        q = self.make_codel(clock)
+        # keep the queue standing above target for well over one interval
+        for _ in range(60):
+            q.enqueue(make_packet())
+            clock.advance(0.01)
+        delivered = 0
+        while q.dequeue() is not None:
+            delivered += 1
+            clock.advance(0.01)
+        assert q.head_drops > 0
+        assert q.stats.dropped == q.head_drops
+        assert delivered + q.head_drops == 60
+
+    def test_marks_instead_of_drops_when_ecn(self):
+        clock = FakeClock()
+        q = self.make_codel(clock, ecn=True)
+        for _ in range(60):
+            q.enqueue(make_packet(ecn=ECN_ECT0))
+            clock.advance(0.01)
+        delivered = ce = 0
+        while (p := q.dequeue()) is not None:
+            delivered += 1
+            if p.ecn == ECN_CE:
+                ce += 1
+            clock.advance(0.01)
+        assert q.stats.marked > 0 and ce == q.stats.marked
+        assert q.stats.dropped == 0 and q.head_drops == 0
+        assert delivered == 60  # every packet survived
+
+    def test_non_ect_still_dropped_when_ecn(self):
+        clock = FakeClock()
+        q = self.make_codel(clock, ecn=True)
+        for _ in range(60):
+            q.enqueue(make_packet(ecn=ECN_NOT_ECT))
+            clock.advance(0.01)
+        while q.dequeue() is not None:
+            clock.advance(0.01)
+        assert q.head_drops > 0 and q.stats.marked == 0
+
+
+class TestDualPI2Queue:
+    def make_dualpi2(self, clock, **kwargs):
+        kwargs.setdefault("capacity_packets", 1000)
+        kwargs.setdefault("rng", np.random.default_rng(7))
+        return DualPI2Queue(clock=clock, **kwargs)
+
+    def test_rng_required(self):
+        with pytest.raises(ConfigurationError):
+            DualPI2Queue(capacity_packets=10)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            DualPI2Queue(rng=rng, target=0.0)
+        with pytest.raises(ConfigurationError):
+            DualPI2Queue(rng=rng, coupling=0.0)
+
+    def test_l4s_strict_priority(self):
+        clock = FakeClock()
+        q = self.make_dualpi2(clock)
+        classic = make_packet(ecn=ECN_NOT_ECT)
+        l4s = make_packet(ecn=ECN_ECT1)
+        q.enqueue(classic)
+        q.enqueue(l4s)
+        assert q.dequeue() is l4s
+        assert q.dequeue() is classic
+
+    def test_step_threshold_marks_l4s(self):
+        clock = FakeClock()
+        q = self.make_dualpi2(clock)
+        q.enqueue(make_packet(ecn=ECN_ECT1))
+        clock.advance(0.002)  # above the 1 ms step threshold
+        p = q.dequeue()
+        assert p.ecn == ECN_CE
+        assert q.l4s_marks == 1 and q.stats.marked == 1
+        assert q.stats.dropped == 0
+
+    def test_fast_l4s_packet_not_marked(self):
+        clock = FakeClock()
+        q = self.make_dualpi2(clock)
+        q.enqueue(make_packet(ecn=ECN_ECT1))
+        clock.advance(0.0001)
+        assert q.dequeue().ecn == ECN_ECT1
+        assert q.stats.marked == 0
+
+    def test_pi_pressure_drops_classic(self):
+        clock = FakeClock()
+        q = self.make_dualpi2(clock, ecn=False)
+        # sustain a standing classic queue far above target so p' winds up
+        sent = 0
+        for _ in range(400):
+            q.enqueue(make_packet())
+            sent += 1
+            clock.advance(0.01)
+            if len(q) > 20:
+                q.dequeue()
+        assert q.base_probability > 0.0
+        assert q.classic_drops > 0
+        assert q.stats.dropped >= q.classic_drops
+
+    def test_ecn_classic_marks_instead(self):
+        clock = FakeClock()
+        q = self.make_dualpi2(clock, ecn_classic=True)
+        for _ in range(400):
+            q.enqueue(make_packet(ecn=ECN_ECT0))
+            clock.advance(0.01)
+            if len(q) > 20:
+                q.dequeue()
+        assert q.classic_marks > 0
+        assert q.classic_drops == 0
+
+    def test_capacity_spans_both_queues(self):
+        clock = FakeClock()
+        q = self.make_dualpi2(clock, capacity_packets=2)
+        assert q.enqueue(make_packet(ecn=ECN_ECT1))
+        assert q.enqueue(make_packet(ecn=ECN_NOT_ECT))
+        assert not q.enqueue(make_packet(ecn=ECN_ECT1))
+        assert len(q) == 2 and q.stats.dropped == 1
+
+
+class TestREDIdleDecay:
+    def make_red(self, clock, **kwargs):
+        kwargs.setdefault("mean_pkt_time", 0.001)
+        return REDQueue(50, 5, 15, weight=0.5, rng=np.random.default_rng(1),
+                        clock=clock, **kwargs)
+
+    def test_rng_required(self):
+        with pytest.raises(ConfigurationError):
+            REDQueue(50, 5, 15)
+
+    def test_average_decays_over_idle_period(self):
+        clock = FakeClock()
+        q = self.make_red(clock)
+        for _ in range(10):
+            q.enqueue(make_packet())
+        avg_loaded = q.avg
+        assert avg_loaded > 1.0
+        while q.dequeue() is not None:
+            pass
+        clock.advance(0.010)  # idle for 10 mean packet times
+        q.enqueue(make_packet())
+        # decay factor (1-w)^m applied before the arrival's EWMA update:
+        # avg = ((1-w)^10 * avg_loaded) * (1-w) + w*0
+        expected = avg_loaded * 0.5 ** 10 * 0.5
+        assert q.avg == pytest.approx(expected)
+
+    def test_no_decay_without_idle_gap(self):
+        clock = FakeClock()
+        q = self.make_red(clock)
+        for _ in range(10):
+            q.enqueue(make_packet())
+        avg_loaded = q.avg
+        q.enqueue(make_packet())
+        assert q.avg == pytest.approx(0.5 * avg_loaded + 0.5 * 10)
+
+    def test_red_marks_in_early_region(self):
+        clock = FakeClock()
+        q = REDQueue(1000, 5, 15, max_p=0.5, weight=1.0, ecn=True,
+                     rng=np.random.default_rng(1), clock=clock)
+        for _ in range(300):
+            q.enqueue(make_packet(ecn=ECN_ECT0))
+            if len(q) > 12:
+                q.dequeue()
+        assert q.early_marks > 0 and q.stats.marked == q.early_marks
+        assert q.early_drops == 0
+
+    def test_red_non_ect_dropped_even_with_ecn(self):
+        clock = FakeClock()
+        q = REDQueue(1000, 5, 15, max_p=0.5, weight=1.0, ecn=True,
+                     rng=np.random.default_rng(1), clock=clock)
+        for _ in range(300):
+            q.enqueue(make_packet(ecn=ECN_NOT_ECT))
+            if len(q) > 12:
+                q.dequeue()
+        assert q.early_drops > 0 and q.stats.marked == 0
+
+
+def _disciplines(clock):
+    return [
+        DropTailQueue(20, clock=clock),
+        REDQueue(20, 2, 8, max_p=0.5, weight=0.5,
+                 rng=np.random.default_rng(3), clock=clock),
+        REDQueue(20, 2, 8, max_p=0.5, weight=0.5, ecn=True,
+                 rng=np.random.default_rng(3), clock=clock),
+        CoDelQueue(capacity_packets=20, clock=clock),
+        CoDelQueue(capacity_packets=20, ecn=True, clock=clock),
+        DualPI2Queue(capacity_packets=20, rng=np.random.default_rng(3),
+                     clock=clock),
+        DualPI2Queue(capacity_packets=20, rng=np.random.default_rng(3),
+                     ecn_classic=True, clock=clock),
+    ]
+
+
+class TestConservationInvariants:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1),
+                              st.integers(min_value=0, max_value=3)),
+                    min_size=1, max_size=300))
+    def test_all_disciplines_conserve_packets_and_bytes(self, ops):
+        clock = FakeClock()
+        for q in _disciplines(clock):
+            arrivals = accepted = delivered = 0
+            codepoints = [ECN_NOT_ECT, ECN_ECT0, ECN_ECT1, ECN_CE]
+            for op, cp in ops:
+                if op == 0:
+                    arrivals += 1
+                    if q.enqueue(make_packet(ecn=codepoints[cp])):
+                        accepted += 1
+                else:
+                    if q.dequeue() is not None:
+                        delivered += 1
+                clock.advance(0.004)
+            s = q.stats
+            head_drops = getattr(q, "head_drops", 0)
+            # every arrival is either admitted or dropped at the gate
+            assert s.enqueued == accepted, type(q).__name__
+            assert s.enqueued + (s.dropped - head_drops) == arrivals, type(q).__name__
+            # what was admitted is delivered, head-dropped, or still queued
+            assert s.dequeued == delivered + head_drops, type(q).__name__
+            assert s.enqueued == s.dequeued + len(q), type(q).__name__
+            # bytes balance the same way
+            assert s.bytes_enqueued == s.bytes_dequeued + q.bytes_queued
+            # a mark never doubles as a drop: all counters are disjoint
+            assert s.marked <= s.enqueued
+            assert q.bytes_queued >= 0 and len(q) >= 0

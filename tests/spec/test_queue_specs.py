@@ -1,0 +1,177 @@
+"""Tests for declarative queue disciplines (``QueueSpec``) on links.
+
+The serialization contract matters here: plain-int queue fields are the
+legacy encoding and must stay bit-identical (stable cache keys), while
+``QueueSpec`` values round-trip through JSON with their own stable keys.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ExperimentError, UnsupportedScenarioError
+from repro.spec import (
+    LinkSpec,
+    QueueSpec,
+    RunSpec,
+    ScenarioSpec,
+    aqm_dumbbell,
+    dumbbell,
+    fluid_unsupported_features,
+    l4s_dumbbell,
+    red_bottleneck,
+    scenario_factory,
+    spec_from_json,
+)
+from repro.spec.scenario import QUEUE_DISCIPLINES
+from repro.testing import SMALL_PATH
+
+AQM_EXAMPLES = [
+    l4s_dumbbell(SMALL_PATH),
+    red_bottleneck(SMALL_PATH, ecn=True),
+    aqm_dumbbell(SMALL_PATH, 2, discipline="codel", ecn=True, ccs="cubic"),
+    aqm_dumbbell(SMALL_PATH, discipline="red",
+                 queue_params={"min_threshold": 5.0, "max_threshold": 15.0}),
+]
+
+
+class TestQueueSpecValidation:
+    def test_defaults(self):
+        q = QueueSpec()
+        assert q.discipline == "droptail"
+        assert q.capacity_packets == 100 and not q.ecn and q.params == {}
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown queue discipline"):
+            QueueSpec(discipline="sfq")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ExperimentError, match="capacity"):
+            QueueSpec(discipline="red", capacity_packets=0)
+
+    def test_droptail_cannot_mark(self):
+        with pytest.raises(ExperimentError, match="cannot CE-mark"):
+            QueueSpec(discipline="droptail", ecn=True)
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ExperimentError, match="queue parameter"):
+            QueueSpec(discipline="codel", params={"quantum": 1514})
+        with pytest.raises(ExperimentError, match="queue parameter"):
+            QueueSpec(discipline="red", params={"target": 0.005})
+
+    def test_known_params_accepted_per_discipline(self):
+        for discipline, names in QUEUE_DISCIPLINES.items():
+            if discipline == "droptail":
+                continue
+            QueueSpec(discipline=discipline,
+                      params={names[0]: 1.0})  # no raise
+
+    def test_link_rejects_nonpositive_int_queue(self):
+        with pytest.raises(ExperimentError, match="queue"):
+            LinkSpec("a", "b", rate_bps=1e6, delay_s=0.01, queue_ab_packets=0)
+
+    def test_link_accepts_queue_spec_both_directions(self):
+        link = LinkSpec("a", "b", rate_bps=1e6, delay_s=0.01,
+                        queue_ab_packets=QueueSpec("codel", 50),
+                        queue_ba_packets=25)
+        assert link.queue_ab == QueueSpec("codel", 50)
+        assert link.queue_ba == QueueSpec(capacity_packets=25)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("spec", AQM_EXAMPLES, ids=lambda s: s.name)
+    def test_json_round_trip_preserves_equality_and_cache_key(self, spec):
+        clone = spec_from_json(spec.to_json())
+        assert clone == spec
+        assert type(clone) is ScenarioSpec
+        assert clone.cache_key() == spec.cache_key()
+
+    @pytest.mark.parametrize("spec", AQM_EXAMPLES, ids=lambda s: s.name)
+    def test_pickles(self, spec):
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_queue_spec_survives_round_trip_typed(self):
+        clone = spec_from_json(l4s_dumbbell(SMALL_PATH).to_json())
+        queues = [l.queue_ab_packets for l in clone.topology.links
+                  if isinstance(l.queue_ab_packets, QueueSpec)]
+        assert queues and queues[0].discipline == "dualpi2"
+        assert queues[0].ecn is True
+
+    def test_legacy_int_encoding_unchanged(self):
+        # int queue fields stay plain ints and flows carry no ecn key, so
+        # every pre-AQM cache key (and stored result) remains addressable
+        data = dumbbell(SMALL_PATH, 1).to_dict()
+        for link in data["topology"]["links"]:
+            assert isinstance(link["queue_ab_packets"], int)
+            assert isinstance(link["queue_ba_packets"], int)
+        for flow in data["flows"]:
+            assert "ecn" not in flow
+
+    def test_disciplines_and_ecn_key_differently(self):
+        keys = {spec.cache_key() for spec in AQM_EXAMPLES}
+        keys.add(dumbbell(SMALL_PATH, 1).cache_key())
+        keys.add(red_bottleneck(SMALL_PATH, ecn=False).cache_key())
+        assert len(keys) == len(AQM_EXAMPLES) + 2
+
+    def test_factories_registered(self):
+        for name in ("aqm_dumbbell", "l4s_dumbbell", "red_bottleneck"):
+            spec = scenario_factory(name)(config=SMALL_PATH)
+            assert isinstance(spec, ScenarioSpec)
+
+
+class TestAqmFactories:
+    def test_l4s_dumbbell_shape(self):
+        spec = l4s_dumbbell(SMALL_PATH)
+        assert spec.name == "l4s_dumbbell"
+        assert all(f.cc == "prague" and f.ecn for f in spec.flows)
+        bneck = [l for l in spec.topology.links
+                 if isinstance(l.queue_ab_packets, QueueSpec)]
+        assert bneck and bneck[0].queue_ab.discipline == "dualpi2"
+
+    def test_red_bottleneck_defaults_to_drop_mode(self):
+        spec = red_bottleneck(SMALL_PATH)
+        assert spec.name == "red_bottleneck"
+        assert not any(f.ecn for f in spec.flows)
+        bneck = [l.queue_ab for l in spec.topology.links
+                 if isinstance(l.queue_ab_packets, QueueSpec)]
+        assert bneck[0].discipline == "red" and bneck[0].ecn is False
+
+    def test_plain_droptail_request_is_the_legacy_dumbbell(self):
+        # the factory only normalises the access rate (fast-NIC testbed);
+        # the droptail cell keeps plain-int queues and non-ECN flows
+        spec = aqm_dumbbell(SMALL_PATH, 1, discipline="droptail")
+        legacy = dumbbell(SMALL_PATH.replace(
+            access_rate_bps=4.0 * SMALL_PATH.bottleneck_rate_bps), 1)
+        assert spec.topology == legacy.topology
+        assert spec.flows == legacy.flows
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown queue discipline"):
+            aqm_dumbbell(SMALL_PATH, discipline="fq_codel")
+
+
+class TestFluidGating:
+    def test_aqm_scenarios_named_unsupported(self):
+        features = " ".join(fluid_unsupported_features(l4s_dumbbell(SMALL_PATH)))
+        assert "AQM queue disciplines" in features
+        assert "dualpi2" in features
+        with pytest.raises(UnsupportedScenarioError, match="AQM"):
+            RunSpec(scenario=l4s_dumbbell(SMALL_PATH), backend="fluid")
+
+    def test_ecn_flows_named_unsupported(self):
+        base = dumbbell(SMALL_PATH, 1)
+        spec = base.replace(flows=tuple(replace(f, ecn=True)
+                                        for f in base.flows))
+        assert "ECN-enabled flows" in " ".join(fluid_unsupported_features(spec))
+
+    def test_droptail_queue_spec_alone_still_gates(self):
+        base = dumbbell(SMALL_PATH, 1)
+        links = tuple(
+            replace(link, queue_ab_packets=QueueSpec(
+                capacity_packets=link.queue_ab_packets))
+            for link in base.topology.links)
+        spec = base.replace(topology=replace(base.topology, links=links))
+        assert any("QueueSpec" in f for f in fluid_unsupported_features(spec))

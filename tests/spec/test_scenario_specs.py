@@ -214,7 +214,7 @@ class TestFactories:
     def test_gallery_is_complete(self):
         assert set(available_scenarios()) == {
             "dumbbell", "shared_path", "parking_lot", "asymmetric_path",
-            "lossy_link"}
+            "lossy_link", "aqm_dumbbell", "l4s_dumbbell", "red_bottleneck"}
         for name in available_scenarios():
             spec = scenario_factory(name)(config=SMALL_PATH)
             assert isinstance(spec, ScenarioSpec)

@@ -1,0 +1,196 @@
+"""ECN tests: RFC 3168 negotiation, the CE -> ECE -> CWR echo loop, the
+once-per-RTT classic reaction, and the Prague fractional backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host import BulkSenderApp, SinkApp
+from repro.net import ECN_ECT0, ECN_ECT1, ECN_NOT_ECT, CoDelQueue
+from repro.sim import Simulator
+from repro.tcp import CongState, TCPOptions
+from repro.tcp.cc import cc_factory
+from repro.tcp.cc.base import CCContext
+from repro.tcp.cc.prague import PragueCC
+from repro.workloads import build_dumbbell
+
+
+def make_ecn_transfer(sim, config, *, sender_ecn=True, sink_ecn=True,
+                      cc="reno", total_bytes=None, mark_bottleneck=False):
+    """A single-flow dumbbell with per-endpoint ECN options.
+
+    ``mark_bottleneck`` swaps the router's drop-tail port buffer for a
+    CE-marking CoDel instance, so congestion produces marks, not drops.
+    The access link is sped up so the standing queue forms at the router
+    (not the sender IFQ), as on the paper's testbed with a faster NIC.
+    """
+    if mark_bottleneck:
+        # deep IFQ so slow-start overshoot cannot drop locally: the AQM's
+        # marks are the only congestion signal in these tests
+        config = config.replace(
+            access_rate_bps=4.0 * config.bottleneck_rate_bps,
+            ifq_capacity_packets=600, router_buffer_packets=600)
+    scenario = build_dumbbell(sim, config, n_flows=1)
+    if mark_bottleneck:
+        iface = scenario.bottleneck_interface()
+        iface.queue = CoDelQueue(
+            capacity_packets=config.router_buffer_packets, ecn=True,
+            clock=lambda: sim.now, name=iface.queue.name)
+    sink = SinkApp(scenario.receivers[0], 7000,
+                   options=config.tcp_options(ecn=sink_ecn))
+    app = BulkSenderApp(
+        sim, scenario.senders[0], scenario.receivers[0].address, 7000,
+        total_bytes=total_bytes, options=config.tcp_options(ecn=sender_ecn),
+        cc_factory=cc_factory(cc),
+    )
+    return scenario, app, sink
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize("sender_ecn,sink_ecn,expected", [
+        (True, True, True),
+        (True, False, False),
+        (False, True, False),
+        (False, False, False),
+    ])
+    def test_matrix(self, sim, small_path, sender_ecn, sink_ecn, expected):
+        _, app, sink = make_ecn_transfer(
+            sim, small_path, sender_ecn=sender_ecn, sink_ecn=sink_ecn,
+            total_bytes=20_000)
+        sim.run(until=1.0)
+        assert app.connection.ecn_enabled is expected
+        assert sink.connections[0].ecn_enabled is expected
+
+    def test_data_flows_regardless_of_negotiation(self, sim, small_path):
+        _, app, sink = make_ecn_transfer(
+            sim, small_path, sender_ecn=True, sink_ecn=False,
+            total_bytes=50_000)
+        sim.run(until=3.0)
+        assert sink.bytes_received == 50_000
+
+    def test_non_ecn_connection_sends_not_ect(self, sim, small_path):
+        _, app, _ = make_ecn_transfer(sim, small_path, sender_ecn=False,
+                                      sink_ecn=False, total_bytes=20_000)
+        sim.run(until=1.0)
+        seg = app.connection._make_segment(app.connection.snd_nxt, 1000)
+        assert seg.ecn == ECN_NOT_ECT and not seg.ece and not seg.cwr
+
+
+class TestEchoLoop:
+    def test_ce_marks_become_ece_then_cwr(self, sim, small_path):
+        _, app, sink = make_ecn_transfer(sim, small_path,
+                                         mark_bottleneck=True)
+        sim.run(until=3.0)
+        conn = app.connection
+        server = sink.connections[0]
+        # the AQM marked instead of dropping ...
+        assert server.ce_received > 0
+        # ... the receiver echoed ECE, the sender saw it and reacted
+        assert conn.ece_received > 0
+        assert conn.ecn_responses >= 1
+        assert conn.cc.reductions >= 1
+        # marks are not losses: nothing was retransmitted for them
+        assert conn.stats.PktsRetrans == 0
+        # CWR delivery cleared the receiver's pending echo state
+        assert server._ecn_echo_pending is False or conn.ece_received > 0
+
+    def test_reaction_is_once_per_rtt(self, sim, small_path):
+        _, app, _ = make_ecn_transfer(sim, small_path, mark_bottleneck=True)
+        sim.run(until=3.0)
+        conn = app.connection
+        # many marked ACKs, far fewer window reductions: the CWR episode
+        # gates re-entry for a full round trip
+        assert conn.ece_received > conn.ecn_responses
+        rtts = 3.0 / small_path.rtt
+        assert conn.ecn_responses <= rtts + 1
+
+    def test_mixed_endpoints_fall_back_to_drops(self, sim, small_path):
+        scenario, app, sink = make_ecn_transfer(
+            sim, small_path, sender_ecn=True, sink_ecn=False,
+            mark_bottleneck=True)
+        sim.run(until=3.0)
+        queue = scenario.bottleneck_interface().queue
+        # no negotiation -> packets are not ECT -> the AQM cannot mark
+        assert queue.stats.marked == 0
+        assert sink.connections[0].ce_received == 0
+
+    def test_data_segments_carry_ect(self, sim, small_path):
+        _, app, _ = make_ecn_transfer(sim, small_path, mark_bottleneck=True)
+        sim.run(until=1.0)
+        conn = app.connection
+        seg = conn._make_segment(conn.snd_nxt, 1000)
+        assert seg.ecn == ECN_ECT0
+
+    def test_retransmissions_are_not_ect(self, sim, small_path):
+        _, app, _ = make_ecn_transfer(sim, small_path, mark_bottleneck=True)
+        sim.run(until=1.0)
+        conn = app.connection
+        seg = conn._make_segment(conn.snd_una, 1000, retransmission=True)
+        assert seg.ecn == ECN_NOT_ECT
+
+    def test_pure_acks_are_not_ect(self, sim, small_path):
+        _, app, _ = make_ecn_transfer(sim, small_path, mark_bottleneck=True)
+        sim.run(until=1.0)
+        conn = app.connection
+        seg = conn._make_segment(conn.snd_nxt, 0)
+        assert seg.ecn == ECN_NOT_ECT
+
+    def test_ecn_reaction_enters_cwr_state(self, sim, small_path):
+        _, app, _ = make_ecn_transfer(sim, small_path, mark_bottleneck=True)
+        conn = app.connection
+        states = []
+        sim_orig = conn._set_cong_state
+
+        def spy(state):
+            states.append(state)
+            sim_orig(state)
+        conn._set_cong_state = spy
+        sim.run(until=3.0)
+        assert CongState.CWR in states
+
+
+class TestPragueCC:
+    def make_cc(self, alpha=1.0):
+        ctx = CCContext(Simulator(seed=1), TCPOptions(ecn=True))
+        return PragueCC(ctx, alpha=alpha)
+
+    def test_registry(self):
+        ctx = CCContext(Simulator(seed=1), TCPOptions(ecn=True))
+        assert isinstance(cc_factory("prague")(ctx), PragueCC)
+
+    def test_uses_ect1(self):
+        assert PragueCC.ect_codepoint == ECN_ECT1
+        assert self.make_cc().ect_codepoint == ECN_ECT1
+
+    def test_fractional_backoff(self):
+        cc = self.make_cc(alpha=0.2)
+        cc.cwnd = 10.0
+        cc.on_ecn_echo(10 * cc.ctx.mss)
+        assert cc.cwnd == pytest.approx(10.0 * (1.0 - 0.1))
+        assert cc.reductions == 1
+
+    def test_full_alpha_behaves_like_classic_halving(self):
+        cc = self.make_cc(alpha=1.0)
+        cc.cwnd = 20.0
+        cc.on_ecn_echo(20 * cc.ctx.mss)
+        assert cc.cwnd == pytest.approx(10.0)
+
+    def test_alpha_tracks_marked_fraction(self):
+        cc = self.make_cc(alpha=0.0)
+        cc.on_ecn_feedback(1000, True, 0.05)
+        # one fully-marked window: alpha <- (1-g)*0 + g*1
+        assert cc.alpha == pytest.approx(cc.gain)
+
+    def test_alpha_decays_on_clean_windows(self):
+        cc = self.make_cc(alpha=1.0)
+        cc.on_ecn_feedback(1000, False, 0.05)
+        assert cc.alpha == pytest.approx(1.0 - cc.gain)
+
+    def test_prague_e2e_over_l4s_bottleneck(self, sim, small_path):
+        scenario, app, sink = make_ecn_transfer(
+            sim, small_path, cc="prague", mark_bottleneck=True)
+        sim.run(until=3.0)
+        queue = scenario.bottleneck_interface().queue
+        assert queue.stats.marked > 0
+        assert app.connection.ecn_responses >= 1
+        assert app.connection.stats.PktsRetrans == 0

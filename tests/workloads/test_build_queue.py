@@ -1,0 +1,81 @@
+"""Tests for queue compilation: ``QueueSpec``/int -> live queue objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import CoDelQueue, DropTailQueue, DualPI2Queue, REDQueue
+from repro.sim import Simulator
+from repro.spec import MultiFlowSpec, QueueSpec, execute, l4s_dumbbell
+from repro.testing import SMALL_PATH
+from repro.workloads.compile import build_queue, compile_topology, core_marks
+
+
+def _build(queue, name="q", rate_bps=1e7, sim=None):
+    sim = sim or Simulator(seed=1)
+    return build_queue(queue, sim, lambda: sim.now, name, rate_bps=rate_bps)
+
+
+class TestBuildQueue:
+    def test_plain_int_is_droptail(self):
+        q = _build(42)
+        assert type(q) is DropTailQueue
+        assert q.capacity_packets == 42 and q.capacity_bytes is None
+
+    def test_droptail_spec_with_byte_cap(self):
+        q = _build(QueueSpec(capacity_packets=42,
+                             params={"capacity_bytes": 64_000}))
+        assert type(q) is DropTailQueue
+        assert q.capacity_bytes == 64_000
+
+    def test_red_defaults_scale_with_capacity_and_rate(self):
+        q = _build(QueueSpec("red", capacity_packets=120), rate_bps=12e6)
+        assert type(q) is REDQueue
+        assert q.min_threshold == pytest.approx(10.0)
+        assert q.max_threshold == pytest.approx(30.0)
+        assert q.mean_pkt_time == pytest.approx(8.0 * 1500 / 12e6)
+        assert q.ecn is False
+
+    def test_red_explicit_params_win(self):
+        q = _build(QueueSpec("red", ecn=True,
+                             params={"min_threshold": 7.0,
+                                     "max_threshold": 21.0}))
+        assert q.min_threshold == 7.0 and q.max_threshold == 21.0
+        assert q.ecn is True
+
+    def test_codel_and_dualpi2_dispatch(self):
+        codel = _build(QueueSpec("codel", capacity_packets=60, ecn=True,
+                                 params={"target": 0.002}))
+        assert type(codel) is CoDelQueue
+        assert codel.target == 0.002 and codel.ecn is True
+        dualpi2 = _build(QueueSpec("dualpi2", capacity_packets=60, ecn=True))
+        assert type(dualpi2) is DualPI2Queue
+
+    def test_aqm_rngs_are_seed_deterministic(self):
+        a = _build(QueueSpec("red"), sim=Simulator(seed=5))
+        b = _build(QueueSpec("red"), sim=Simulator(seed=5))
+        c = _build(QueueSpec("red"), sim=Simulator(seed=6))
+        assert a.rng.random() == b.rng.random()
+        assert a.rng.random() != c.rng.random()
+
+
+class TestCompiledScenario:
+    def test_l4s_bottleneck_is_dualpi2(self):
+        sim = Simulator(seed=1)
+        topo, _nodes = compile_topology(sim, l4s_dumbbell(SMALL_PATH).topology)
+        queues = [l.iface_ab.queue for l in topo.links]
+        queues += [l.iface_ba.queue for l in topo.links]
+        assert any(type(q) is DualPI2Queue for q in queues)
+        assert any(type(q) is DropTailQueue for q in queues)  # access links
+
+    def test_l4s_run_marks_without_drops(self):
+        result = execute(MultiFlowSpec(scenario=l4s_dumbbell(SMALL_PATH),
+                                       duration=3.0, seed=2))
+        assert result.bottleneck_marks > 0
+        assert result.bottleneck_drops == 0
+        assert result.aggregate_goodput_bps > 0
+
+    def test_core_marks_on_fresh_topology_is_zero(self):
+        sim = Simulator(seed=1)
+        topo, _ = compile_topology(sim, l4s_dumbbell(SMALL_PATH).topology)
+        assert core_marks(topo) == 0
