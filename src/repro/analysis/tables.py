@@ -7,7 +7,7 @@ pasted into ``EXPERIMENTS.md`` (GitHub-flavoured markdown).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from ..errors import ExperimentError
 

@@ -98,6 +98,11 @@ class CampaignSpec(SpecBase):
         for experiment_id in self.experiments:
             self._resolve(experiment_id)  # eager: unknown/legacy ids fail here
 
+    @classmethod
+    def example(cls) -> "CampaignSpec":
+        """Minimal valid instance for the spec auditor (needs some work)."""
+        return cls(units=(RunSpec(),))
+
     @staticmethod
     def _resolve(experiment_id: str) -> SpecBase:
         from ..experiments.registry import get_experiment

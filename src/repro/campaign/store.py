@@ -36,6 +36,7 @@ import os
 import pathlib
 import tempfile
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..errors import ExperimentError
 
@@ -237,7 +238,8 @@ class ResultStore:
         return StoreStats(root=str(self.root), entries=entries,
                           total_bytes=total, by_kind=by_kind, stale=stale)
 
-    def gc(self, older_than_s: float | None = None, clear: bool = False) -> GCStats:
+    def gc(self, older_than_s: float | None = None, clear: bool = False,
+           clock: Callable[[], float] | None = None) -> GCStats:
         """Delete unusable (and optionally old, or all) entries.
 
         By default only entries a ``get`` would refuse anyway are removed:
@@ -246,11 +248,20 @@ class ResultStore:
         integrity failures.  ``older_than_s`` additionally drops valid
         entries whose file modification time is older than that many
         seconds; ``clear=True`` wipes everything.
+
+        ``clock`` supplies "now" for the age cutoff and defaults to the
+        wall clock — entry mtimes are wall-clock stamps, so that *is* gc's
+        contract, and the injection point exists so tests can age entries
+        without sleeping.  This is also the repo's canonical ``REP002``
+        pragma example: results must never depend on the host clock, but a
+        cache-eviction cutoff is not part of any result.
         """
         import time
 
+        if clock is None:
+            clock = time.time  # repro: allow[REP002] gc's age cutoff compares wall-clock mtimes; never result-affecting
         removed = kept = reclaimed = 0
-        cutoff = (time.time() - older_than_s) if older_than_s is not None else None
+        cutoff = (clock() - older_than_s) if older_than_s is not None else None
         for path in self._object_paths():
             size = path.stat().st_size
             drop = clear or self._entry_document(path) is None

@@ -252,6 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_gc.add_argument("--all", action="store_true", dest="clear",
                              help="wipe every entry")
 
+    lint = sub.add_parser(
+        "lint", help="determinism & spec-hygiene static analysis "
+                     "(REP001..REP006 over the source tree, or --specs for "
+                     "the spec-registry audit)")
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     compare = sub.add_parser("compare", help="standard TCP vs restricted slow-start")
     compare.add_argument("--duration", type=float, default=10.0)
     compare.add_argument("--algorithms", nargs="+", default=["reno", "restricted"])
@@ -557,6 +565,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_scenario(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "lint":
+            from .lint.cli import run_lint
+
+            return run_lint(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "tune":

@@ -23,7 +23,7 @@ slow-start, it can only hold back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..control.pid import PIDGains
 from ..control.ziegler_nichols import PAPER_RULE, ZNParameters, gains_from_ultimate

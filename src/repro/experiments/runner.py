@@ -32,7 +32,6 @@ import numpy as np
 from ..analysis.metrics import improvement_percent, jain_fairness_index, utilization
 from ..core.config import RestrictedSlowStartConfig
 from ..core.restricted_slow_start import RestrictedSlowStart
-from ..errors import ExperimentError
 from ..host.apps import BulkSenderApp
 from ..host.ifq import IFQMonitor
 from ..instrumentation.tracer import TimeSeriesTracer

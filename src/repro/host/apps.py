@@ -11,7 +11,6 @@ These are the workload building blocks the experiments compose:
 
 from __future__ import annotations
 
-import math
 from typing import Callable
 
 from ..errors import ConfigurationError

@@ -1,0 +1,67 @@
+"""Repo-specific determinism and spec-hygiene static analysis.
+
+``repro lint`` is an AST-based pass over the source tree with checkers for
+the invariants the reproduction's caching and cross-validation stories rest
+on — chiefly that a result is a pure function of its spec (seed included):
+
+========  ==================================================================
+code      what it flags
+========  ==================================================================
+REP001    unseeded / global randomness (``random.*``, ``np.random.*``)
+          outside :mod:`repro.sim.randomness` — randomness must flow
+          through named ``sim.rng(...)`` streams
+REP002    wall-clock reads (``time.time``, ``time.monotonic``,
+          ``datetime.now``) — simulation code is sim-time only, and a
+          wall-clock read anywhere in a result-affecting path poisons
+          ``spec.cache_key()`` memoization
+REP003    float ``==`` / ``!=`` comparisons in the sim/fluid/net/tcp hot
+          paths
+REP004    mutable default arguments
+REP005    iteration order of a ``set`` escaping into an ordered construct
+          (list/tuple/join/for) without ``sorted(...)``
+REP006    broad or bare ``except`` swallowing exceptions in simulation
+          paths
+REP000    lint-infrastructure problems: unparsable files, malformed or
+          unused suppression pragmas
+========  ==================================================================
+
+Findings are suppressed inline with a pragma naming a reason::
+
+    cutoff = time.time()  # repro: allow[REP002] gc cutoff is wall-clock by contract
+
+or collectively through a JSON baseline file (see :mod:`repro.lint.baseline`)
+so existing findings ratchet down, never up.
+
+``repro lint --specs`` runs the reflection-based spec auditor
+(:mod:`repro.lint.specaudit`) over the spec registry instead.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .checkers import CHECKER_CODES, CHECKER_DOCS
+from .engine import LintReport, lint_paths, lint_source
+from .findings import Finding
+from .specaudit import SPEC_AUDIT_CODES, audit_specs
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "CHECKER_CODES",
+    "CHECKER_DOCS",
+    "SPEC_AUDIT_CODES",
+    "audit_specs",
+    "main",
+]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point (``repro lint``); returns a process exit code."""
+    from .cli import main as _main
+
+    return _main(argv)

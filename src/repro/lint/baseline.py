@@ -1,0 +1,114 @@
+"""JSON baseline files: grandfather existing findings, ratchet them down.
+
+A baseline records the findings a tree is *known* to have, by fingerprint
+(code + file + offending source text, so plain line drift does not
+invalidate entries).  ``repro lint --baseline FILE`` subtracts baselined
+findings from the report; anything new still fails the run.  Entries whose
+finding has disappeared are reported as *stale* so the file shrinks over
+time — ``--update-baseline`` rewrites it from the current findings, which
+is only ever a no-op or a shrink in CI (growth means a new violation, and
+that should be fixed or pragma'd with a reason instead).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The parsed content of one baseline file."""
+
+    #: fingerprint -> allowed multiplicity (one file can legitimately carry
+    #: the same offending line twice).
+    counts: Counter[str] = field(default_factory=Counter)
+    #: fingerprint -> human-readable entry (for stale reporting).
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def partition(self, findings: list[Finding]) -> tuple[
+            list[Finding], list[Finding], list[dict[str, object]]]:
+        """Split findings into (active, baselined); also report stale entries.
+
+        Multiplicity is respected: two identical offending lines consume
+        two baseline slots.  The third element lists baseline entries whose
+        finding no longer exists — candidates for removal.
+        """
+        budget = Counter(self.counts)
+        active: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in sorted(findings):
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+        stale = [self.entries[fp] for fp, left in sorted(budget.items())
+                 if left > 0 and fp in self.entries]
+        return active, suppressed, stale
+
+
+def load_baseline(path: str | pathlib.Path) -> Baseline:
+    """Load a baseline file (see :func:`write_baseline` for the layout)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ReproError(f"no baseline file at {path}")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"corrupt baseline file {path}: {exc}") from exc
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ReproError(
+            f"baseline file {path} must be an object with a 'findings' list")
+    baseline = Baseline()
+    for entry in document["findings"]:
+        fp = entry.get("fingerprint")
+        if not isinstance(fp, str) or not fp:
+            raise ReproError(
+                f"baseline entry without a fingerprint in {path}: {entry!r}")
+        baseline.counts[fp] += int(entry.get("count", 1))
+        baseline.entries.setdefault(fp, dict(entry))
+    return baseline
+
+
+def write_baseline(findings: list[Finding],
+                   path: str | pathlib.Path) -> pathlib.Path:
+    """Write ``findings`` as a baseline file; returns the path.
+
+    Entries are grouped by fingerprint with a multiplicity count, sorted
+    for stable diffs.
+    """
+    by_fp: dict[str, dict[str, object]] = {}
+    counts: Counter[str] = Counter()
+    for finding in sorted(findings):
+        fp = finding.fingerprint()
+        counts[fp] += 1
+        by_fp.setdefault(fp, {
+            "fingerprint": fp,
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+            "snippet": finding.snippet,
+        })
+    entries = []
+    for fp, entry in sorted(by_fp.items(), key=lambda kv: (
+            str(kv[1]["path"]), int(kv[1]["line"]), str(kv[1]["code"]))):
+        if counts[fp] > 1:
+            entry["count"] = counts[fp]
+        entries.append(entry)
+    document = {"version": _FORMAT_VERSION, "findings": entries}
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

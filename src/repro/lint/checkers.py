@@ -1,0 +1,352 @@
+"""The AST checkers behind ``repro lint`` (REP001 .. REP006).
+
+One :class:`CheckVisitor` walks a module once, resolving import aliases
+(``import numpy as np`` makes ``np.random.default_rng`` recognisable) and
+tracking, per scope, which local names are bound to ``set`` expressions so
+REP005 can follow simple data flow.
+
+Scoping: some checkers apply everywhere, others only in the simulation
+packages (``sim/``, ``net/``, ``tcp/``, ``fluid/``, ``workloads/``) where
+code must be sim-time-only and hot-path-clean.  Scope is derived from the
+file path, so the checkers work unchanged on test fixtures laid out like
+the tree they model.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .findings import Finding
+
+__all__ = ["CHECKER_CODES", "CHECKER_DOCS", "check_module"]
+
+#: One-line summary per checker code (the README table is generated from this).
+CHECKER_DOCS: dict[str, str] = {
+    "REP000": "lint infrastructure: unparsable file, malformed or unused pragma",
+    "REP001": "unseeded/global randomness outside repro.sim.randomness — "
+              "randomness must flow through named sim.rng(...) streams",
+    "REP002": "wall-clock read (time.time/monotonic, datetime.now) — "
+              "simulation code is sim-time only and result paths must not "
+              "depend on the host clock",
+    "REP003": "float == / != comparison in a sim/fluid/net/tcp hot path",
+    "REP004": "mutable default argument",
+    "REP005": "set iteration order escaping into an ordered construct "
+              "without sorted(...)",
+    "REP006": "broad or bare except swallowing exceptions in a simulation "
+              "path",
+}
+
+CHECKER_CODES: tuple[str, ...] = tuple(sorted(CHECKER_DOCS))
+
+#: Directories (path segments under the package root) that are sim-time-only
+#: and whose inner loops REP003/REP006 police.
+SIM_SCOPE_SEGMENTS: tuple[str, ...] = (
+    "sim", "net", "tcp", "fluid", "workloads")
+
+#: The one module allowed to touch global numpy randomness: it is where the
+#: named, seeded streams are minted.
+RANDOMNESS_MODULE_SUFFIX = "sim/randomness.py"
+
+#: Dotted call names that read the wall clock (REP002).  ``perf_counter``
+#: is deliberately absent: it measures elapsed wall time for telemetry
+#: (campaign manifests) and cannot leak an absolute clock into results.
+WALL_CLOCK_CALLS: frozenset[str] = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Callables whose results are mutable (REP004 flags them as defaults).
+_MUTABLE_FACTORIES: frozenset[str] = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter",
+    "OrderedDict",
+})
+
+#: Set methods that return sets (REP005 setness propagates through them).
+_SET_RETURNING_METHODS: frozenset[str] = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Where the module under check lives, for checker scoping."""
+
+    path: str  # repository-relative POSIX path
+
+    @property
+    def in_sim_scope(self) -> bool:
+        parts = self.path.split("/")
+        return any(segment in parts for segment in SIM_SCOPE_SEGMENTS)
+
+    @property
+    def is_randomness_module(self) -> bool:
+        return self.path.endswith(RANDOMNESS_MODULE_SUFFIX)
+
+
+def check_module(path: str, source: str, tree: ast.Module,
+                 lines: list[str]) -> list[Finding]:
+    """All findings for one parsed module (pragmas not yet applied)."""
+    visitor = CheckVisitor(ModuleContext(path), lines)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+class _Scope:
+    """Names bound to set-typed expressions within one function (or module)."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+
+class CheckVisitor(ast.NodeVisitor):
+    """Single-pass visitor implementing every REP checker."""
+
+    def __init__(self, context: ModuleContext, lines: list[str]) -> None:
+        self.context = context
+        self.lines = lines
+        self.findings: list[Finding] = []
+        #: Maps a local alias to the canonical dotted module/function path,
+        #: e.g. {"np": "numpy", "default_rng": "numpy.random.default_rng"}.
+        self.aliases: dict[str, str] = {}
+        self._scopes: list[_Scope] = [_Scope()]
+
+    # -- helpers ---------------------------------------------------------
+    def _emit(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        snippet = self.lines[line - 1].strip() if line <= len(self.lines) else ""
+        self.findings.append(Finding(
+            path=self.context.path, line=line, column=column, code=code,
+            message=message, snippet=snippet))
+
+    def _dotted(self, node: ast.expr) -> str | None:
+        """Flatten ``np.random.default_rng`` through the alias table."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- imports ---------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.partition(".")[0]
+            target = alias.name if alias.asname else alias.name.partition(".")[0]
+            self.aliases[bound] = target
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self.aliases[bound] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- REP001 / REP002: references to banned callables -----------------
+    # References are checked, not just calls, so aliasing cannot evade the
+    # checker: ``clock = time.time`` is as much a wall-clock dependency as
+    # ``time.time()``.
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call_escape(node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = self._dotted(node)
+        if dotted is not None:
+            self._check_banned_reference(node, dotted)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            resolved = self.aliases.get(node.id)
+            if resolved is not None and "." in resolved:
+                self._check_banned_reference(node, resolved)
+        self.generic_visit(node)
+
+    def _check_banned_reference(self, node: ast.expr, dotted: str) -> None:
+        if not self.context.is_randomness_module:
+            if dotted.startswith("random."):
+                self._emit(node, "REP001",
+                           f"use of the global-state stdlib generator "
+                           f"({dotted}): draw from a named seeded stream "
+                           "via sim.rng(...) instead")
+                return
+            if dotted.startswith("numpy.random.") and \
+                    dotted != "numpy.random.Generator":
+                what = dotted[len("numpy.random."):]
+                self._emit(node, "REP001",
+                           f"numpy.random.{what} bypasses the seeded stream "
+                           "registry: use sim.rng(name) "
+                           "(repro.sim.randomness) so the draw follows the "
+                           "experiment seed")
+                return
+        if dotted in WALL_CLOCK_CALLS:
+            self._emit(node, "REP002",
+                       f"wall-clock read ({dotted}): simulation state must "
+                       "advance on sim.now only, and results must be a pure "
+                       "function of the spec — inject a clock/timestamp "
+                       "instead")
+
+    # -- REP003: float equality ------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.context.in_sim_scope and any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(self._is_floatish(operand) for operand in operands):
+                self._emit(node, "REP003",
+                           "exact float == / != comparison in a hot path: "
+                           "accumulated rounding makes exact equality "
+                           "seed-fragile; compare against a tolerance (or "
+                           "pragma an intentional sentinel)")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_floatish(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp):
+            return CheckVisitor._is_floatish(node.operand)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id == "float"
+        return False
+
+    # -- REP004: mutable defaults ----------------------------------------
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = [*node.args.defaults,
+                    *(d for d in node.args.kw_defaults if d is not None)]
+        for default in defaults:
+            if self._is_mutable_literal(default):
+                self._emit(default, "REP004",
+                           f"mutable default argument in {node.name}(): "
+                           "shared across calls — default to None and "
+                           "construct inside the body, or use a frozen "
+                           "container")
+
+    @staticmethod
+    def _is_mutable_literal(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                             ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MUTABLE_FACTORIES)
+
+    # -- scope bookkeeping (REP005 data flow) ----------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._scopes.append(_Scope())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._track_set_binding(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._track_set_binding([node.target], node.value)
+        self.generic_visit(node)
+
+    def _track_set_binding(self, targets: list[ast.expr], value: ast.expr) -> None:
+        scope = self._scopes[-1]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if self._is_setlike(value):
+                    scope.set_names.add(target.id)
+                else:
+                    scope.set_names.discard(target.id)
+
+    def _is_setlike(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope.set_names for scope in self._scopes)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return self._is_setlike(node.left) or self._is_setlike(node.right)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _SET_RETURNING_METHODS:
+                return self._is_setlike(node.func.value)
+        return False
+
+    # -- REP005: set order escaping --------------------------------------
+    def _check_set_escape(self, iterable: ast.expr, how: str) -> None:
+        if self._is_setlike(iterable):
+            self._emit(iterable, "REP005",
+                       f"set iteration order escapes into {how}: under hash "
+                       "randomization the order varies between processes, "
+                       "which poisons serialized results and cache keys — "
+                       "wrap in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_escape(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node: ast.expr,
+                                  generators: list[ast.comprehension]) -> None:
+        for gen in generators:
+            self._check_set_escape(
+                gen.iter, "a comprehension")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_node(node, node.generators)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_node(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_node(node, node.generators)
+
+    # (SetComp over a set stays a set — no order escapes — so it is exempt.)
+
+    def _check_call_escape(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in (
+                "list", "tuple", "enumerate") and node.args:
+            self._check_set_escape(node.args[0], f"{func.id}(...)")
+        elif isinstance(func, ast.Attribute) and func.attr in ("join", "extend") \
+                and node.args:
+            self._check_set_escape(node.args[0], f".{func.attr}(...)")
+
+    # -- REP006: swallowing excepts --------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.context.in_sim_scope:
+            broad = node.type is None
+            if node.type is not None:
+                dotted = self._dotted(node.type)
+                broad = dotted in ("Exception", "BaseException",
+                                   "builtins.Exception",
+                                   "builtins.BaseException")
+            if broad and not any(isinstance(child, ast.Raise)
+                                 for child in ast.walk(node)):
+                what = "bare except" if node.type is None else \
+                    f"except {ast.unparse(node.type)}"
+                self._emit(node, "REP006",
+                           f"{what} swallows errors in a simulation path: a "
+                           "masked failure silently corrupts results — "
+                           "catch the specific exception or re-raise")
+        self.generic_visit(node)

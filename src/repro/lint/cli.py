@@ -1,0 +1,90 @@
+"""Argument handling for ``repro lint`` (also ``python -m repro.lint``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..errors import ReproError
+from .baseline import Baseline, load_baseline, write_baseline
+from .engine import LintReport, lint_paths
+from .specaudit import audit_specs
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+#: Default lint target when no paths are given.
+DEFAULT_PATHS = ("src",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json includes suppressed findings and is "
+             "what CI archives)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings; matched findings "
+             "are suppressed, stale entries are reported so the file only "
+             "ratchets down")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE from the current active findings "
+             "(requires --baseline)")
+    parser.add_argument(
+        "--specs", action="store_true",
+        help="audit the spec registry (frozen, JSON round-trip, unknown-"
+             "field rejection, stable cache_key) instead of linting paths")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.specs:
+        if args.paths or args.baseline or args.update_baseline:
+            print("error: --specs audits the in-process spec registry; "
+                  "paths and baselines do not apply", file=sys.stderr)
+            return 2
+        report = LintReport(findings=audit_specs(), files_checked=0)
+        if args.format == "json":
+            print(report.to_json())
+        else:
+            for finding in report.findings:
+                print(finding.render())
+            print(f"spec audit: {len(report.findings)} finding(s)")
+        return report.exit_code
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+    baseline: Baseline | None = None
+    if args.baseline and not args.update_baseline:
+        baseline = load_baseline(args.baseline)
+    paths: Sequence[str] = args.paths or list(DEFAULT_PATHS)
+    report = lint_paths(paths, baseline=baseline)
+    if args.update_baseline:
+        path = write_baseline(report.findings, args.baseline)
+        print(f"wrote {len(report.findings)} finding(s) to baseline {path}")
+        return 0
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return report.exit_code
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & spec-hygiene static analysis")
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro CLI
+    sys.exit(main())

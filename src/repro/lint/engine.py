@@ -1,0 +1,155 @@
+"""Walk source paths, run the checkers, apply pragmas and the baseline."""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..errors import ReproError
+from .baseline import Baseline
+from .checkers import check_module
+from .findings import Finding
+from .pragmas import scan_pragmas
+
+__all__ = ["LintReport", "lint_paths", "lint_source"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    ``findings`` are the *active* (unsuppressed) findings; the run fails
+    when there are any.  Pragma- and baseline-suppressed findings are kept
+    for the JSON report, and stale baseline entries are surfaced so the
+    baseline only ever ratchets down.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    pragma_suppressed: list[Finding] = field(default_factory=list)
+    baseline_suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict[str, Any]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def all_findings(self) -> list[Finding]:
+        """Active + suppressed findings (what ``--update-baseline`` writes
+        is the *active* set only — suppressions stay suppressed)."""
+        return sorted([*self.findings, *self.pragma_suppressed,
+                       *self.baseline_suppressed])
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in sorted(self.findings)]
+        summary = (f"{len(self.findings)} finding(s) in "
+                   f"{self.files_checked} file(s)")
+        if self.pragma_suppressed:
+            summary += f", {len(self.pragma_suppressed)} pragma-suppressed"
+        if self.baseline_suppressed:
+            summary += f", {len(self.baseline_suppressed)} baselined"
+        lines.append(summary)
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry (finding gone — remove it or run "
+                f"--update-baseline): {entry.get('code')} at "
+                f"{entry.get('path')}:{entry.get('line')}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "pragma_suppressed": [
+                f.to_dict() for f in sorted(self.pragma_suppressed)],
+            "baseline_suppressed": [
+                f.to_dict() for f in sorted(self.baseline_suppressed)],
+            "stale_baseline": self.stale_baseline,
+            "files_checked": self.files_checked,
+            "exit_code": self.exit_code,
+        }, indent=2, sort_keys=True)
+
+
+def _iter_python_files(paths: Sequence[str | pathlib.Path]) -> Iterable[pathlib.Path]:
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.is_file():
+            yield path
+        else:
+            raise ReproError(f"no such file or directory: {path}")
+
+
+def _relative_posix(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(path: str, source: str) -> list[Finding]:
+    """Lint one module's source text (pragmas applied, no baseline).
+
+    ``path`` scopes the checkers (see :mod:`repro.lint.checkers`) and is
+    the path findings report.  Exposed for tests and tools that lint
+    in-memory code.
+    """
+    report = _lint_one(path, source)
+    return sorted([*report.findings, *report.pragma_suppressed])
+
+
+def _lint_one(path: str, source: str) -> LintReport:
+    """Lint one module: parse, check, apply pragmas (not the baseline)."""
+    lines = source.splitlines()
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(Finding(
+            path=path, line=exc.lineno or 1, column=(exc.offset or 1) - 1,
+            code="REP000", message=f"file does not parse: {exc.msg}",
+            snippet=(exc.text or "").strip()))
+        return report
+    pragmas = scan_pragmas(path, source, lines)
+    for finding in check_module(path, source, tree, lines):
+        if pragmas.suppresses(finding.line, finding.code):
+            report.pragma_suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    report.findings.extend(pragmas.malformed)
+    report.findings.extend(pragmas.unused_findings(path, lines))
+    return report
+
+
+def lint_paths(paths: Sequence[str | pathlib.Path],
+               baseline: Baseline | None = None,
+               root: str | pathlib.Path | None = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths``; the main entry point.
+
+    Findings are reported relative to ``root`` (default: the current
+    working directory), which is also the path layout baseline files and
+    pragma examples use.
+    """
+    root_path = pathlib.Path(root) if root is not None else pathlib.Path.cwd()
+    report = LintReport()
+    for file_path in _iter_python_files(paths):
+        rel = _relative_posix(file_path, root_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ReproError(f"cannot read {file_path}: {exc}") from exc
+        one = _lint_one(rel, source)
+        report.findings.extend(one.findings)
+        report.pragma_suppressed.extend(one.pragma_suppressed)
+        report.files_checked += 1
+    if baseline is not None:
+        active, suppressed, stale = baseline.partition(report.findings)
+        report.findings = active
+        report.baseline_suppressed = suppressed
+        report.stale_baseline = stale
+    report.findings.sort()
+    return report

@@ -1,0 +1,68 @@
+"""The :class:`Finding` record every lint layer produces and consumes."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, anchored to a source location.
+
+    Findings order naturally by location (path, line, column, code), which
+    is the order reports print them in.
+
+    Attributes
+    ----------
+    path:
+        Repository-relative POSIX path of the offending file ("<specs>"
+        for spec-audit findings, which have no source anchor).
+    line, column:
+        1-based line and 0-based column of the offending node.
+    code:
+        Checker code (``REP001`` .. ``REP006``, ``REP000`` for lint
+        infrastructure, ``SPEC0xx`` for the spec auditor).
+    message:
+        Human-readable description of the violation.
+    snippet:
+        The stripped source line, carried so baselines can match findings
+        across line-number drift.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+    snippet: str = ""
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this finding across line-number drift.
+
+        The hash covers the code, the file and the offending source text —
+        not the line number — so reformatting elsewhere in the file does
+        not invalidate a baseline entry.
+        """
+        payload = f"{self.code}:{self.path}:{self.snippet}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,132 @@
+"""Inline suppression pragmas: ``# repro: allow[CODE] reason``.
+
+A pragma suppresses matching findings on its own line, or — when it is the
+only thing on its line — on the next line::
+
+    cutoff = clock()  # repro: allow[REP002] gc cutoff is wall-clock by contract
+
+    # repro: allow[REP003] 0.0 is an exact "never set" sentinel
+    if self._first_above_time == 0.0:
+
+Several codes may be listed (``allow[REP002,REP005]``).  A reason is
+mandatory: a pragma without one is malformed and suppresses nothing (it is
+itself reported as ``REP000``), and a pragma that suppressed nothing in the
+run is reported as unused — so stale suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["Pragma", "PragmaIndex", "scan_pragmas"]
+
+#: Anything that looks like an attempted repro pragma (validated further).
+_PRAGMA_ATTEMPT = re.compile(r"#\s*repro\s*:(?P<body>.*)$")
+
+#: A well-formed pragma: allow[CODE,...] followed by a non-empty reason.
+_PRAGMA = re.compile(
+    r"#\s*repro\s*:\s*allow\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"\s*(?P<reason>\S.*)$")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression pragma."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str
+    #: Codes that actually suppressed a finding in this run.
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def unused_codes(self) -> list[str]:
+        return sorted(self.codes - self.used)
+
+
+class PragmaIndex:
+    """All pragmas of one file, addressable by the line they cover."""
+
+    def __init__(self, pragmas: list[Pragma], covers: dict[int, Pragma],
+                 malformed: list[Finding]) -> None:
+        self.pragmas = pragmas
+        self._covers = covers
+        self.malformed = malformed
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Whether a pragma covers ``code`` on ``line`` (marks it used)."""
+        pragma = self._covers.get(line)
+        if pragma is None or code not in pragma.codes:
+            return False
+        pragma.used.add(code)
+        return True
+
+    def unused_findings(self, path: str, lines: list[str]) -> list[Finding]:
+        """``REP000`` findings for pragma codes that suppressed nothing."""
+        out: list[Finding] = []
+        for pragma in self.pragmas:
+            for code in pragma.unused_codes:
+                snippet = lines[pragma.line - 1].strip() \
+                    if pragma.line <= len(lines) else ""
+                out.append(Finding(
+                    path=path, line=pragma.line, column=0, code="REP000",
+                    message=f"unused suppression: no {code} finding on the "
+                            "covered line — remove the pragma (findings "
+                            "ratchet down, never up)",
+                    snippet=snippet))
+        return out
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(line, column, text) of every comment token in ``source``.
+
+    Tokenizing (rather than regex over raw lines) keeps pragma syntax in
+    docstrings and string literals — e.g. this module's own examples —
+    from being treated as live pragmas.
+    """
+    out: list[tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                out.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparsable files are reported by the engine as REP000
+    return out
+
+
+def scan_pragmas(path: str, source: str, lines: list[str]) -> PragmaIndex:
+    """Parse every pragma (and pragma attempt) in ``source``'s comments.
+
+    A pragma on a line holding code covers that line; a pragma on an
+    otherwise-empty (comment-only) line covers the following line.
+    """
+    pragmas: list[Pragma] = []
+    covers: dict[int, Pragma] = {}
+    malformed: list[Finding] = []
+    for lineno, column, text in _comment_tokens(source):
+        attempt = _PRAGMA_ATTEMPT.search(text)
+        if attempt is None:
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            malformed.append(Finding(
+                path=path, line=lineno, column=column,
+                code="REP000",
+                message="malformed pragma (suppresses nothing): expected "
+                        "'# repro: allow[REP0xx] reason' with a non-empty "
+                        f"reason, got {attempt.group(0).strip()!r}",
+                snippet=lines[lineno - 1].strip() if lineno <= len(lines) else ""))
+            continue
+        codes = frozenset(
+            c.strip() for c in match.group("codes").split(","))
+        pragma = Pragma(line=lineno, codes=codes,
+                        reason=match.group("reason").strip())
+        pragmas.append(pragma)
+        comment_only = column == 0 or lines[lineno - 1][:column].strip() == ""
+        covers[lineno + 1 if comment_only else lineno] = pragma
+    return PragmaIndex(pragmas, covers, malformed)

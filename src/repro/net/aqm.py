@@ -107,6 +107,7 @@ class CoDelQueue(PacketQueue):
             # stay out of the dropping state for at least interval
             self._first_above_time = 0.0
             return packet, False
+        # repro: allow[REP003] 0.0 is an exact "not armed" sentinel, only ever assigned verbatim
         if self._first_above_time == 0.0:
             self._first_above_time = now + self.interval
             return packet, False
@@ -183,6 +184,8 @@ class DualPI2Queue(PacketQueue):
     rng:
         Required seeded ``numpy.random.Generator`` for the probabilistic
         drop/mark decisions (a ``sim.rng(...)`` stream when compiled).
+        Keyword-only with no default, so the signature — not a runtime
+        raise — enforces the seeded-rng contract.
     target:
         Classic-queue delay target for the PI controller (seconds).
     tupdate:
@@ -205,7 +208,8 @@ class DualPI2Queue(PacketQueue):
         self,
         capacity_packets: Optional[int] = None,
         capacity_bytes: Optional[int] = None,
-        rng: np.random.Generator | None = None,
+        *,
+        rng: np.random.Generator,
         target: float = 0.015,
         tupdate: float = 0.016,
         alpha: float = 0.16,
@@ -217,11 +221,6 @@ class DualPI2Queue(PacketQueue):
         clock: Callable[[], float] | None = None,
         name: str = "dualpi2",
     ) -> None:
-        if rng is None:
-            raise ConfigurationError(
-                "DualPI2Queue requires an explicit rng (a seeded stream "
-                "from sim.rng(...)) for its probabilistic decisions"
-            )
         if target <= 0.0 or tupdate <= 0.0:
             raise ConfigurationError("DualPI2 target and tupdate must be > 0")
         if alpha < 0.0 or beta < 0.0:

@@ -312,10 +312,12 @@ class REDQueue(PacketQueue):
     weight:
         EWMA weight for the average queue size.
     rng:
-        ``numpy.random.Generator`` used for the drop coin flips.  Required:
-        compiled queues receive a named stream from the run's seeded
-        :mod:`repro.sim.randomness` hierarchy (e.g. ``sim.rng("aqm:...")``)
-        so drop decisions follow the experiment seed.
+        ``numpy.random.Generator`` used for the drop coin flips.  Required
+        (keyword-only, no default — the signature, not a runtime raise,
+        enforces the contract): compiled queues receive a named stream from
+        the run's seeded :mod:`repro.sim.randomness` hierarchy (e.g.
+        ``sim.rng("aqm:...")``) so drop decisions follow the experiment
+        seed.
     ecn:
         When True, early "drops" on ECN-capable packets become CE marks
         (RFC 3168): the packet is admitted and counted in
@@ -336,7 +338,8 @@ class REDQueue(PacketQueue):
         max_threshold: float,
         max_p: float = 0.1,
         weight: float = 0.002,
-        rng: np.random.Generator | None = None,
+        *,
+        rng: np.random.Generator,
         clock: Callable[[], float] | None = None,
         name: str = "red",
         ecn: bool = False,
@@ -352,12 +355,6 @@ class REDQueue(PacketQueue):
             raise ConfigurationError("weight must be in (0, 1]")
         if mean_pkt_time <= 0.0:
             raise ConfigurationError("mean_pkt_time must be > 0")
-        if rng is None:
-            raise ConfigurationError(
-                "REDQueue requires an explicit rng (a seeded stream from "
-                "sim.rng(...)); a hardwired default would make drop "
-                "coin-flips identical for every experiment seed"
-            )
         super().__init__(capacity_packets, None, clock, name)
         self.min_threshold = float(min_threshold)
         self.max_threshold = float(max_threshold)

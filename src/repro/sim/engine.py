@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from ..errors import ScheduleInPastError, SimulationError
 from .events import Event, EventPriority
@@ -114,7 +117,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # random streams
     # ------------------------------------------------------------------
-    def rng(self, name: str):
+    def rng(self, name: str) -> "np.random.Generator":
         """Return the named :class:`numpy.random.Generator` stream."""
         return self.streams.get(name)
 

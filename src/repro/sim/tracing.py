@@ -10,7 +10,7 @@ plain dictionaries for analysis or test assertions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 __all__ = ["TraceRecord", "TraceRecorder"]
 
@@ -100,7 +100,7 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[TraceRecord]":
         return iter(self.records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

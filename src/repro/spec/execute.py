@@ -10,15 +10,21 @@ build on.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from ..errors import ExperimentError
 from .backends import backend_runner
 from .scenario import ScenarioSpec
 from .specs import ComparisonSpec, MultiFlowSpec, RunSpec, SpecBase, SweepSpec
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..campaign.store import ResultStore
+
 __all__ = ["execute"]
 
 
-def execute(spec: SpecBase, *, max_workers: int | None = None, store=None):
+def execute(spec: SpecBase, *, max_workers: int | None = None,
+            store: "ResultStore | None" = None) -> Any:
     """Run ``spec`` and return its result.
 
     * :class:`RunSpec` → ``SingleFlowResult`` (via the backend registry);
@@ -67,20 +73,21 @@ def execute(spec: SpecBase, *, max_workers: int | None = None, store=None):
         "RunSpec, ComparisonSpec, MultiFlowSpec, SweepSpec, ScenarioSpec")
 
 
-def _stored(store, result):
+def _stored(store: "ResultStore | None", result: Any) -> Any:
     if store is not None:
         store.put(result)
     return result
 
 
-def _execute_run(spec: RunSpec):
+def _execute_run(spec: RunSpec) -> Any:
     result = backend_runner(spec.backend)(spec)
     result.spec = spec
     return result
 
 
-def _execute_comparison(spec: ComparisonSpec, *, max_workers: int | None = None,
-                        store=None):
+def _execute_comparison(spec: ComparisonSpec, *,
+                        max_workers: int | None = None,
+                        store: "ResultStore | None" = None) -> Any:
     from ..experiments.runner import ComparisonResult
 
     run_specs = spec.run_specs()

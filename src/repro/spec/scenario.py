@@ -28,7 +28,7 @@ paper's testbed byte-for-byte.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import Callable, NoReturn, Sequence
 
 from ..errors import ExperimentError, UnsupportedScenarioError
 from ..workloads.scenarios import DATA_PORT_BASE, PathConfig
@@ -364,7 +364,7 @@ def _decode_loss(data: dict | None) -> LossSpec | None:
     return _construct(LossSpec, {**data, "params": dict(data.get("params") or {})})
 
 
-def _decode_queue(value) -> "int | QueueSpec":
+def _decode_queue(value: "int | dict") -> "int | QueueSpec":
     if isinstance(value, dict):
         return _construct(QueueSpec,
                           {**value, "params": dict(value.get("params") or {})})
@@ -482,7 +482,7 @@ class ScenarioSpec(SpecBase):
         additionally run fluid through a ``RunSpec``)."""
         return "packet"
 
-    def _no_override(self, what: str):
+    def _no_override(self, what: str) -> "NoReturn":
         raise ExperimentError(
             f"a ScenarioSpec carries no {what}; wrap it in a RunSpec or "
             "MultiFlowSpec (or rebuild it through its factory) instead")

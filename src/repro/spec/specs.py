@@ -135,7 +135,7 @@ def _decode_flow(data: dict) -> BulkFlowSpec:
                       {**data, "cc_kwargs": dict(data.get("cc_kwargs") or {})})
 
 
-def _decode_scenario(data: dict | None):
+def _decode_scenario(data: dict | None) -> "ScenarioSpec | None":
     if data is None:
         return None
     from .scenario import ScenarioSpec
@@ -143,7 +143,7 @@ def _decode_scenario(data: dict | None):
     return ScenarioSpec.from_dict(data)
 
 
-def _decode_churn(data: dict | None):
+def _decode_churn(data: dict | None) -> "FlowArrivalSpec | None":
     if data is None:
         return None
     from ..fluid.vector import FlowArrivalSpec
@@ -151,7 +151,7 @@ def _decode_churn(data: dict | None):
     return FlowArrivalSpec.from_dict(data)
 
 
-def _adopt_scenario_config(spec) -> None:
+def _adopt_scenario_config(spec: "RunSpec | MultiFlowSpec") -> None:
     """Sync a run-like spec's ``config`` with its scenario's (authoritative).
 
     A scenario's link rates and queue capacities were derived from *its*
@@ -240,10 +240,22 @@ class SpecBase:
 
     kind: ClassVar[str] = ""
 
-    def __init_subclass__(cls, **kwargs) -> None:
+    def __init_subclass__(cls, **kwargs: object) -> None:
         super().__init_subclass__(**kwargs)
         if cls.kind:
             SPEC_KINDS[cls.kind] = cls
+
+    @classmethod
+    def example(cls) -> "SpecBase":
+        """A minimal valid instance of this spec kind.
+
+        The reflection-based spec auditor (``repro lint --specs``) builds
+        one instance per registered kind to verify the serialization and
+        cache-key contracts.  The default works for kinds whose field
+        defaults construct; kinds with required content (flows, units)
+        override this with a minimal example.
+        """
+        return cls()
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict:
@@ -267,7 +279,7 @@ class SpecBase:
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     # -- uniform overrides ----------------------------------------------
-    def replace(self, **changes) -> "SpecBase":
+    def replace(self, **changes: object) -> "SpecBase":
         """Return a copy with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
@@ -402,7 +414,7 @@ class RunSpec(SpecBase):
 
     # -- serialization ---------------------------------------------------
     @classmethod
-    def from_kwargs(cls, **kwargs) -> "RunSpec":
+    def from_kwargs(cls, **kwargs: object) -> "RunSpec":
         """Build a spec from the legacy ``run_single_flow`` keywords.
 
         ``None`` for ``config``/``cc_kwargs`` means "use the default"
@@ -583,6 +595,11 @@ class MultiFlowSpec(SpecBase):
                 "open-loop flow churn (FlowArrivalSpec) is modelled only by "
                 "the fluid backend's population engine; set backend='fluid' "
                 "(the packet engine has no churn workload)")
+
+    @classmethod
+    def example(cls) -> "MultiFlowSpec":
+        """Minimal valid instance for the spec auditor (needs >= 1 flow)."""
+        return cls(flows=(BulkFlowSpec(),))
 
     def _ensure_fluid_eligible(self) -> None:
         """Eager shape check for the N-flow coupled fluid model."""

@@ -296,7 +296,6 @@ class Scenario:
         """
         cfg = self.config
         sim = self.sim
-        clock = lambda: sim.now  # noqa: E731
         src = Host(sim, f"{name}-src", self.allocator.allocate(f"{name}-src"))
         dst = Host(sim, f"{name}-dst", self.allocator.allocate(f"{name}-dst"))
         self.topology.add_node(src)

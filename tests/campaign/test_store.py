@@ -148,6 +148,16 @@ class TestMaintenance:
         assert store.gc(older_than_s=7200.0).removed == 0
         assert store.gc(older_than_s=60.0).removed == 1
 
+    def test_gc_injected_clock(self, store, fluid_result):
+        # instead of back-dating mtimes, move "now" forward: entries age
+        # deterministically and the test never sleeps
+        key = store.put(fluid_result)
+        written_at = store.path_for(key).stat().st_mtime
+        assert store.gc(older_than_s=60.0,
+                        clock=lambda: written_at + 30.0).removed == 0
+        assert store.gc(older_than_s=60.0,
+                        clock=lambda: written_at + 90.0).removed == 1
+
 
 class TestDefaults:
     def test_env_var_names_default_root(self, tmp_path, monkeypatch):

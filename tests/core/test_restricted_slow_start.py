@@ -10,10 +10,8 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.control import PIDGains
 from repro.core import RestrictedSlowStart, RestrictedSlowStartConfig
 from repro.host import IFQMonitor
 from repro.sim import Simulator

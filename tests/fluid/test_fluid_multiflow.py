@@ -31,7 +31,7 @@ from repro.spec import (
     shared_path,
     spec_from_json,
 )
-from repro.spec.scenario import FlowSpec, ScenarioSpec
+from repro.spec.scenario import ScenarioSpec
 from repro.testing import SMALL_PATH, TINY_PATH
 from repro.workloads.bulk import BulkFlowSpec
 

@@ -302,7 +302,6 @@ class TestQuantizedStarts:
         ]
         model = FluidPopulationModel(SMALL_PATH, base + churn)
         model.run(5.0)
-        rounds = 5.0 / SMALL_PATH.rtt
         # steps ≈ rounds × substeps × active flows; the bound that matters
         # is that no per-arrival boundary cut multiplied the round count
         assert model._boundaries(5.0).size <= 2

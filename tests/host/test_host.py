@@ -7,8 +7,6 @@ import pytest
 from repro.errors import TopologyError
 from repro.host import Host
 from repro.net import FlowId, Packet
-from repro.units import Mbps
-from repro.workloads import build_dumbbell
 
 
 class TestInterfaceAccess:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.host import IFQMonitor
 from repro.net import Packet

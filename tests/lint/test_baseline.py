@@ -1,0 +1,109 @@
+"""Baseline files: round-trip, multiplicity, staleness, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lint import Finding, load_baseline, write_baseline
+
+
+def finding(line=3, code="REP002", snippet="t = time.time()",
+            path="src/repro/sim/engine.py"):
+    return Finding(path=path, line=line, column=4, code=code,
+                   message="wall-clock read", snippet=snippet)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        baseline = load_baseline(path)
+        assert baseline.counts[finding().fingerprint()] == 1
+
+    def test_written_file_is_stable_and_human_readable(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(), finding(code="REP003", snippet="x == 0.0")],
+                       path)
+        document = json.loads(path.read_text())
+        assert document["version"] == 1
+        assert [e["code"] for e in document["findings"]] == ["REP002", "REP003"]
+        # re-writing the same findings is byte-identical (stable diffs)
+        first = path.read_text()
+        write_baseline([finding(code="REP003", snippet="x == 0.0"), finding()],
+                       path)
+        assert path.read_text() == first
+
+    def test_duplicate_findings_collapse_to_a_count(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(line=3), finding(line=9)], path)
+        document = json.loads(path.read_text())
+        assert len(document["findings"]) == 1
+        assert document["findings"][0]["count"] == 2
+
+
+class TestPartition:
+    def test_baselined_findings_are_suppressed(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        baseline = load_baseline(path)
+        active, suppressed, stale = baseline.partition([finding()])
+        assert active == [] and stale == []
+        assert suppressed == [finding()]
+
+    def test_line_drift_does_not_invalidate_entries(self, tmp_path):
+        # the fingerprint covers code+path+snippet, not the line number
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(line=3)], path)
+        active, suppressed, _ = load_baseline(path).partition(
+            [finding(line=40)])
+        assert active == [] and len(suppressed) == 1
+
+    def test_new_findings_stay_active(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        new = finding(code="REP003", snippet="x == 0.0")
+        active, suppressed, _ = load_baseline(path).partition([finding(), new])
+        assert active == [new]
+
+    def test_multiplicity_is_respected(self, tmp_path):
+        # two identical offending lines, but only one grandfathered:
+        # the second occurrence must stay active
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(line=3)], path)
+        active, suppressed, _ = load_baseline(path).partition(
+            [finding(line=3), finding(line=9)])
+        assert len(suppressed) == 1 and len(active) == 1
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding()], path)
+        active, suppressed, stale = load_baseline(path).partition([])
+        assert active == [] and suppressed == []
+        assert [e["code"] for e in stale] == ["REP002"]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="no baseline file"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="corrupt"):
+            load_baseline(path)
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ReproError, match="findings"):
+            load_baseline(path)
+
+    def test_entry_without_fingerprint(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"findings": [{"code": "REP002"}]}))
+        with pytest.raises(ReproError, match="fingerprint"):
+            load_baseline(path)

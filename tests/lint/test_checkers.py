@@ -1,0 +1,292 @@
+"""Per-checker fixtures for the REP001..REP006 AST checkers.
+
+Each fixture is a small source module linted under a path that places it in
+(or out of) the simulation scope — the checkers derive their scope from the
+path, so fixtures laid out like the real tree exercise the real scoping.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+SIM_PATH = "src/repro/sim/fixture.py"
+NET_PATH = "src/repro/net/fixture.py"
+ANALYSIS_PATH = "src/repro/analysis/fixture.py"
+RANDOMNESS_PATH = "src/repro/sim/randomness.py"
+
+
+def codes(source: str, path: str = SIM_PATH) -> list[str]:
+    return [f.code for f in lint_source(path, textwrap.dedent(source))]
+
+
+class TestRep001Randomness:
+    def test_stdlib_random_call(self):
+        assert codes("""
+            import random
+            x = random.random()
+        """) == ["REP001"]
+
+    def test_stdlib_random_aliased_reference(self):
+        # a reference, not a call: aliasing must not evade the checker
+        assert codes("""
+            import random
+            draw = random.random
+        """) == ["REP001"]
+
+    def test_numpy_global_seed(self):
+        assert codes("""
+            import numpy as np
+            np.random.seed(42)
+        """) == ["REP001"]
+
+    def test_from_import_default_rng(self):
+        assert codes("""
+            from numpy.random import default_rng
+            rng = default_rng()
+        """) == ["REP001"]
+
+    def test_generator_annotation_is_exempt(self):
+        assert codes("""
+            import numpy as np
+
+            def f(rng: np.random.Generator) -> None:
+                rng.random()
+        """) == []
+
+    def test_randomness_module_is_exempt(self):
+        source = """
+            import numpy as np
+            rng = np.random.default_rng(0)
+        """
+        assert codes(source, path=RANDOMNESS_PATH) == []
+        assert codes(source, path=SIM_PATH) == ["REP001"]
+
+
+class TestRep002WallClock:
+    def test_time_time_call(self):
+        assert codes("""
+            import time
+            t = time.time()
+        """) == ["REP002"]
+
+    def test_aliased_reference(self):
+        assert codes("""
+            import time
+            clock = time.time
+        """) == ["REP002"]
+
+    def test_from_import_monotonic(self):
+        assert codes("""
+            from time import monotonic
+            t = monotonic()
+        """) == ["REP002"]
+
+    def test_datetime_now(self):
+        assert codes("""
+            import datetime
+            stamp = datetime.datetime.now()
+        """) == ["REP002"]
+
+    def test_applies_outside_sim_scope_too(self):
+        # results anywhere in src/repro must be spec-pure
+        assert codes("""
+            import time
+            t = time.time()
+        """, path=ANALYSIS_PATH) == ["REP002"]
+
+    def test_perf_counter_is_exempt(self):
+        assert codes("""
+            import time
+            t0 = time.perf_counter()
+        """) == []
+
+
+class TestRep003FloatEquality:
+    def test_float_constant_compare(self):
+        assert codes("""
+            def f(x):
+                return x == 0.5
+        """) == ["REP003"]
+
+    def test_negative_float_and_not_eq(self):
+        assert codes("""
+            def f(x):
+                return x != -1.0
+        """) == ["REP003"]
+
+    def test_float_cast_compare(self):
+        assert codes("""
+            def f(x, y):
+                return float(x) == y
+        """) == ["REP003"]
+
+    def test_int_compare_is_fine(self):
+        assert codes("""
+            def f(x):
+                return x == 3
+        """) == []
+
+    def test_ordering_compares_are_fine(self):
+        assert codes("""
+            def f(x):
+                return x >= 0.5
+        """) == []
+
+    def test_only_in_sim_scope(self):
+        source = """
+            def f(x):
+                return x == 0.5
+        """
+        assert codes(source, path=ANALYSIS_PATH) == []
+        assert codes(source, path=NET_PATH) == ["REP003"]
+
+
+class TestRep004MutableDefaults:
+    def test_list_literal_default(self):
+        assert codes("""
+            def f(items=[]):
+                return items
+        """) == ["REP004"]
+
+    def test_factory_call_default(self):
+        assert codes("""
+            def f(table=dict()):
+                return table
+        """) == ["REP004"]
+
+    def test_keyword_only_default(self):
+        assert codes("""
+            def f(*, seen={1, 2}):
+                return seen
+        """) == ["REP004"]
+
+    def test_immutable_defaults_are_fine(self):
+        assert codes("""
+            def f(pair=(), label="x", limit=None):
+                return pair, label, limit
+        """) == []
+
+
+class TestRep005SetOrderEscape:
+    def test_for_loop_over_set(self):
+        assert codes("""
+            def f():
+                flows = {1, 2, 3}
+                for flow in flows:
+                    print(flow)
+        """) == ["REP005"]
+
+    def test_list_call_on_set(self):
+        assert codes("""
+            def f(names):
+                pending = set(names)
+                return list(pending)
+        """) == ["REP005"]
+
+    def test_join_on_set(self):
+        assert codes("""
+            def f(names):
+                return ",".join({n.strip() for n in names})
+        """) == ["REP005"]
+
+    def test_comprehension_over_set(self):
+        assert codes("""
+            def f():
+                s = {1, 2}
+                return [x * 2 for x in s]
+        """) == ["REP005"]
+
+    def test_set_union_propagates(self):
+        assert codes("""
+            def f(a):
+                s = {1} | a
+                return list(s)
+        """) == ["REP005"]
+
+    def test_sorted_is_the_fix(self):
+        assert codes("""
+            def f():
+                flows = {1, 2, 3}
+                for flow in sorted(flows):
+                    print(flow)
+        """) == []
+
+    def test_set_comp_over_set_is_fine(self):
+        # a set built from a set is still unordered: no order escaped
+        assert codes("""
+            def f(s):
+                t = set(s)
+                return {x + 1 for x in t}
+        """) == []
+
+    def test_rebinding_clears_setness(self):
+        assert codes("""
+            def f():
+                items = {1, 2}
+                items = sorted(items)
+                for x in items:
+                    print(x)
+        """) == []
+
+    def test_membership_test_is_fine(self):
+        assert codes("""
+            def f(x):
+                seen = {1, 2}
+                return x in seen
+        """) == []
+
+
+class TestRep006SwallowedExceptions:
+    def test_bare_except(self):
+        assert codes("""
+            def f():
+                try:
+                    work()
+                except:
+                    pass
+        """) == ["REP006"]
+
+    def test_broad_except_without_reraise(self):
+        assert codes("""
+            def f():
+                try:
+                    work()
+                except Exception:
+                    log("oops")
+        """) == ["REP006"]
+
+    def test_reraise_is_fine(self):
+        assert codes("""
+            def f():
+                try:
+                    work()
+                except Exception:
+                    cleanup()
+                    raise
+        """) == []
+
+    def test_specific_exception_is_fine(self):
+        assert codes("""
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """) == []
+
+    def test_only_in_sim_scope(self):
+        source = """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """
+        assert codes(source, path=ANALYSIS_PATH) == []
+
+
+class TestRep000Infrastructure:
+    def test_syntax_error_reports_rep000(self):
+        assert codes("def broken(:\n") == ["REP000"]

@@ -1,0 +1,141 @@
+"""The ``repro lint`` command line: formats, baselines, and the meta-test
+that the tree itself is clean."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+from repro.cli import main as repro_main
+from repro.lint import lint_paths, load_baseline
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+DIRTY_SOURCE = textwrap.dedent("""
+    import time
+
+    def stamp(log=[]):
+        log.append(time.time())
+        return log
+""")
+
+
+def write_fixture(tmp_path, source=DIRTY_SOURCE):
+    # placed under sim/ so the path-scoped checkers see simulation scope
+    module = tmp_path / "sim" / "fixture.py"
+    module.parent.mkdir(parents=True, exist_ok=True)
+    module.write_text(source)
+    return module
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        module = write_fixture(tmp_path, "x = 1\n")
+        assert lint_main([str(module)]) == 0
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_dirty_file_exits_one(self, tmp_path, capsys):
+        module = write_fixture(tmp_path)
+        assert lint_main([str(module)]) == 1
+        out = capsys.readouterr().out
+        assert "REP002" in out and "REP004" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "absent.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_specs_with_paths_is_a_usage_error(self, capsys):
+        assert lint_main(["--specs", "src"]) == 2
+        assert "do not apply" in capsys.readouterr().err
+
+    def test_update_baseline_requires_baseline(self, capsys):
+        assert lint_main(["--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_missing_baseline_file_exits_two(self, tmp_path, capsys):
+        module = write_fixture(tmp_path)
+        assert lint_main([str(module),
+                          "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "no baseline file" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_golden_findings(self, tmp_path, capsys):
+        module = write_fixture(tmp_path)
+        assert lint_main([str(module), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["exit_code"] == 1
+        assert report["files_checked"] == 1
+        got = [(f["code"], f["line"], f["snippet"]) for f in report["findings"]]
+        assert got == [
+            ("REP004", 4, "def stamp(log=[]):"),
+            ("REP002", 5, "log.append(time.time())"),
+        ]
+        for f in report["findings"]:
+            assert f["path"].endswith("sim/fixture.py")
+            assert len(f["fingerprint"]) == 16
+
+    def test_json_carries_suppressed_findings(self, tmp_path, capsys):
+        module = write_fixture(tmp_path, textwrap.dedent("""
+            import time
+            clock = time.time  # repro: allow[REP002] fixture example
+        """))
+        assert lint_main([str(module), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == []
+        assert [f["code"] for f in report["pragma_suppressed"]] == ["REP002"]
+
+
+class TestBaselineWorkflow:
+    def test_update_then_lint_is_clean(self, tmp_path, capsys):
+        module = write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(module), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        assert "wrote 2 finding(s)" in capsys.readouterr().out
+        assert lint_main([str(module), "--baseline", str(baseline)]) == 0
+        assert len(load_baseline(baseline).counts) == 2
+
+    def test_new_violation_still_fails(self, tmp_path, capsys):
+        module = write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(module), "--baseline", str(baseline),
+                   "--update-baseline"])
+        capsys.readouterr()
+        module.write_text(DIRTY_SOURCE + "WALL = time.monotonic()\n")
+        assert lint_main([str(module), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "time.monotonic" in out and "2 baselined" in out
+
+    def test_fixed_violation_reports_stale_entry(self, tmp_path, capsys):
+        module = write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(module), "--baseline", str(baseline),
+                   "--update-baseline"])
+        capsys.readouterr()
+        module.write_text("x = 1\n")
+        assert lint_main([str(module), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_wired(self, tmp_path, capsys):
+        module = write_fixture(tmp_path, "x = 1\n")
+        assert repro_main(["lint", str(module)]) == 0
+
+    def test_lint_specs_subcommand(self, capsys):
+        assert repro_main(["lint", "--specs"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestTreeIsClean:
+    def test_repro_lint_src_reports_zero_unbaselined_findings(self):
+        # the meta-test: the tree must stay clean without any baseline file
+        report = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        rendered = [f.render() for f in report.findings]
+        assert rendered == []
+        assert report.files_checked > 90
+        # the documented pragma examples are live (used, not rotting)
+        assert len(report.pragma_suppressed) >= 2

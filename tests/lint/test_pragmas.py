@@ -1,0 +1,116 @@
+"""Suppression-pragma semantics: coverage, misuse, and docstring safety."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.engine import _lint_one
+
+SIM_PATH = "src/repro/sim/fixture.py"
+
+
+def lint(source: str, path: str = SIM_PATH):
+    return _lint_one(path, textwrap.dedent(source))
+
+
+class TestSuppression:
+    def test_inline_pragma_covers_its_own_line(self):
+        report = lint("""
+            import time
+            clock = time.time  # repro: allow[REP002] injected default, documented
+        """)
+        assert report.findings == []
+        assert [f.code for f in report.pragma_suppressed] == ["REP002"]
+
+    def test_comment_only_pragma_covers_next_line(self):
+        report = lint("""
+            def f(x):
+                # repro: allow[REP003] 0.0 is an exact sentinel
+                return x == 0.0
+        """)
+        assert report.findings == []
+        assert [f.code for f in report.pragma_suppressed] == ["REP003"]
+
+    def test_pragma_does_not_leak_to_other_lines(self):
+        report = lint("""
+            import time
+            a = time.time  # repro: allow[REP002] this line only
+            b = time.time
+        """)
+        assert [f.code for f in report.findings] == ["REP002"]
+        assert len(report.pragma_suppressed) == 1
+
+    def test_multi_code_pragma(self):
+        report = lint("""
+            import time
+
+            def f(x, log=[]):  # this line is clean
+                # repro: allow[REP002,REP003] both on the next line
+                return x == float(time.time())
+        """)
+        assert sorted(f.code for f in report.findings) == ["REP004"]
+        assert sorted(f.code for f in report.pragma_suppressed) == [
+            "REP002", "REP003"]
+
+    def test_wrong_code_does_not_suppress(self):
+        report = lint("""
+            import time
+            t = time.time()  # repro: allow[REP003] wrong checker named
+        """)
+        codes = sorted(f.code for f in report.findings)
+        # the REP002 stays active AND the pragma is reported unused
+        assert codes == ["REP000", "REP002"]
+
+
+class TestMisuse:
+    def test_pragma_without_reason_is_malformed(self):
+        report = lint("""
+            import time
+            t = time.time()  # repro: allow[REP002]
+        """)
+        codes = sorted(f.code for f in report.findings)
+        assert "REP000" in codes  # malformed pragma reported
+        assert "REP002" in codes  # and it suppressed nothing
+
+    def test_unknown_pragma_verb_is_malformed(self):
+        report = lint("""
+            x = 1  # repro: ignore[REP002] wrong verb
+        """)
+        assert [f.code for f in report.findings] == ["REP000"]
+        assert "malformed pragma" in report.findings[0].message
+
+    def test_unused_pragma_is_reported(self):
+        report = lint("""
+            x = 1  # repro: allow[REP002] nothing to suppress here
+        """)
+        assert [f.code for f in report.findings] == ["REP000"]
+        assert "unused suppression" in report.findings[0].message
+
+    def test_partially_used_pragma_reports_the_unused_code(self):
+        report = lint("""
+            import time
+            t = time.time()  # repro: allow[REP002,REP005] only REP002 fires
+        """)
+        assert [f.code for f in report.findings] == ["REP000"]
+        assert "REP005" in report.findings[0].message
+        assert [f.code for f in report.pragma_suppressed] == ["REP002"]
+
+
+class TestDocstringSafety:
+    def test_pragma_syntax_in_docstring_is_inert(self):
+        # pragma examples in documentation must neither suppress nor count
+        # as (unused/malformed) pragmas — only COMMENT tokens are live
+        findings = lint_source(SIM_PATH, textwrap.dedent('''
+            """Example: use ``# repro: allow[REP002] reason`` inline.
+
+            Or malformed: # repro: allow[REP002]
+            """
+        '''))
+        assert findings == []
+
+    def test_pragma_in_string_literal_is_inert(self):
+        findings = lint_source(SIM_PATH, textwrap.dedent("""
+            TEMPLATE = "x = 1  # repro: allow[REP004] not a real pragma"
+        """))
+        assert findings == []

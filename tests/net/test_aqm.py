@@ -143,8 +143,10 @@ class TestDualPI2Queue:
         kwargs.setdefault("rng", np.random.default_rng(7))
         return DualPI2Queue(clock=clock, **kwargs)
 
-    def test_rng_required(self):
-        with pytest.raises(ConfigurationError):
+    def test_rng_required_by_signature(self):
+        # rng is a required keyword-only parameter: the signature (and the
+        # type checker), not a runtime raise, enforces the seeded-rng contract
+        with pytest.raises(TypeError, match="rng"):
             DualPI2Queue(capacity_packets=10)
 
     def test_invalid_parameters(self):
@@ -223,8 +225,8 @@ class TestREDIdleDecay:
         return REDQueue(50, 5, 15, weight=0.5, rng=np.random.default_rng(1),
                         clock=clock, **kwargs)
 
-    def test_rng_required(self):
-        with pytest.raises(ConfigurationError):
+    def test_rng_required_by_signature(self):
+        with pytest.raises(TypeError, match="rng"):
             REDQueue(50, 5, 15)
 
     def test_average_decays_over_idle_period(self):

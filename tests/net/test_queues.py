@@ -166,14 +166,15 @@ class TestREDQueue:
         assert q.forced_drops >= 1
 
     def test_invalid_thresholds_rejected(self):
+        rng = np.random.default_rng(0)
         with pytest.raises(ConfigurationError):
-            REDQueue(10, 8, 5)
+            REDQueue(10, 8, 5, rng=rng)
         with pytest.raises(ConfigurationError):
-            REDQueue(10, 0, 5)
+            REDQueue(10, 0, 5, rng=rng)
 
     def test_invalid_max_p_rejected(self):
         with pytest.raises(ConfigurationError):
-            REDQueue(10, 2, 5, max_p=0.0)
+            REDQueue(10, 2, 5, max_p=0.0, rng=np.random.default_rng(0))
 
     def test_average_tracks_occupancy(self):
         q = self.make_red(weight=1.0)

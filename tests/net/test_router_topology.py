@@ -7,7 +7,6 @@ import pytest
 from repro.errors import RoutingError, TopologyError
 from repro.host import Host
 from repro.net import DropTailQueue, Packet, Router, Topology, default_queue_factory
-from repro.net.interface import NetworkInterface
 from repro.units import Mbps
 
 

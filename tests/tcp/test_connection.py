@@ -7,14 +7,10 @@ window accounting and the send-stall machinery.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.host import BulkSenderApp, SinkApp
-from repro.sim import Simulator
-from repro.tcp import ConnState, CongState, LocalCongestionPolicy, TCPOptions
+from repro.tcp import ConnState, CongState, LocalCongestionPolicy
 from repro.tcp.cc import cc_factory
-from repro.units import Mbps
-from repro.workloads import PathConfig, build_dumbbell
+from repro.workloads import build_dumbbell
 
 
 def make_transfer(sim, config, total_bytes=None, cc="reno", options=None, start_time=0.0):
@@ -77,12 +73,7 @@ class TestDataTransfer:
         assert app.stats.Timeouts == 0
 
     def test_delivery_is_in_order(self, sim, small_path):
-        deliveries = []
         scenario, app, sink = make_transfer(sim, small_path, total_bytes=50_000)
-        conn_holder = {}
-
-        def on_conn(conn):
-            conn_holder["conn"] = conn
         sim.run(until=3.0)
         server_conn = sink.connections[0]
         # in-order delivery implies receiver never buffered out-of-order data
