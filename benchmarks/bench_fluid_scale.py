@@ -64,7 +64,11 @@ def run_scale_bench(duration: float = 25.0,
         t0 = time.perf_counter()
         result = execute(spec)
         wall = time.perf_counter() - t0
-        n_flows = len(result.flows)
+        # churned flows stream into the summary instead of materialising
+        # outcome objects, so the population size lives there — the
+        # result's flows list holds only the declared pair
+        n_flows = (result.summary.n_flows if result.summary is not None
+                   else len(result.flows))
         points.append({
             "target_flows": target,
             "n_flows": n_flows,

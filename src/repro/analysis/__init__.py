@@ -8,7 +8,7 @@ from .metrics import (
     time_to_bytes,
     utilization,
 )
-from .tables import Table
+from .tables import Table, kv_table
 from .timeseries import cumulative_count_series, downsample, resample_step, series_mean
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "time_to_bytes",
     "utilization",
     "Table",
+    "kv_table",
     "resample_step",
     "cumulative_count_series",
     "series_mean",

@@ -11,7 +11,15 @@ from typing import Sequence
 
 from ..errors import ExperimentError
 
-__all__ = ["Table"]
+__all__ = ["Table", "kv_table"]
+
+
+def kv_table(items, title: str = "") -> "Table":
+    """A two-column (metric, value) table from ``(key, value)`` pairs."""
+    table = Table(["metric", "value"], title=title)
+    for key, value in items:
+        table.add_row(key, value)
+    return table
 
 
 class Table:

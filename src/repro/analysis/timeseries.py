@@ -43,7 +43,12 @@ def cumulative_count_series(event_times: Sequence[float], grid: Sequence[float])
 
 def series_mean(times: Sequence[float], values: Sequence[float],
                 t_start: float = 0.0, t_end: float | None = None) -> float:
-    """Time-weighted mean of a step series over ``[t_start, t_end]``."""
+    """Time-weighted mean of a step series over ``[t_start, t_end]``.
+
+    Computed as the exact piecewise-constant integral divided by the window
+    length: every step transition inside the window contributes its true
+    dwell time, so dense series do not alias the way grid sampling would.
+    """
     t = np.asarray(times, dtype=float)
     v = np.asarray(values, dtype=float)
     if t.size != v.size:
@@ -54,9 +59,10 @@ def series_mean(times: Sequence[float], values: Sequence[float],
         t_end = float(t[-1])
     if t_end <= t_start:
         raise ExperimentError("t_end must exceed t_start")
-    grid = np.linspace(t_start, t_end, 512)
-    sampled = resample_step(t, v, grid, left=v[0])
-    return float(np.mean(sampled))
+    inner = t[(t > t_start) & (t < t_end)]
+    edges = np.concatenate(([t_start], inner, [t_end]))
+    level = resample_step(t, v, edges[:-1], left=float(v[0]))
+    return float(np.sum(level * np.diff(edges)) / (t_end - t_start))
 
 
 def downsample(times: Sequence[float], values: Sequence[float], max_points: int) -> tuple[np.ndarray, np.ndarray]:

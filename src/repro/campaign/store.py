@@ -155,7 +155,7 @@ class ResultStore:
 
     @staticmethod
     def _read_path(path: pathlib.Path, key: str) -> dict | None:
-        from ..experiments.results_io import validate_document
+        from ..experiments.results_io import SCHEMA_VERSION, validate_document
 
         if not path.exists():
             return None
@@ -163,6 +163,11 @@ class ResultStore:
             document = validate_document(json.loads(path.read_text()),
                                          source=str(path))
         except (json.JSONDecodeError, UnicodeDecodeError, ExperimentError):
+            return None
+        if document.get("schema_version") != SCHEMA_VERSION:
+            # validate_document tolerates legacy versions so saved files
+            # keep loading, but a cache hit must be indistinguishable from
+            # a fresh run — legacy entries are misses (and gc fodder)
             return None
         if document.get("cache_key") != key:
             return None  # filed under the wrong name — do not trust it
@@ -239,15 +244,19 @@ class ResultStore:
                           total_bytes=total, by_kind=by_kind, stale=stale)
 
     def gc(self, older_than_s: float | None = None, clear: bool = False,
-           clock: Callable[[], float] | None = None) -> GCStats:
-        """Delete unusable (and optionally old, or all) entries.
+           clock: Callable[[], float] | None = None,
+           max_bytes: int | None = None) -> GCStats:
+        """Delete unusable (and optionally old, oversized, or all) entries.
 
         By default only entries a ``get`` would refuse anyway are removed:
         corrupt JSON, documents at a different ``schema_version`` (the
         cache-invalidation mechanism — bump the version, gc the store), and
         integrity failures.  ``older_than_s`` additionally drops valid
         entries whose file modification time is older than that many
-        seconds; ``clear=True`` wipes everything.
+        seconds; ``max_bytes`` then evicts surviving entries oldest-first
+        (by mtime, ties broken by filename for determinism) until the
+        survivors' total size fits the budget; ``clear=True`` wipes
+        everything.
 
         ``clock`` supplies "now" for the age cutoff and defaults to the
         wall clock — entry mtimes are wall-clock stamps, so that *is* gc's
@@ -260,18 +269,33 @@ class ResultStore:
 
         if clock is None:
             clock = time.time  # repro: allow[REP002] gc's age cutoff compares wall-clock mtimes; never result-affecting
-        removed = kept = reclaimed = 0
+        if max_bytes is not None and max_bytes < 0:
+            raise ExperimentError("gc max_bytes must be >= 0")
+        removed = reclaimed = 0
+        survivors: list[tuple[float, str, pathlib.Path, int]] = []
         cutoff = (clock() - older_than_s) if older_than_s is not None else None
         for path in self._object_paths():
-            size = path.stat().st_size
+            stat = path.stat()
+            size = stat.st_size
             drop = clear or self._entry_document(path) is None
-            if not drop and cutoff is not None and path.stat().st_mtime < cutoff:
+            if not drop and cutoff is not None and stat.st_mtime < cutoff:
                 drop = True
             if drop:
                 path.unlink()
                 removed += 1
                 reclaimed += size
             else:
-                kept += 1
+                survivors.append((stat.st_mtime, path.name, path, size))
+        kept = len(survivors)
+        if max_bytes is not None:
+            total = sum(size for _mtime, _name, _path, size in survivors)
+            for _mtime, _name, path, size in sorted(survivors):
+                if total <= max_bytes:
+                    break
+                path.unlink()
+                removed += 1
+                kept -= 1
+                reclaimed += size
+                total -= size
         return GCStats(removed=removed, kept=kept, reclaimed_bytes=reclaimed)
 

@@ -28,6 +28,7 @@ result (together with its originating spec and cache key) as JSON via
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Callable, Sequence
@@ -43,6 +44,7 @@ from .experiments import (
     render_baselines,
     render_fairness,
     render_figure1,
+    render_population_summary,
     render_sweep,
     render_throughput,
     render_tuning_ablation,
@@ -180,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "content-addressed result store (write-through; "
                           "campaigns and 'repro validate --store' sharing "
                           "the spec hit it later)")
+    run.add_argument("--summary", choices=("text", "json"), default=None,
+                     help="additionally print the run's population summary "
+                          "(FCT percentiles, concurrency series, per-class/"
+                          "per-cc aggregates, Jain index) as a table or as "
+                          "JSON; errors if the result type carries no "
+                          "summary (single-flow runs)")
 
     spec_cmd = sub.add_parser(
         "spec", help="inspect and serialize the declarative experiment specs")
@@ -249,6 +257,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_gc.add_argument("--older-than-days", type=float, default=None,
                              help="additionally drop valid entries older "
                                   "than this many days")
+    campaign_gc.add_argument("--max-bytes", type=int, default=None,
+                             help="additionally evict surviving entries "
+                                  "oldest-first (by mtime) until the store "
+                                  "fits this many bytes")
     campaign_gc.add_argument("--all", action="store_true", dest="clear",
                              help="wipe every entry")
 
@@ -307,6 +319,38 @@ def _print_result(result, output: str | None) -> None:
             print(f"\n(could not save result: {exc})")
 
 
+def _collect_summaries(result) -> list[tuple[str | None, object]]:
+    """``(label, PopulationSummary)`` pairs carried by ``result``."""
+    summary = getattr(result, "summary", None)
+    if summary is not None:
+        return [(None, summary)]
+    if isinstance(result, SweepResult):
+        return [(f"{result.parameter}={row[result.parameter]}", row["summary"])
+                for row in result.rows if row.get("summary") is not None]
+    return []
+
+
+def _print_summary(result, mode: str) -> int:
+    summaries = _collect_summaries(result)
+    if not summaries:
+        print("error: this result type carries no population summary "
+              "(multi-flow runs and fairness sweeps do)", file=sys.stderr)
+        return 2
+    if mode == "json":
+        if len(summaries) == 1 and summaries[0][0] is None:
+            print(json.dumps(summaries[0][1].to_dict(), indent=2))
+        else:
+            print(json.dumps([{"label": label, "summary": s.to_dict()}
+                              for label, s in summaries], indent=2))
+        return 0
+    for label, s in summaries:
+        title = ("population summary" if label is None
+                 else f"population summary — {label}")
+        print()
+        print(render_population_summary(s, title=title))
+    return 0
+
+
 def _load_spec_arg(value: str) -> SpecBase:
     """Load a spec document from a file path or ('-') from stdin."""
     if value == "-":
@@ -344,7 +388,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = _apply_overrides(spec, args)
         result = execute(spec, store=store)
         _print_result(result, args.output)
-        return 0
+        return _print_summary(result, args.summary) if args.summary else 0
     if not args.experiment:
         print("error: an experiment id, --spec <file.json> or "
               "--scenario <file.json> is required", file=sys.stderr)
@@ -373,7 +417,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store=store,
     )
     _print_result(result, args.output)
-    return 0
+    return _print_summary(result, args.summary) if args.summary else 0
 
 
 def _cmd_spec(args: argparse.Namespace) -> int:
@@ -478,7 +522,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(store.gc(
             older_than_s=(args.older_than_days * 86400.0
                           if args.older_than_days is not None else None),
-            clear=args.clear).render())
+            clear=args.clear, max_bytes=args.max_bytes).render())
         return 0
     spec = _campaign_from_sources(args.sources)
     manifest = run_campaign(spec, store,

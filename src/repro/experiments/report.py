@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.tables import Table
-from ..analysis.timeseries import cumulative_count_series
+from ..analysis.tables import Table, kv_table
+from ..analysis.timeseries import cumulative_count_series, downsample
+from ..metrics import PopulationSummary
 from ..units import format_rate
 from .runner import ComparisonResult, MultiFlowResult, SingleFlowResult
 
@@ -13,6 +14,8 @@ __all__ = [
     "comparison_table",
     "single_flow_summary",
     "multi_flow_table",
+    "population_summary_table",
+    "render_population_summary",
     "cumulative_stall_series",
     "render_series",
 ]
@@ -66,6 +69,54 @@ def multi_flow_table(result: MultiFlowResult, title: str = "") -> Table:
                   result.total_send_stalls, "-")
     table.add_row("jain index", "-", f"{result.jain_index:.4f}", "-", "-")
     return table
+
+
+def population_summary_table(summary: PopulationSummary, title: str = "") -> Table:
+    """Key/value table of a :class:`~repro.metrics.PopulationSummary`."""
+    def seconds(value: float | None) -> str:
+        return "-" if value is None else f"{value:.3f}s"
+
+    fct = summary.fct
+    mean_fct = seconds(fct.mean)
+    if fct.ci95 is not None:
+        mean_fct += f" ±{fct.ci95:.3f}"
+    approx = "~" if summary.approx_quantiles else ""
+    items = [
+        ("flows", f"{summary.n_flows} ({summary.n_completed} completed)"),
+        ("aggregate goodput", format_rate(summary.aggregate_goodput_bps)),
+        ("mean goodput", format_rate(summary.mean_goodput_bps)),
+        ("jain index", "-" if summary.jain_index is None
+         else f"{summary.jain_index:.4f}"),
+        ("bytes acked", summary.total_bytes_acked),
+        ("send stalls", summary.total_send_stalls),
+        ("loss events", summary.total_loss_events),
+        ("retransmits", summary.total_retransmits),
+        ("fct (n)", fct.count),
+        ("fct mean", mean_fct),
+        ("fct p50/p90/p99", f"{approx}{seconds(fct.p50)} / "
+         f"{approx}{seconds(fct.p90)} / {approx}{seconds(fct.p99)}"),
+        ("concurrency mean/peak",
+         f"{summary.mean_concurrency:.2f} / {summary.peak_concurrency}"),
+    ]
+    for label, group in sorted(summary.by_class.items()):
+        items.append((f"class {label}",
+                      f"{group.flows} flows ({group.completed} completed), "
+                      f"{format_rate(group.aggregate_goodput_bps)}"))
+    for cc, group in sorted(summary.by_cc.items()):
+        items.append((f"cc {cc}",
+                      f"{group.flows} flows ({group.completed} completed), "
+                      f"{format_rate(group.aggregate_goodput_bps)}"))
+    return kv_table(items, title=title)
+
+
+def render_population_summary(summary: PopulationSummary,
+                              title: str = "population summary") -> str:
+    """Table plus the concurrent-flow series, terminal-ready."""
+    times, counts = downsample(np.asarray(summary.grid_times),
+                               np.asarray(summary.concurrent_flows, dtype=float),
+                               max_points=26)
+    return (population_summary_table(summary, title=title).render()
+            + "\n" + render_series("concurrent flows", times, counts))
 
 
 def cumulative_stall_series(

@@ -12,11 +12,19 @@ The format is intentionally simple and stable:
 
     {
       "kind": "single_flow",
-      "schema_version": 1,
+      "schema_version": 2,
       "spec": { "kind": "run", ... },
       "cache_key": "sha256...",
       "payload": { ... }
     }
+
+Version 2 added the metrics plane (``records``/``summary`` on multi-flow
+payloads).  Documents at a version in :data:`LEGACY_SCHEMA_VERSIONS` still
+load — they simply predate those fields — while unknown (future or
+nonsense) versions are rejected.  The campaign store is stricter on
+purpose: a cached entry at a legacy version is a *miss* (see
+:mod:`repro.campaign.store`), because a cache hit must be
+indistinguishable from a fresh run.
 
 ``spec`` and ``cache_key`` are present when the result carries its
 originating declarative spec (:mod:`repro.spec`): the spec document is the
@@ -48,10 +56,18 @@ __all__ = [
     "load_result",
     "validate_document",
     "SCHEMA_VERSION",
+    "LEGACY_SCHEMA_VERSIONS",
 ]
 
 #: Bumped whenever the on-disk layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: 2: multi-flow payloads carry canonical flow ``records`` + a population
+#: ``summary`` (the unified metrics plane).
+SCHEMA_VERSION = 2
+
+#: Older versions :func:`validate_document` still accepts (read-compatible:
+#: they merely lack fields added since).  The campaign store does NOT serve
+#: cache hits from these — see :meth:`repro.campaign.store.ResultStore.get`.
+LEGACY_SCHEMA_VERSIONS = frozenset({1})
 
 _KINDS = {
     "single_flow": SingleFlowResult,
@@ -137,9 +153,11 @@ def validate_document(document: Any, source: str = "document") -> dict:
     if not isinstance(document, dict) or "payload" not in document:
         raise ExperimentError(f"{source} is not a saved repro result")
     version = document.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version != SCHEMA_VERSION and version not in LEGACY_SCHEMA_VERSIONS:
         raise ExperimentError(
-            f"unsupported result schema version {version!r} (expected {SCHEMA_VERSION})"
+            f"unsupported result schema version {version!r} (expected "
+            f"{SCHEMA_VERSION} or a legacy version in "
+            f"{sorted(LEGACY_SCHEMA_VERSIONS)})"
         )
     if document.get("kind") not in _KINDS:
         raise ExperimentError(f"unknown result kind {document.get('kind')!r}")

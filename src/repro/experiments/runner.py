@@ -35,6 +35,7 @@ from ..core.restricted_slow_start import RestrictedSlowStart
 from ..host.apps import BulkSenderApp
 from ..host.ifq import IFQMonitor
 from ..instrumentation.tracer import TimeSeriesTracer
+from ..metrics import FlowRecord, PopulationSummary, SummaryAccumulator
 from ..sim.engine import Simulator
 from ..spec import ComparisonSpec, MultiFlowSpec, RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
@@ -85,6 +86,8 @@ class FlowResult:
     smoothed_rtt: float
     min_rtt: float
     completion_time: float | None
+    #: Absolute sim time the transfer began (same clock as completion_time).
+    start_time: float = 0.0
     web100: dict = field(default_factory=dict)
 
     @classmethod
@@ -95,6 +98,7 @@ class FlowResult:
             name=app.name,
             algorithm=algorithm,
             duration=duration,
+            start_time=app.start_time,
             bytes_acked=stats.ThruBytesAcked,
             goodput_bps=app.goodput_bps(),
             send_stalls=stats.SendStall,
@@ -192,6 +196,37 @@ class MultiFlowResult:
     #: CE marks applied by the bottleneck queue (0 unless it runs an
     #: ECN-marking AQM).
     bottleneck_marks: int = 0
+    #: Canonical per-flow records (departure order, incompletes last).
+    #: Under streamed churn this holds declared flows only — churned flows
+    #: exist solely inside ``summary``.
+    records: list[FlowRecord] = field(default_factory=list)
+    #: Population statistics over *all* flows, streamed or not.
+    summary: PopulationSummary | None = None
+
+
+def _population_outcomes(
+    flows: Sequence[FlowResult],
+    endpoints: Sequence[tuple[str, str]],
+    completion_order: Sequence[int],
+    horizon: float,
+) -> tuple[list[FlowRecord], PopulationSummary]:
+    """Fold per-flow results into canonical records + a population summary.
+
+    Records come out in departure order (the order the completion hooks
+    fired), with never-completed flows appended in declaration order — the
+    same order a streaming engine folds flows, so batch and streamed
+    summaries are directly comparable.
+    """
+    seen = set(completion_order)
+    order = list(completion_order) + [i for i in range(len(flows)) if i not in seen]
+    acc = SummaryAccumulator(horizon)
+    records: list[FlowRecord] = []
+    for i in order:
+        src, dst = endpoints[i]
+        record = FlowRecord.from_flow(flows[i], src=src, dst=dst)
+        acc.add(record)
+        records.append(record)
+    return records, acc.finalize()
 
 
 # ---------------------------------------------------------------------------
@@ -317,27 +352,33 @@ def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
     scenario: Scenario = build_dumbbell(sim, cfg, n_flows=n_paths)
 
     apps: list[tuple[BulkSenderApp, str]] = []
+    endpoints: list[tuple[str, str]] = []
+    completion_order: list[int] = []
     for i, flow_spec in enumerate(spec.flows):
         index = 0 if spec.shared_paths else i
         rss = RestrictedSlowStartConfig.for_path(cfg.rtt)
         if flow_spec.cc == "restricted":
             factory = lambda ctx, _rss=rss: RestrictedSlowStart(ctx, _rss)  # noqa: E731
-            app, _sink = scenario.add_bulk_flow(
+            app, sink = scenario.add_bulk_flow(
                 index=index, cc=factory, total_bytes=flow_spec.total_bytes,
                 start_time=flow_spec.start_time, name=f"flow{i}:{flow_spec.cc}",
             )
         else:
-            app, _sink = scenario.add_bulk_flow(
+            app, sink = scenario.add_bulk_flow(
                 index=index, cc=flow_spec.cc, total_bytes=flow_spec.total_bytes,
                 start_time=flow_spec.start_time, cc_kwargs=flow_spec.cc_kwargs,
                 name=f"flow{i}:{flow_spec.cc}",
             )
+        app.on_complete = lambda _app, _i=i: completion_order.append(_i)
         apps.append((app, flow_spec.cc))
+        endpoints.append((app.host.name, sink.host.name))
 
     sim.run(until=spec.duration)
 
     flows = [FlowResult.from_app(app, algorithm=cc, duration=sim.now - app.start_time)
              for app, cc in apps]
+    records, summary = _population_outcomes(
+        flows, endpoints, completion_order, horizon=spec.duration)
     goodputs = [f.goodput_bps for f in flows]
     aggregate = float(sum(goodputs))
     return MultiFlowResult(
@@ -351,6 +392,8 @@ def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
         bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
         bottleneck_marks=scenario.bottleneck_interface().queue.stats.marked,
         total_send_stalls=sum(f.send_stalls for f in flows),
+        records=records,
+        summary=summary,
     )
 
 
@@ -367,6 +410,9 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
     cfg = scn.config
     sim = Simulator(seed=spec.seed)
     scenario = compile_scenario(sim, scn)
+    completion_order: list[int] = []
+    for i, (app, _sink) in enumerate(scenario.flows):
+        app.on_complete = lambda _app, _i=i: completion_order.append(_i)
 
     sim.run(until=spec.duration)
 
@@ -375,6 +421,9 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
                             duration=sim.now - app.start_time)
         for (app, _sink), flow_spec in zip(scenario.flows, scn.flows)
     ]
+    endpoints = [(app.host.name, sink.host.name) for app, sink in scenario.flows]
+    records, summary = _population_outcomes(
+        flows, endpoints, completion_order, horizon=spec.duration)
     goodputs = [f.goodput_bps for f in flows]
     aggregate = float(sum(goodputs))
     if len(scenario.routers) == 2:
@@ -403,6 +452,8 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
         bottleneck_drops=drops,
         bottleneck_marks=marks,
         total_send_stalls=sum(f.send_stalls for f in flows),
+        records=records,
+        summary=summary,
     )
 
 

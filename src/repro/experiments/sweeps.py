@@ -115,6 +115,9 @@ def _sweep_row(spec: SweepSpec, value, results: dict[str, object]) -> dict:
         for algo in sorted({f.algorithm for f in res.flows}):
             row[f"{algo}_goodput_bps"] = float(sum(
                 f.goodput_bps for f in res.flows if f.algorithm == algo))
+        # the canonical population summary rides along (skipped by the
+        # table renderer; surfaced by `repro run ... --summary`)
+        row["summary"] = res.summary
     else:  # "completion"
         for algo, res in results.items():
             row[f"{algo}_completion_time"] = res.flow.completion_time
@@ -392,7 +395,10 @@ def render_sweep(result: SweepResult) -> str:
     """Render a sweep as an aligned text table."""
     if not result.rows:
         return f"{result.name}: (no rows)"
-    columns = [result.parameter] + [k for k in result.rows[0] if k != result.parameter]
+    # "summary" holds a PopulationSummary object, not a scalar cell — it is
+    # rendered by `repro run ... --summary`, not by the sweep table
+    columns = [result.parameter] + [
+        k for k in result.rows[0] if k not in (result.parameter, "summary")]
     table = Table(columns, title=result.name)
     for row in result.rows:
         cells = []

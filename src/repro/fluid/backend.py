@@ -301,7 +301,12 @@ def execute_fluid_multi_flow(spec, engine: str | None = None):
     if engine == "vector":
         from .vector import FluidPopulationModel
 
-        model = FluidPopulationModel(cfg, inputs, seed=spec.seed)
+        # Churned populations stream: each churned flow folds into the
+        # summary accumulator when it departs instead of materialising a
+        # per-flow outcome object, so memory stays bounded however many
+        # flows arrive.  Declared flows always materialise.
+        model = FluidPopulationModel(cfg, inputs, seed=spec.seed,
+                                     stream_churned=churn is not None)
     elif engine == "scalar":
         model = FluidMultiFlowModel(cfg, inputs, seed=spec.seed)
     else:
@@ -316,6 +321,7 @@ def execute_fluid_multi_flow(spec, engine: str | None = None):
             name=outcome.name,
             algorithm=outcome.algorithm,
             duration=outcome.duration,
+            start_time=outcome.start_time,
             bytes_acked=outcome.bytes_acked,
             goodput_bps=outcome.goodput_bps,
             send_stalls=outcome.send_stalls,
@@ -341,20 +347,33 @@ def execute_fluid_multi_flow(spec, engine: str | None = None):
                 "MaxCwnd": int(outcome.max_cwnd * cfg.mss),
             },
         ))
-    goodputs = [f.goodput_bps for f in flows]
-    aggregate = float(sum(goodputs))
+    summary = raw.summary
+    if churn is not None and summary is not None:
+        # Streamed churn: the materialised flows cover declared flows only,
+        # so the population-wide figures come from the summary (which saw
+        # every flow, streamed or not).
+        aggregate = summary.aggregate_goodput_bps
+        jain = summary.jain_index if summary.jain_index is not None else 1.0
+        drops = summary.total_retransmits
+    else:
+        goodputs = [f.goodput_bps for f in flows]
+        aggregate = float(sum(goodputs))
+        jain = jain_fairness_index(goodputs)
+        drops = sum(f.pkts_retrans for f in flows)
     return MultiFlowResult(
         config=cfg,
         duration=raw.duration,
         seed=spec.seed,
         flows=flows,
         aggregate_goodput_bps=aggregate,
-        jain_index=jain_fairness_index(goodputs),
+        jain_index=jain,
         link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
         # each synchronized overflow episode rejects (at least) one packet
         # per reduced flow; reporting it keeps fluid rows from reading as
         # "no drops" at operating points where the packet engine drops
-        bottleneck_drops=sum(f.pkts_retrans for f in flows),
+        bottleneck_drops=drops,
         total_send_stalls=raw.total_send_stalls,
         backend=FLUID_BACKEND,
+        records=raw.records,
+        summary=summary,
     )

@@ -56,6 +56,7 @@ import numpy as np
 from ..core.config import RestrictedSlowStartConfig
 from ..control.pid import PIDController
 from ..errors import ConfigurationError, ExperimentError
+from ..metrics import FlowRecord, PopulationSummary, SummaryAccumulator
 from ..tcp.options import TCPOptions
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
@@ -712,6 +713,12 @@ class FluidMultiFlowResult:
     total_send_stalls: int
     ifq_peaks: dict[int, float]
     steps: int
+    #: Canonical per-flow records (declaration order).  Under streamed
+    #: churn (vector engine) only declared flows appear here — churned
+    #: flows are folded into ``summary`` at departure time instead.
+    records: list[FlowRecord] = field(default_factory=list)
+    #: Population statistics over *all* flows, streamed or not.
+    summary: PopulationSummary | None = None
 
 
 class _FlowState:
@@ -1089,6 +1096,16 @@ class FluidMultiFlowModel:
                 max_cwnd=st.max_cwnd,
                 completion_time=st.completion_time,
             ))
+        accumulator = SummaryAccumulator(duration)
+        records = []
+        for st, outcome in zip(self.flows, outcomes):
+            record = FlowRecord.from_flow(
+                outcome,
+                src=f"sender{st.spec.ifq}",
+                dst=f"receiver{st.spec.ifq}",
+            )
+            accumulator.add(record)
+            records.append(record)
         return FluidMultiFlowResult(
             config=self.config,
             duration=elapsed,
@@ -1098,4 +1115,6 @@ class FluidMultiFlowModel:
             total_send_stalls=sum(o.send_stalls for o in outcomes),
             ifq_peaks={key: ifq.peak for key, ifq in self.ifqs.items()},
             steps=self.steps,
+            records=records,
+            summary=accumulator.finalize(),
         )

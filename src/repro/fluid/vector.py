@@ -64,6 +64,7 @@ from typing import NamedTuple
 import numpy as np
 
 from ..errors import ExperimentError
+from ..metrics import FlowRecord, SummaryAccumulator, class_label_for
 from ..tcp.options import TCPOptions
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
@@ -259,7 +260,15 @@ class FluidPopulationModel:
         flows: Sequence[FluidFlowInput],
         options: TCPOptions | None = None,
         seed: int = 1,
+        *,
+        stream_churned: bool = False,
+        collect_summary: bool = True,
     ) -> None:
+        """``stream_churned=True`` folds quantized-start (churn) flows into
+        the streaming summary accumulator at departure time and leaves them
+        out of the result's ``flows``/``records`` — bounded memory for
+        living populations.  ``collect_summary=False`` skips the metrics
+        plane entirely (used by benchmarks to time the bare engine)."""
         if not flows:
             raise ExperimentError("at least one flow is required")
         self.config = config
@@ -334,6 +343,107 @@ class FluidPopulationModel:
         self.bottleneck_loss_events = 0
         self.steps = 0
 
+        # --- metrics plane ------------------------------------------------
+        self.collect_summary = bool(collect_summary)
+        #: Flows summarised at departure instead of materialised as outcomes.
+        self.streamed = self.quantized & bool(stream_churned)
+        self._folded = np.zeros(n, dtype=bool)
+        self._acc: SummaryAccumulator | None = None
+        # Bulk-fold group table: streamed departures go through the
+        # accumulator's array path, one call per (class, cc) pair.
+        fold_keys = [(class_label_for(s.name), s.cc) for s in self.specs]
+        self._fold_groups = sorted(set(fold_keys))
+        group_index = {key: g for g, key in enumerate(self._fold_groups)}
+        self._group_id = np.array([group_index[key] for key in fold_keys],
+                                  dtype=np.intp)
+        self._pending_folds: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # streaming metrics plane
+    # ------------------------------------------------------------------
+    def _record_for(self, i: int, elapsed: float) -> FlowRecord:
+        """Canonical record for flow ``i``, straight from the state arrays.
+
+        Matches ``FlowRecord.from_flow`` applied to the corresponding
+        :class:`FluidFlowOutcome` field-for-field, so streamed and
+        materialised flows summarise identically.
+        """
+        spec = self.specs[i]
+        comp = float(self.completion[i]) if not np.isnan(self.completion[i]) else None
+        end = comp if comp is not None else elapsed
+        active_span = max(end - spec.start_time, 0.0)
+        bytes_acked = int(self.bytes_acked[i])
+        return FlowRecord(
+            flow_id=spec.name,
+            cc=spec.cc,
+            src=f"sender{spec.ifq}",
+            dst=f"receiver{spec.ifq}",
+            class_label=class_label_for(spec.name),
+            start_time=spec.start_time,
+            completion_time=comp,
+            bytes_acked=bytes_acked,
+            goodput_bps=bytes_acked * 8.0 / active_span if active_span > 0 else 0.0,
+            send_stalls=int(self.send_stalls[i]),
+            loss_events=int(self.congestion_signals[i]),
+            retransmits=int(self.pkts_retrans[i]),
+        )
+
+    def _fold_departed(self, indices: np.ndarray) -> None:
+        """Queue departed streamed flows for the accumulator.
+
+        The fold itself is deferred to :meth:`_flush_folds`, collapsing
+        thousands of per-round departures into a handful of vectorized
+        ``add_arrays`` calls.  A departed flow leaves the active set, so its
+        state arrays are frozen by the time the flush reads them — deferral
+        is observationally identical to folding at departure time.
+        """
+        if self._acc is None:
+            return
+        sel = indices[self.streamed[indices] & ~self._folded[indices]]
+        if sel.size == 0:
+            return
+        self._folded[sel] = True
+        self._pending_folds.append(sel)
+
+    def _flush_folds(self, elapsed: float) -> None:
+        """Fold every queued streamed departure, batched per (class, cc).
+
+        ``elapsed`` stands in for the completion edge of flows that never
+        finished; those are only queued by the final horizon fold, so the
+        value at flush time is the value at queue time.  Field-for-field
+        equivalent to per-record :meth:`SummaryAccumulator.add` over the
+        matching :meth:`_record_for` outputs, array-at-a-time.
+        """
+        if self._acc is None or not self._pending_folds:
+            return
+        sel = (self._pending_folds[0] if len(self._pending_folds) == 1
+               else np.concatenate(self._pending_folds))
+        self._pending_folds.clear()
+        starts = self.start_time[sel]
+        comp = self.completion[sel]
+        end = np.where(np.isnan(comp), elapsed, comp)
+        span = np.maximum(end - starts, 0.0)
+        bytes_acked = self.bytes_acked[sel]
+        goodput = np.where(span > 0,
+                           bytes_acked * 8.0 / np.where(span > 0, span, 1.0),
+                           0.0)
+        gid = self._group_id[sel]
+        for g, (label, cc) in enumerate(self._fold_groups):
+            member = gid == g
+            if not member.any():
+                continue
+            self._acc.add_arrays(
+                class_label=label,
+                cc=cc,
+                start_times=starts[member],
+                completion_times=comp[member],
+                bytes_acked=bytes_acked[member],
+                goodput_bps=goodput[member],
+                send_stalls=self.send_stalls[sel][member],
+                loss_events=self.congestion_signals[sel][member],
+                retransmits=self.pkts_retrans[sel][member],
+            )
+
     # ------------------------------------------------------------------
     # reductions (masked arithmetic mirroring _FlowState.reduce_on_*)
     # ------------------------------------------------------------------
@@ -354,7 +464,9 @@ class FluidPopulationModel:
         if gidx.size == 0:
             return
         self.send_stalls[gidx] += 1
-        for i in gidx:
+        # Streamed flows depart into the accumulator, which only keeps the
+        # stall count — don't grow per-flow timestamp lists for them.
+        for i in gidx[~self.streamed[gidx]]:
             self.stall_times[i].append(t)
         if self.policy == LocalCongestionPolicy.TREAT_AS_CONGESTION:
             flight = self._flight(gidx)
@@ -599,6 +711,8 @@ class FluidPopulationModel:
             fin = idx[finished]
             self.completion[fin] = now + span * np.minimum(used, 1.0)
             self.done[fin] = True
+            if self.streamed.any():
+                self._fold_departed(fin)
 
     # ------------------------------------------------------------------
     def _boundaries(self, horizon: float) -> np.ndarray:
@@ -618,6 +732,8 @@ class FluidPopulationModel:
         """Integrate the coupled population for ``duration`` seconds."""
         if duration <= 0:
             raise ExperimentError("duration must be positive")
+        if self.collect_summary:
+            self._acc = SummaryAccumulator(duration)
         rtt = self.config.rtt
         boundaries = self._boundaries(duration)
         has_stop = np.isfinite(self.stop_time)
@@ -634,12 +750,21 @@ class FluidPopulationModel:
                 self.done[stopping] = True
                 fill = stopping & np.isnan(self.completion)
                 self.completion[fill] = self.stop_time[fill]
+                if self.streamed.any():
+                    self._fold_departed(np.nonzero(stopping)[0])
             if self.done.all():
                 break
 
         elapsed = min(now, duration)
+        # Streamed flows still alive at the horizon fold as incomplete.
+        if self.streamed.any():
+            self._fold_departed(np.nonzero(self.streamed & ~self._folded)[0])
+            self._flush_folds(elapsed)
         outcomes = []
+        records = []
         for i, spec in enumerate(self.specs):
+            if self.streamed[i]:
+                continue
             comp = (float(self.completion[i])
                     if not np.isnan(self.completion[i]) else None)
             end = comp if comp is not None else elapsed
@@ -665,6 +790,10 @@ class FluidPopulationModel:
                 max_cwnd=float(self.max_cwnd[i]),
                 completion_time=comp,
             ))
+            if self._acc is not None:
+                record = self._record_for(i, elapsed)
+                self._acc.add(record)
+                records.append(record)
         return FluidMultiFlowResult(
             config=self.config,
             duration=elapsed,
@@ -675,4 +804,6 @@ class FluidPopulationModel:
             ifq_peaks={key: float(self.ifq_peak[i])
                        for i, key in enumerate(self.ifq_keys)},
             steps=self.steps,
+            records=records,
+            summary=self._acc.finalize() if self._acc is not None else None,
         )

@@ -86,6 +86,9 @@ class BulkSenderApp:
         self.stopped = False
         self.completed = False
         self.completion_time: float | None = None
+        #: Called once, at the sim time the transfer completes (the metrics
+        #: plane's departure hook; receives the app itself).
+        self.on_complete: Callable[["BulkSenderApp"], None] | None = None
         sim.schedule(max(self.start_time - sim.now, 0.0), self._start)
         if self.stop_time is not None:
             sim.schedule(max(self.stop_time - sim.now, 0.0), self.stop)
@@ -122,6 +125,8 @@ class BulkSenderApp:
         if not self.completed:
             self.completed = True
             self.completion_time = self.sim.now
+            if self.on_complete is not None:
+                self.on_complete(self)
 
     def _on_all_acked(self) -> None:
         if self.total_bytes is not None or self.stopped:

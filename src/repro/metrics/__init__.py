@@ -1,0 +1,42 @@
+"""Unified flow-metrics plane shared by every simulation engine.
+
+All three engines — the event-driven packet runner, the scalar coupled
+fluid model and the vectorized population model — reduce their raw per-flow
+measurements to one canonical, frozen :class:`FlowRecord`, and every
+population-level statistic the harness reports is computed from records by
+exactly one implementation: :class:`SummaryAccumulator` (streaming, bounded
+memory) and its batch wrapper :func:`summarize_records`.
+
+That single code path is what makes cross-engine statistics meaningful: a
+packet run and a fluid run disagree only where the *engines* disagree, never
+because each invented its own percentile or fairness arithmetic.  The
+cross-engine parity suite (``tests/metrics/test_cross_engine_parity.py``)
+pins packet, scalar-fluid and vector summaries against each other on the
+fairness grid within the documented tolerances.
+
+New backends must emit canonical :class:`FlowRecord`\\ s — see
+``CONTRIBUTING.md``.
+"""
+
+from .records import FlowRecord, class_label_for
+from .summary import (
+    DEFAULT_GRID_POINTS,
+    DEFAULT_QUANTILE_CAP,
+    ClassAggregate,
+    PercentileStats,
+    PopulationSummary,
+    SummaryAccumulator,
+    summarize_records,
+)
+
+__all__ = [
+    "FlowRecord",
+    "class_label_for",
+    "PercentileStats",
+    "ClassAggregate",
+    "PopulationSummary",
+    "SummaryAccumulator",
+    "summarize_records",
+    "DEFAULT_GRID_POINTS",
+    "DEFAULT_QUANTILE_CAP",
+]

@@ -148,6 +148,66 @@ class TestMaintenance:
         assert store.gc(older_than_s=7200.0).removed == 0
         assert store.gc(older_than_s=60.0).removed == 1
 
+    def test_gc_max_bytes_evicts_oldest_first(self, store, fluid_result):
+        import os
+
+        keys = []
+        for seed in (3, 4, 5):
+            result = execute(RunSpec(cc="reno", config=TINY_PATH,
+                                     duration=0.5, seed=seed,
+                                     backend="fluid"))
+            keys.append(store.put(result))
+        # back-date so age order is deterministic: keys[0] oldest
+        base = store.path_for(keys[0]).stat().st_mtime
+        for age, key in enumerate(keys):
+            when = base - 100.0 * (len(keys) - age)
+            os.utime(store.path_for(key), (when, when))
+        newest_size = store.path_for(keys[2]).stat().st_size
+
+        stats = store.gc(max_bytes=newest_size)
+        assert stats.removed == 2
+        assert stats.kept == 1
+        assert stats.reclaimed_bytes > 0
+        assert not store.contains(keys[0])
+        assert not store.contains(keys[1])
+        assert store.contains(keys[2])
+
+    def test_gc_max_bytes_noop_under_budget(self, store, fluid_result):
+        key = store.put(fluid_result)
+        stats = store.gc(max_bytes=store.stats().total_bytes)
+        assert stats.removed == 0
+        assert stats.kept == 1
+        assert store.contains(key)
+
+    def test_gc_max_bytes_zero_evicts_every_survivor(self, store, fluid_result):
+        store.put(fluid_result)
+        stats = store.gc(max_bytes=0)
+        assert stats.removed == 1
+        assert stats.kept == 0
+        assert store.stats().entries == 0
+
+    def test_gc_max_bytes_negative_rejected(self, store):
+        with pytest.raises(ExperimentError, match="max_bytes"):
+            store.gc(max_bytes=-1)
+
+    def test_gc_max_bytes_composes_with_age_cutoff(self, store, fluid_result):
+        import os
+
+        old_key = store.put(fluid_result)
+        other = execute(RunSpec(cc="reno", config=TINY_PATH, duration=0.5,
+                                seed=9, backend="fluid"))
+        new_key = store.put(other)
+        written_at = store.path_for(new_key).stat().st_mtime
+        stale = written_at - 7200.0
+        os.utime(store.path_for(old_key), (stale, stale))
+        # the age pass drops the stale entry; the size pass keeps the rest
+        stats = store.gc(older_than_s=3600.0,
+                         max_bytes=store.path_for(new_key).stat().st_size,
+                         clock=lambda: written_at)
+        assert stats.removed == 1
+        assert stats.kept == 1
+        assert store.contains(new_key)
+
     def test_gc_injected_clock(self, store, fluid_result):
         # instead of back-dating mtimes, move "now" forward: entries age
         # deterministically and the test never sleeps

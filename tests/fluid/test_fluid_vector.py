@@ -220,20 +220,33 @@ class TestChurnDispatch:
         defaults.update(kwargs)
         return MultiFlowSpec(**defaults)
 
-    def test_churned_run_adds_population_flows(self):
+    def test_churned_run_streams_population_into_summary(self):
+        # churned flows fold into the summary at departure instead of
+        # materialising outcome objects: flows/records hold declared only
         result = execute(self._spec())
         assert result.backend == "fluid"
-        churned = [f for f in result.flows if f.name.startswith("churn")]
+        assert not any(f.name.startswith("churn") for f in result.flows)
         declared = [f for f in result.flows if f.name.startswith("flow")]
         assert len(declared) == 2
-        assert len(churned) == pytest.approx(60.0 * 5.0, rel=0.3)
-        assert sum(1 for f in churned if f.completion_time is not None) > 0
+        assert not any(r.class_label == "churn" for r in result.records)
+        summary = result.summary
+        churned = summary.by_class["churn"]
+        assert summary.n_flows == churned.flows + 2
+        assert churned.flows == pytest.approx(60.0 * 5.0, rel=0.3)
+        assert churned.completed > 0
+        assert summary.fct.count > 0
+        # the aggregate covers the whole population, not just declared flows
+        assert (result.aggregate_goodput_bps
+                == pytest.approx(summary.aggregate_goodput_bps))
+        assert result.aggregate_goodput_bps > sum(
+            f.goodput_bps for f in declared)
 
     def test_churned_run_is_deterministic(self):
         a, b = execute(self._spec()), execute(self._spec())
         assert [f.bytes_acked for f in a.flows] == [f.bytes_acked for f in b.flows]
+        assert a.summary.to_dict() == b.summary.to_dict()
         c = execute(self._spec(seed=3))
-        assert [f.bytes_acked for f in a.flows] != [f.bytes_acked for f in c.flows]
+        assert a.summary.to_dict() != c.summary.to_dict()
 
     def test_churn_requires_fluid_backend(self):
         with pytest.raises(UnsupportedScenarioError, match="churn"):
@@ -285,7 +298,7 @@ class TestChurnDispatch:
                                                start_times=(0.0, 0.1)))
         result = execute(spec)
         assert result.backend == "fluid"
-        assert any(f.name.startswith("churn") for f in result.flows)
+        assert result.summary.by_class["churn"].flows > 0
 
 
 class TestQuantizedStarts:

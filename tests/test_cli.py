@@ -408,3 +408,70 @@ class TestCampaignCommands:
         assert main(["run", "--scenario", str(path)]) == 2
         err = capsys.readouterr().err
         assert "camp.json" in err and "campaign run" in err
+
+
+class TestSummaryFlag:
+    def _dumbbell_spec(self, tmp_path):
+        from repro.spec import MultiFlowSpec, dump_spec, dumbbell
+        from repro.testing import TINY_PATH
+
+        spec = MultiFlowSpec(scenario=dumbbell(TINY_PATH, 2, ccs="reno"),
+                             duration=1.5, seed=2, backend="fluid")
+        return dump_spec(spec, tmp_path / "mix.json")
+
+    def test_summary_text_on_multi_flow_spec(self, capsys, tmp_path):
+        path = self._dumbbell_spec(tmp_path)
+        assert main(["run", "--spec", str(path), "--summary", "text"]) == 0
+        out = capsys.readouterr().out
+        assert "population summary" in out
+        assert "jain index" in out
+        assert "concurrent flows" in out
+        assert "cc reno" in out
+
+    def test_summary_json_on_multi_flow_spec(self, capsys, tmp_path):
+        path = self._dumbbell_spec(tmp_path)
+        assert main(["run", "--spec", str(path), "--summary", "json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["n_flows"] == 2
+        assert payload["by_cc"]["reno"]["flows"] == 2
+        assert len(payload["grid_times"]) == len(payload["concurrent_flows"])
+
+    def test_summary_json_on_sweep_lists_rows(self, capsys, tmp_path):
+        from repro.experiments.sweeps import fairness_sweep_spec
+        from repro.spec import dump_spec
+        from repro.testing import TINY_PATH
+
+        spec = fairness_sweep_spec(start_times=(0.0, 0.5), duration=1.5,
+                                   seed=2, base_config=TINY_PATH,
+                                   backend="fluid")
+        path = dump_spec(spec, tmp_path / "sweep.json")
+        assert main(["run", "--spec", str(path), "--summary", "json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):])
+        assert [row["label"] for row in payload] == [
+            "flow1_start=0.0", "flow1_start=0.5"]
+        assert all(row["summary"]["n_flows"] == 2 for row in payload)
+
+    def test_summary_rejected_for_single_flow_results(self, capsys):
+        assert main(["run", "E2F", "--duration", "2",
+                     "--summary", "text"]) == 2
+        assert "no population summary" in capsys.readouterr().err
+
+
+class TestCampaignGcMaxBytes:
+    def test_max_bytes_evicts_to_budget(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "E3F", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "gc", "--store", store,
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 12" in out and "kept 0" in out
+        assert main(["campaign", "gc", "--store", store]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_max_bytes_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "gc", "--max-bytes", "1048576"])
+        assert args.max_bytes == 1048576
