@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from typing import Sequence
 
 from repro.experiments.aqm_gallery import (
@@ -32,6 +31,7 @@ from repro.experiments.aqm_gallery import (
     render_aqm_gallery,
     run_aqm_gallery,
 )
+from repro.obs.clock import wall_clock
 
 #: Default artifact path (repository root, like the BENCH_* convention).
 DEFAULT_ARTIFACT = "BENCH_aqm_gallery.json"
@@ -44,11 +44,11 @@ def run_aqm_gallery_bench(duration: float = 10.0,
                           seed: int = 1,
                           max_workers: int | None = None) -> dict:
     """Run the gallery grid and return the artifact payload."""
-    t0 = time.perf_counter()
+    t0 = wall_clock()
     result = run_aqm_gallery(ccs=ccs, disciplines=disciplines,
                              n_flows=n_flows, duration=duration, seed=seed,
                              max_workers=max_workers)
-    wall = time.perf_counter() - t0
+    wall = wall_clock() - t0
     return {
         "benchmark": "aqm_gallery",
         "duration_s": duration,

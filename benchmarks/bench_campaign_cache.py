@@ -23,12 +23,12 @@ from __future__ import annotations
 import json
 import pathlib
 import tempfile
-import time
 from typing import Sequence
 
 from repro.campaign import CampaignSpec, ResultStore, run_campaign
 from repro.experiments.sweeps import ifq_sweep_spec
 from repro.testing import SMALL_PATH
+from repro.obs.clock import wall_clock
 
 #: Speedup a warm rerun must deliver over the cold run.
 REQUIRED_SPEEDUP = 50.0
@@ -54,12 +54,12 @@ def run_campaign_cache_bench(duration: float = 2.0,
 
     def measure(root) -> dict:
         store = ResultStore(root)
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         cold = run_campaign(campaign, store, max_workers=0)
-        cold_wall = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        cold_wall = wall_clock() - t0
+        t0 = wall_clock()
         warm = run_campaign(campaign, store, max_workers=0)
-        warm_wall = time.perf_counter() - t0
+        warm_wall = wall_clock() - t0
         return {
             "benchmark": "campaign_cache",
             "duration_s": duration,

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from typing import Sequence
 
 from repro.fluid import DEFAULT_FAIRNESS_TOLERANCE
 from repro.spec import MultiFlowSpec, dumbbell, execute
 from repro.workloads.scenarios import PathConfig
+from repro.obs.clock import wall_clock
 
 #: Speedup the fluid fairness path must deliver on the default 25 s run.
 REQUIRED_SPEEDUP = 20.0
@@ -51,12 +51,12 @@ def run_fairness_bench(duration: float = 25.0, n_flows: int = 4,
                         start_times=tuple(0.1 * i for i in range(n_flows)))
     spec = MultiFlowSpec(scenario=scenario, duration=duration, seed=seed)
 
-    t0 = time.perf_counter()
+    t0 = wall_clock()
     packet = execute(spec)
-    packet_wall = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    packet_wall = wall_clock() - t0
+    t0 = wall_clock()
     fluid = execute(spec.with_backend("fluid"))
-    fluid_wall = time.perf_counter() - t0
+    fluid_wall = wall_clock() - t0
 
     speedup = packet_wall / max(fluid_wall, 1e-9)
     aggregate_err = (abs(fluid.aggregate_goodput_bps - packet.aggregate_goodput_bps)

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from typing import Sequence
 
 from repro.fluid import FlowArrivalSpec
 from repro.spec import MultiFlowSpec, dumbbell, execute
 from repro.workloads.scenarios import PathConfig
+from repro.obs.clock import wall_clock
 
 #: Flow-population sizes the scaling curve samples (arrival totals; the
 #: arrival rate is chosen per point so the count is duration-independent).
@@ -61,9 +61,9 @@ def run_scale_bench(duration: float = 25.0,
                                 mean_size_bytes=100_000.0)
         spec = MultiFlowSpec(scenario=scenario, duration=duration,
                              seed=seed, backend="fluid", churn=churn)
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         result = execute(spec)
-        wall = time.perf_counter() - t0
+        wall = wall_clock() - t0
         # churned flows stream into the summary instead of materialising
         # outcome objects, so the population size lives there — the
         # result's flows list holds only the declared pair

@@ -10,10 +10,10 @@ tolerances.
 
 from __future__ import annotations
 
-import time
 
 from repro.experiments import run_single_flow
 from repro.fluid import cross_validate
+from repro.obs.clock import wall_clock
 
 from .conftest import emit, scaled
 
@@ -24,12 +24,12 @@ REQUIRED_SPEEDUP = 100.0
 def _paired_runs(duration: float, seed: int = 1):
     rows = []
     for cc in ("reno", "restricted"):
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         packet = run_single_flow(cc, duration=duration, seed=seed, backend="packet")
-        packet_wall = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        packet_wall = wall_clock() - t0
+        t0 = wall_clock()
         fluid = run_single_flow(cc, duration=duration, seed=seed, backend="fluid")
-        fluid_wall = time.perf_counter() - t0
+        fluid_wall = wall_clock() - t0
         rows.append((cc, packet, packet_wall, fluid, fluid_wall))
     return rows
 

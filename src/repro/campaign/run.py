@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..errors import ExperimentError
+from ..obs.clock import wall_clock
+from ..obs.telemetry import RunTelemetry
 from ..spec import SpecBase
 from .spec import CampaignSpec, CampaignUnit
 from .store import ResultStore
@@ -47,15 +48,16 @@ def _timed_document(spec: SpecBase) -> tuple[dict, float]:
     from ..experiments.results_io import result_document
     from ..spec import execute
 
-    t0 = time.perf_counter()
+    t0 = wall_clock()
     result = execute(spec)
-    return result_document(result), time.perf_counter() - t0
+    return result_document(result), wall_clock() - t0
 
 
 def _compute_documents(
     specs: Sequence[SpecBase],
     store: ResultStore | None,
     max_workers: int | None,
+    on_result: Callable[[int, dict, float], None] | None = None,
 ) -> list[tuple[dict, float]]:
     """Execute specs, storing each document *as it completes*.
 
@@ -65,6 +67,13 @@ def _compute_documents(
     hit.  When a worker fails, every *successful* result is still stored
     before the first failure propagates.  Returns (document, wall) pairs
     in input order.
+
+    ``on_result(index, document, wall)`` fires once per completed spec —
+    in input order on the serial path, in completion order on the pool
+    path — *after* the write-back, so progress observers never see a unit
+    the store does not.  The serial and pool paths report identically
+    (same per-unit wall seconds, same callback contract); the parity
+    suite pins this.
     """
     from ..experiments.parallel import default_worker_count
 
@@ -72,27 +81,32 @@ def _compute_documents(
         max_workers = default_worker_count()
     if max_workers <= 1 or len(specs) == 1:
         out = []
-        for spec in specs:
+        for index, spec in enumerate(specs):
             document, wall = _timed_document(spec)
             if store is not None:
                 store.put_document(document)
+            if on_result is not None:
+                on_result(index, document, wall)
             out.append((document, wall))
         return out
 
     from concurrent.futures import ProcessPoolExecutor, as_completed
 
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [pool.submit(_timed_document, spec) for spec in specs]
+        futures = {pool.submit(_timed_document, spec): index
+                   for index, spec in enumerate(specs)}
         first_error: BaseException | None = None
         for future in as_completed(futures):
             try:
-                document, _wall = future.result()
+                document, wall = future.result()
             except BaseException as exc:  # noqa: BLE001 - drain successes first
                 if first_error is None:
                     first_error = exc
                 continue
             if store is not None:
                 store.put_document(document)
+            if on_result is not None:
+                on_result(futures[future], document, wall)
         if first_error is not None:
             raise first_error
         return [future.result() for future in futures]
@@ -143,11 +157,25 @@ class UnitReport:
     #: run), or ``"pending"`` (status-only inspection, not executed).
     status: str
     wall_s: float = 0.0
+    #: The result document's ``telemetry`` sidecar (spans/counters dict),
+    #: present for computed units and for hits whose stored document
+    #: carries one; ``None`` for documents predating the obs plane.
+    telemetry: dict | None = None
+
+    @property
+    def events_per_s(self) -> float | None:
+        """Simulation throughput from the telemetry sidecar, if recorded."""
+        if not self.telemetry:
+            return None
+        return RunTelemetry.from_dict(self.telemetry).events_per_second()
 
     def to_dict(self) -> dict:
-        return {"label": self.label, "kind": self.kind,
-                "cache_key": self.cache_key, "status": self.status,
-                "wall_s": round(self.wall_s, 6)}
+        out = {"label": self.label, "kind": self.kind,
+               "cache_key": self.cache_key, "status": self.status,
+               "wall_s": round(self.wall_s, 6)}
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
 
 @dataclass
@@ -178,7 +206,7 @@ class CampaignManifest:
         return self.hits / len(self.units) if self.units else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "campaign_key": self.campaign_key,
             "store_root": self.store_root,
@@ -192,6 +220,26 @@ class CampaignManifest:
             "total_wall_s": round(self.total_wall_s, 6),
             "units": [unit.to_dict() for unit in self.units],
         }
+        aggregate = self.aggregate_telemetry()
+        if aggregate is not None:
+            out["telemetry"] = aggregate.to_dict()
+        return out
+
+    def aggregate_telemetry(self) -> RunTelemetry | None:
+        """One roll-up over every unit carrying a telemetry sidecar.
+
+        Hits contribute the telemetry persisted when they were originally
+        computed, so a fully cached rerun still reports what the campaign
+        *cost* to build.  ``None`` when no unit has telemetry (documents
+        predating the obs plane, or a pure status inspection of them).
+        """
+        merged = RunTelemetry()
+        found = False
+        for unit in self.units:
+            if unit.telemetry is not None:
+                merged.merge(RunTelemetry.from_dict(unit.telemetry))
+                found = True
+        return merged if found else None
 
     def render(self) -> str:
         verb = "run" if self.executed else "status"
@@ -207,9 +255,23 @@ class CampaignManifest:
         ]
         for unit in self.units:
             wall = f" {unit.wall_s:8.3f}s" if unit.status == "computed" else " " * 10
+            rate = unit.events_per_s
+            evps = f"  {rate:>9,.0f} ev/s" if rate is not None else ""
             lines.append(f"  [{unit.status:8s}]{wall} {unit.label:44s} "
-                         f"{unit.cache_key[:12]}")
+                         f"{unit.cache_key[:12]}{evps}")
         return "\n".join(lines)
+
+    def render_telemetry(self) -> str:
+        """The ``repro campaign status --telemetry`` aggregate view."""
+        instrumented = sum(1 for unit in self.units if unit.telemetry)
+        header = (f"campaign {self.name!r} telemetry — {instrumented}/"
+                  f"{len(self.units)} units instrumented")
+        aggregate = self.aggregate_telemetry()
+        if aggregate is None:
+            return (header + "\n  (no telemetry recorded — stored documents "
+                    "predate the observability plane)")
+        body = "\n".join("  " + line for line in aggregate.render().splitlines())
+        return header + "\n" + body
 
 
 def _dedup(units: list[CampaignUnit]) -> tuple[list[CampaignUnit], int]:
@@ -229,6 +291,7 @@ def run_campaign(
     store: ResultStore,
     max_workers: int | None = None,
     execute_misses: bool = True,
+    progress: Callable[[UnitReport, int, int], None] | None = None,
 ) -> CampaignManifest:
     """Execute a campaign incrementally against ``store``.
 
@@ -238,6 +301,11 @@ def run_campaign(
     one whose later unit fails — resumes where it left off.  With
     ``execute_misses=False`` nothing runs — the manifest reports the
     hit/pending partition (the ``repro campaign status`` view).
+
+    ``progress(report, done, total)`` fires after each miss finishes
+    (write-back included), with ``done``/``total`` counting misses only —
+    the hook behind the CLI's heartbeat line.  It observes completion
+    order, which on the pool path is not input order.
     """
     from ..experiments.results_io import SCHEMA_VERSION
 
@@ -250,27 +318,37 @@ def run_campaign(
         executed=execute_misses,
         deduplicated=deduplicated,
     )
-    t0 = time.perf_counter()
+    t0 = wall_clock()
     reports: dict[str, UnitReport] = {}
     missing: list[CampaignUnit] = []
     for unit in units:
         key = unit.cache_key
-        if store.get(key) is not None:
+        document = store.get(key)
+        if document is not None:
             reports[key] = UnitReport(label=unit.label, kind=unit.spec.kind,
-                                      cache_key=key, status="hit")
+                                      cache_key=key, status="hit",
+                                      telemetry=document.get("telemetry"))
         else:
             missing.append(unit)
             reports[key] = UnitReport(label=unit.label, kind=unit.spec.kind,
                                       cache_key=key, status="pending")
     if execute_misses and missing:
-        computed = _compute_documents([unit.spec for unit in missing],
-                                      store, max_workers)
-        for unit, (_document, wall) in zip(missing, computed):
-            report = reports[unit.cache_key]
+        done = 0
+
+        def _on_result(index: int, document: dict, wall: float) -> None:
+            nonlocal done
+            done += 1
+            report = reports[missing[index].cache_key]
             report.status = "computed"
             report.wall_s = wall
+            report.telemetry = document.get("telemetry")
+            if progress is not None:
+                progress(report, done, len(missing))
+
+        _compute_documents([unit.spec for unit in missing], store,
+                           max_workers, on_result=_on_result)
     manifest.units = [reports[unit.cache_key] for unit in units]
-    manifest.total_wall_s = time.perf_counter() - t0
+    manifest.total_wall_s = wall_clock() - t0
     return manifest
 
 

@@ -9,6 +9,8 @@ Python:
     python -m repro compare --duration 10      # standard vs restricted
     python -m repro run E1 --duration 25       # regenerate Figure 1
     python -m repro run E3 --duration 8 -o e3.json
+    python -m repro run E12 --profile          # phase/counter telemetry table
+    python -m repro run E2 --trace trace.jsonl --trace-categories queue cc
     python -m repro spec dump E3 -o e3spec.json   # serialize the spec
     python -m repro run --spec e3spec.json        # ... and replay it
     python -m repro scenario list                 # the scenario gallery
@@ -28,6 +30,7 @@ result (together with its originating spec and cache key) as JSON via
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
 import sys
@@ -60,6 +63,7 @@ from .experiments.runner import ComparisonResult, MultiFlowResult, SingleFlowRes
 from .experiments.sweeps import SweepResult
 from .experiments.throughput import ThroughputResult
 from .experiments.tuning_ablation import TuningAblationResult
+from .obs import TRACE_CATEGORIES
 from .spec import (
     MultiFlowSpec,
     ScenarioSpec,
@@ -188,6 +192,22 @@ def build_parser() -> argparse.ArgumentParser:
                           "per-cc aggregates, Jain index) as a table or as "
                           "JSON; errors if the result type carries no "
                           "summary (single-flow runs)")
+    run.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                     help="record the engines' structured trace to this "
+                          "JSONL file (forces in-process execution — the "
+                          "trace session is per-process; see the README's "
+                          "'Observability' category table)")
+    run.add_argument("--trace-categories", nargs="+", default=None,
+                     metavar="CAT",
+                     help="restrict --trace to these categories; choices: "
+                          + ", ".join(sorted(TRACE_CATEGORIES)))
+    run.add_argument("--profile", action="store_true",
+                     help="print the run's telemetry — phase wall times "
+                          "(compile/simulate/summarize/persist) and engine "
+                          "work counters")
+    run.add_argument("--profile-memory", action="store_true",
+                     help="--profile plus the tracemalloc peak (slower; "
+                          "forces in-process execution)")
 
     spec_cmd = sub.add_parser(
         "spec", help="inspect and serialize the declarative experiment specs")
@@ -239,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--manifest", default=None, metavar="PATH",
                               help="write the JSON manifest here (default: "
                                    "<store>/manifests/<campaign key>.json)")
+    campaign_run.add_argument("--progress", action="store_true",
+                              help="print a heartbeat line to stderr as each "
+                                   "miss finishes (unit, wall, events/s)")
+    campaign_run.add_argument("--telemetry", action="store_true",
+                              help="also print the aggregate telemetry view "
+                                   "(merged phase/counter roll-up)")
     campaign_status = campaign_sub.add_parser(
         "status", help="report the hit/pending partition without running "
                        "anything")
@@ -249,6 +275,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_status.add_argument("--manifest", default=None, metavar="PATH",
                                  help="also write the status manifest JSON "
                                       "to this path")
+    campaign_status.add_argument("--telemetry", action="store_true",
+                                 help="also print the aggregate telemetry "
+                                      "view (hits contribute the telemetry "
+                                      "persisted when first computed)")
     campaign_gc = campaign_sub.add_parser(
         "gc", help="drop unusable store entries (corrupt, stale schema "
                    "version, integrity failures)")
@@ -358,6 +388,58 @@ def _load_spec_arg(value: str) -> SpecBase:
     return load_spec(value)
 
 
+@contextlib.contextmanager
+def _run_observability(args: argparse.Namespace):
+    """Install the trace/telemetry sessions the ``run`` flags ask for.
+
+    Yields the :class:`~repro.obs.TraceBus` (or ``None``).  Both sessions
+    are per-process, which is why :func:`_cmd_run` forces in-process
+    execution (``max_workers=0``) whenever one is active.
+    """
+    from .obs import TraceBus, set_memory_tracking, trace_session
+
+    if args.trace_categories and args.trace is None:
+        raise ReproError("--trace-categories requires --trace")
+    bus = None
+    with contextlib.ExitStack() as stack:
+        if args.trace is not None:
+            if args.trace_categories:
+                unknown = sorted(set(args.trace_categories) - set(TRACE_CATEGORIES))
+                if unknown:
+                    raise ReproError(
+                        f"unknown trace categories {unknown}; choose from "
+                        f"{sorted(TRACE_CATEGORIES)}")
+            bus = TraceBus(categories=args.trace_categories,
+                           spill_path=args.trace)
+            stack.enter_context(trace_session(bus))
+        if args.profile_memory:
+            set_memory_tracking(True)
+            stack.callback(set_memory_tracking, False)
+        yield bus
+
+
+def _print_observability(args: argparse.Namespace, result, bus) -> int:
+    """Print the --trace / --profile reports after a run; 0 on success."""
+    if bus is not None:
+        bus.close()
+        summary = bus.summary()
+        by_category = ", ".join(f"{category}:{count}" for category, count
+                                in summary["categories"].items()) or "empty"
+        print(f"\ntrace: {summary['total_records']} records -> {args.trace} "
+              f"({by_category})")
+    if args.profile or args.profile_memory:
+        telemetry = getattr(result, "telemetry", None)
+        if telemetry is None:
+            print("error: this result carries no telemetry (legacy runner "
+                  "experiments predate the spec layer); --profile covers "
+                  "spec-backed experiments and spec/scenario files",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(telemetry.render())
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sources = [s for s in (args.experiment and "an experiment id",
                            args.spec_file and "--spec",
@@ -386,8 +468,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # a bare scenario runs every declared flow as a multi-flow job
             spec = MultiFlowSpec(scenario=spec)
         spec = _apply_overrides(spec, args)
-        result = execute(spec, store=store)
+        with _run_observability(args) as bus:
+            # the trace/telemetry sessions are per-process: keep composite
+            # fan-out in-process while one is active
+            serial = 0 if (args.trace or args.profile_memory) else None
+            result = execute(spec, max_workers=serial, store=store)
         _print_result(result, args.output)
+        code = _print_observability(args, result, bus)
+        if code:
+            return code
         return _print_summary(result, args.summary) if args.summary else 0
     if not args.experiment:
         print("error: an experiment id, --spec <file.json> or "
@@ -409,14 +498,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # clobber a non-default spec config when no flag was given).
     overrides = _path_overrides(args)
     base_config = entry.spec.path_config if entry.spec is not None else PathConfig()
-    result = entry.run(
-        config=base_config.replace(**overrides) if overrides else None,
-        duration=args.duration,
-        seed=args.seed,
-        backend=args.backend if entry.backend_aware else None,
-        store=store,
-    )
+    with _run_observability(args) as bus:
+        result = entry.run(
+            config=base_config.replace(**overrides) if overrides else None,
+            duration=args.duration,
+            seed=args.seed,
+            backend=args.backend if entry.backend_aware else None,
+            max_workers=0 if (args.trace or args.profile_memory) else None,
+            store=store,
+        )
     _print_result(result, args.output)
+    code = _print_observability(args, result, bus)
+    if code:
+        return code
     return _print_summary(result, args.summary) if args.summary else 0
 
 
@@ -525,10 +619,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             clear=args.clear, max_bytes=args.max_bytes).render())
         return 0
     spec = _campaign_from_sources(args.sources)
+    progress = None
+    if getattr(args, "progress", False):
+        def progress(report, done, total):
+            rate = report.events_per_s
+            suffix = f", {rate:,.0f} ev/s" if rate is not None else ""
+            print(f"  [{done}/{total}] {report.label} "
+                  f"({report.wall_s:.2f}s{suffix})", file=sys.stderr, flush=True)
     manifest = run_campaign(spec, store,
                             max_workers=getattr(args, "jobs", None),
-                            execute_misses=args.campaign_command == "run")
+                            execute_misses=args.campaign_command == "run",
+                            progress=progress)
     print(manifest.render())
+    if getattr(args, "telemetry", False):
+        print()
+        print(manifest.render_telemetry())
     if args.campaign_command == "run":
         path = write_manifest(manifest, args.manifest)
         print(f"wrote manifest to {path}")

@@ -147,7 +147,14 @@ class ExperimentSpec:
             # folded build_result view is derived presentation); execute's
             # write-through stores the composite and its atomic components
             result = execute(spec, max_workers=max_workers, store=store)
-            return self.build_result(result) if self.build_result else result
+            if self.build_result:
+                folded = self.build_result(result)
+                # build_result derives a presentation view; carry the raw
+                # result's telemetry sidecar across the fold so --profile
+                # works on folded experiments too
+                folded.telemetry = getattr(result, "telemetry", None)
+                return folded
+            return result
         if backend not in (None, "packet") and not self.backend_aware:
             raise ExperimentError(
                 f"experiment {self.experiment_id} runs on the packet engine "

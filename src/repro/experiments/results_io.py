@@ -129,6 +129,12 @@ def result_document(result: Any) -> dict:
     if spec is not None:
         document["spec"] = spec.to_dict()
         document["cache_key"] = spec.cache_key()
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None:
+        # Observability sidecar: top-level on purpose, NEVER inside payload
+        # or spec — cache_key hashes the spec document only, so documents
+        # with and without telemetry key (and byte-compare) identically.
+        document["telemetry"] = telemetry.to_dict()
     return document
 
 

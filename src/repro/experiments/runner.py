@@ -36,6 +36,7 @@ from ..host.apps import BulkSenderApp
 from ..host.ifq import IFQMonitor
 from ..instrumentation.tracer import TimeSeriesTracer
 from ..metrics import FlowRecord, PopulationSummary, SummaryAccumulator
+from ..obs import telemetry as obs
 from ..sim.engine import Simulator
 from ..spec import ComparisonSpec, MultiFlowSpec, RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
@@ -229,6 +230,21 @@ def _population_outcomes(
     return records, acc.finalize()
 
 
+def _report_packet_counters(sim: Simulator, scenario: Scenario,
+                            flows: Sequence[FlowResult]) -> None:
+    """Feed the ambient telemetry the packet engine's work counters."""
+    telemetry = obs.active_telemetry()
+    if telemetry is None:
+        return
+    telemetry.count("events", sim.events_processed)
+    telemetry.count("events_scheduled", sim.events_scheduled)
+    telemetry.count("packets_forwarded",
+                    sum(iface.stats.packets_sent
+                        for iface in scenario.topology.interfaces()))
+    telemetry.count("rto_timer_fires", sum(f.timeouts for f in flows))
+    telemetry.count("send_stalls", sum(f.send_stalls for f in flows))
+
+
 # ---------------------------------------------------------------------------
 # packet backend (registered as "packet" in repro.spec.backends)
 # ---------------------------------------------------------------------------
@@ -242,99 +258,104 @@ def execute_packet_run(spec: RunSpec) -> SingleFlowResult:
     places the measured transfer (the spec's ``cc``/``total_bytes`` pick the
     algorithm and size), later flows and cross traffic run as declared.
     """
-    cfg = spec.config
-    sim = Simulator(seed=spec.seed)
+    with obs.span("compile"):
+        cfg = spec.config
+        sim = Simulator(seed=spec.seed)
 
-    options = cfg.tcp_options()
-    if spec.local_congestion_policy is not None:
-        options = options.replace(local_congestion_policy=spec.local_congestion_policy)
+        options = cfg.tcp_options()
+        if spec.local_congestion_policy is not None:
+            options = options.replace(local_congestion_policy=spec.local_congestion_policy)
 
-    if spec.cc == "restricted":
-        rss = (spec.rss_config if spec.rss_config is not None
-               else RestrictedSlowStartConfig.for_path(cfg.rtt))
-        primary_cc: str | object = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
-        primary_kwargs = None
-    else:
-        primary_cc = spec.cc
-        primary_kwargs = spec.cc_kwargs or None
+        if spec.cc == "restricted":
+            rss = (spec.rss_config if spec.rss_config is not None
+                   else RestrictedSlowStartConfig.for_path(cfg.rtt))
+            primary_cc: str | object = lambda ctx: RestrictedSlowStart(ctx, rss)  # noqa: E731
+            primary_kwargs = None
+        else:
+            primary_cc = spec.cc
+            primary_kwargs = spec.cc_kwargs or None
 
-    if spec.scenario is None:
-        scenario = build_dumbbell(sim, cfg, n_flows=1)
-        app, _sink = scenario.add_bulk_flow(
-            index=0, cc=primary_cc, total_bytes=spec.total_bytes,
-            options=options, cc_kwargs=primary_kwargs,
-        )
-        primary_ifq = scenario.sender_ifq(0)
-        bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
-        bottleneck_marks = lambda: scenario.bottleneck_interface().queue.stats.marked  # noqa: E731
-    else:
-        from ..workloads.compile import (
-            attach_workload,
-            compile_scenario,
-            core_drops,
-            core_marks,
-        )
-
-        scn = spec.scenario
-        scenario = compile_scenario(sim, scn, attach_flows=False)
-        primary = scn.flows[0]
-        if primary.ecn:
-            options = options.replace(ecn=True)
-        app, _sink = scenario.add_bulk_flow_between(
-            primary.src, primary.dst, cc=primary_cc,
-            total_bytes=spec.total_bytes, start_time=primary.start_time,
-            stop_time=primary.stop_time,
-            options=options, cc_kwargs=primary_kwargs, port=primary.port,
-            name=f"flow0:{spec.cc}",
-        )
-        attach_workload(scenario, scn, skip_first_flow=True)
-        primary_ifq = scenario.topology.node(primary.src).default_interface
-        if len(scenario.routers) == 2:
-            # same counter the legacy dumbbell path reports
+        if spec.scenario is None:
+            scenario = build_dumbbell(sim, cfg, n_flows=1)
+            app, _sink = scenario.add_bulk_flow(
+                index=0, cc=primary_cc, total_bytes=spec.total_bytes,
+                options=options, cc_kwargs=primary_kwargs,
+            )
+            primary_ifq = scenario.sender_ifq(0)
             bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
             bottleneck_marks = lambda: scenario.bottleneck_interface().queue.stats.marked  # noqa: E731
         else:
-            bottleneck_drops = lambda: core_drops(scenario.topology)  # noqa: E731
-            bottleneck_marks = lambda: core_marks(scenario.topology)  # noqa: E731
+            from ..workloads.compile import (
+                attach_workload,
+                compile_scenario,
+                core_drops,
+                core_marks,
+            )
 
-    trace_interval = (spec.trace_interval if spec.trace_interval is not None
-                      else DEFAULT_PACKET_TRACE_INTERVAL)
-    conn = app.connection
-    monitor = IFQMonitor(sim, primary_ifq, interval=trace_interval)
-    monitor.start()
-    tracer = TimeSeriesTracer(sim, interval=trace_interval)
-    tracer.add_probe("cwnd", lambda: conn.cc.cwnd)
-    tracer.add_probe("acked", lambda: conn.stats.ThruBytesAcked)
-    tracer.start()
+            scn = spec.scenario
+            scenario = compile_scenario(sim, scn, attach_flows=False)
+            primary = scn.flows[0]
+            if primary.ecn:
+                options = options.replace(ecn=True)
+            app, _sink = scenario.add_bulk_flow_between(
+                primary.src, primary.dst, cc=primary_cc,
+                total_bytes=spec.total_bytes, start_time=primary.start_time,
+                stop_time=primary.stop_time,
+                options=options, cc_kwargs=primary_kwargs, port=primary.port,
+                name=f"flow0:{spec.cc}",
+            )
+            attach_workload(scenario, scn, skip_first_flow=True)
+            primary_ifq = scenario.topology.node(primary.src).default_interface
+            if len(scenario.routers) == 2:
+                # same counter the legacy dumbbell path reports
+                bottleneck_drops = lambda: scenario.bottleneck_interface().queue.stats.dropped  # noqa: E731
+                bottleneck_marks = lambda: scenario.bottleneck_interface().queue.stats.marked  # noqa: E731
+            else:
+                bottleneck_drops = lambda: core_drops(scenario.topology)  # noqa: E731
+                bottleneck_marks = lambda: core_marks(scenario.topology)  # noqa: E731
 
-    sim.run(until=spec.duration)
-    if (spec.run_past_duration_until_complete and spec.total_bytes is not None
-            and not app.completed):
-        sim.run(until=spec.duration * 10.0)
+        trace_interval = (spec.trace_interval if spec.trace_interval is not None
+                          else DEFAULT_PACKET_TRACE_INTERVAL)
+        conn = app.connection
+        monitor = IFQMonitor(sim, primary_ifq, interval=trace_interval)
+        monitor.start()
+        tracer = TimeSeriesTracer(sim, interval=trace_interval)
+        tracer.add_probe("cwnd", lambda: conn.cc.cwnd)
+        tracer.add_probe("acked", lambda: conn.stats.ThruBytesAcked)
+        tracer.start()
 
-    elapsed = sim.now
-    flow = FlowResult.from_app(app, algorithm=spec.cc, duration=elapsed)
-    ifq_times, ifq_occ = monitor.as_arrays()
-    cwnd_times, cwnd_vals = tracer.series("cwnd").as_arrays()
-    acked_times, acked_vals = tracer.series("acked").as_arrays()
-    ifq_queue = primary_ifq.queue
-    return SingleFlowResult(
-        config=cfg,
-        duration=elapsed,
-        seed=spec.seed,
-        flow=flow,
-        ifq_times=ifq_times,
-        ifq_occupancy=ifq_occ,
-        ifq_peak=ifq_queue.stats.peak_packets,
-        ifq_drops=ifq_queue.stats.dropped,
-        bottleneck_drops=bottleneck_drops(),
-        bottleneck_marks=bottleneck_marks(),
-        cwnd_times=cwnd_times,
-        cwnd_segments=cwnd_vals,
-        acked_times=acked_times,
-        acked_bytes=acked_vals,
-        events_processed=sim.events_processed,
-    )
+    with obs.span("simulate"):
+        sim.run(until=spec.duration)
+        if (spec.run_past_duration_until_complete and spec.total_bytes is not None
+                and not app.completed):
+            sim.run(until=spec.duration * 10.0)
+
+    with obs.span("summarize"):
+        elapsed = sim.now
+        flow = FlowResult.from_app(app, algorithm=spec.cc, duration=elapsed)
+        ifq_times, ifq_occ = monitor.as_arrays()
+        cwnd_times, cwnd_vals = tracer.series("cwnd").as_arrays()
+        acked_times, acked_vals = tracer.series("acked").as_arrays()
+        ifq_queue = primary_ifq.queue
+        result = SingleFlowResult(
+            config=cfg,
+            duration=elapsed,
+            seed=spec.seed,
+            flow=flow,
+            ifq_times=ifq_times,
+            ifq_occupancy=ifq_occ,
+            ifq_peak=ifq_queue.stats.peak_packets,
+            ifq_drops=ifq_queue.stats.dropped,
+            bottleneck_drops=bottleneck_drops(),
+            bottleneck_marks=bottleneck_marks(),
+            cwnd_times=cwnd_times,
+            cwnd_segments=cwnd_vals,
+            acked_times=acked_times,
+            acked_bytes=acked_vals,
+            events_processed=sim.events_processed,
+        )
+        _report_packet_counters(sim, scenario, [flow])
+    return result
 
 
 def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
@@ -346,55 +367,60 @@ def execute_multi_flow_spec(spec: MultiFlowSpec) -> MultiFlowResult:
     """
     if spec.scenario is not None:
         return _execute_scenario_multi_flow(spec)
-    cfg = spec.config
-    sim = Simulator(seed=spec.seed)
-    n_paths = 1 if spec.shared_paths else len(spec.flows)
-    scenario: Scenario = build_dumbbell(sim, cfg, n_flows=n_paths)
+    with obs.span("compile"):
+        cfg = spec.config
+        sim = Simulator(seed=spec.seed)
+        n_paths = 1 if spec.shared_paths else len(spec.flows)
+        scenario: Scenario = build_dumbbell(sim, cfg, n_flows=n_paths)
 
-    apps: list[tuple[BulkSenderApp, str]] = []
-    endpoints: list[tuple[str, str]] = []
-    completion_order: list[int] = []
-    for i, flow_spec in enumerate(spec.flows):
-        index = 0 if spec.shared_paths else i
-        rss = RestrictedSlowStartConfig.for_path(cfg.rtt)
-        if flow_spec.cc == "restricted":
-            factory = lambda ctx, _rss=rss: RestrictedSlowStart(ctx, _rss)  # noqa: E731
-            app, sink = scenario.add_bulk_flow(
-                index=index, cc=factory, total_bytes=flow_spec.total_bytes,
-                start_time=flow_spec.start_time, name=f"flow{i}:{flow_spec.cc}",
-            )
-        else:
-            app, sink = scenario.add_bulk_flow(
-                index=index, cc=flow_spec.cc, total_bytes=flow_spec.total_bytes,
-                start_time=flow_spec.start_time, cc_kwargs=flow_spec.cc_kwargs,
-                name=f"flow{i}:{flow_spec.cc}",
-            )
-        app.on_complete = lambda _app, _i=i: completion_order.append(_i)
-        apps.append((app, flow_spec.cc))
-        endpoints.append((app.host.name, sink.host.name))
+        apps: list[tuple[BulkSenderApp, str]] = []
+        endpoints: list[tuple[str, str]] = []
+        completion_order: list[int] = []
+        for i, flow_spec in enumerate(spec.flows):
+            index = 0 if spec.shared_paths else i
+            rss = RestrictedSlowStartConfig.for_path(cfg.rtt)
+            if flow_spec.cc == "restricted":
+                factory = lambda ctx, _rss=rss: RestrictedSlowStart(ctx, _rss)  # noqa: E731
+                app, sink = scenario.add_bulk_flow(
+                    index=index, cc=factory, total_bytes=flow_spec.total_bytes,
+                    start_time=flow_spec.start_time, name=f"flow{i}:{flow_spec.cc}",
+                )
+            else:
+                app, sink = scenario.add_bulk_flow(
+                    index=index, cc=flow_spec.cc, total_bytes=flow_spec.total_bytes,
+                    start_time=flow_spec.start_time, cc_kwargs=flow_spec.cc_kwargs,
+                    name=f"flow{i}:{flow_spec.cc}",
+                )
+            app.on_complete = lambda _app, _i=i: completion_order.append(_i)
+            apps.append((app, flow_spec.cc))
+            endpoints.append((app.host.name, sink.host.name))
 
-    sim.run(until=spec.duration)
+    with obs.span("simulate"):
+        sim.run(until=spec.duration)
 
-    flows = [FlowResult.from_app(app, algorithm=cc, duration=sim.now - app.start_time)
-             for app, cc in apps]
-    records, summary = _population_outcomes(
-        flows, endpoints, completion_order, horizon=spec.duration)
-    goodputs = [f.goodput_bps for f in flows]
-    aggregate = float(sum(goodputs))
-    return MultiFlowResult(
-        config=cfg,
-        duration=sim.now,
-        seed=spec.seed,
-        flows=flows,
-        aggregate_goodput_bps=aggregate,
-        jain_index=jain_fairness_index(goodputs),
-        link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
-        bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
-        bottleneck_marks=scenario.bottleneck_interface().queue.stats.marked,
-        total_send_stalls=sum(f.send_stalls for f in flows),
-        records=records,
-        summary=summary,
-    )
+    with obs.span("summarize"):
+        flows = [FlowResult.from_app(app, algorithm=cc, duration=sim.now - app.start_time)
+                 for app, cc in apps]
+        records, summary = _population_outcomes(
+            flows, endpoints, completion_order, horizon=spec.duration)
+        goodputs = [f.goodput_bps for f in flows]
+        aggregate = float(sum(goodputs))
+        result = MultiFlowResult(
+            config=cfg,
+            duration=sim.now,
+            seed=spec.seed,
+            flows=flows,
+            aggregate_goodput_bps=aggregate,
+            jain_index=jain_fairness_index(goodputs),
+            link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
+            bottleneck_drops=scenario.bottleneck_interface().queue.stats.dropped,
+            bottleneck_marks=scenario.bottleneck_interface().queue.stats.marked,
+            total_send_stalls=sum(f.send_stalls for f in flows),
+            records=records,
+            summary=summary,
+        )
+        _report_packet_counters(sim, scenario, flows)
+    return result
 
 
 def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
@@ -406,55 +432,60 @@ def _execute_scenario_multi_flow(spec: MultiFlowSpec) -> MultiFlowResult:
         core_marks,
     )
 
-    scn = spec.scenario
-    cfg = scn.config
-    sim = Simulator(seed=spec.seed)
-    scenario = compile_scenario(sim, scn)
-    completion_order: list[int] = []
-    for i, (app, _sink) in enumerate(scenario.flows):
-        app.on_complete = lambda _app, _i=i: completion_order.append(_i)
+    with obs.span("compile"):
+        scn = spec.scenario
+        cfg = scn.config
+        sim = Simulator(seed=spec.seed)
+        scenario = compile_scenario(sim, scn)
+        completion_order: list[int] = []
+        for i, (app, _sink) in enumerate(scenario.flows):
+            app.on_complete = lambda _app, _i=i: completion_order.append(_i)
 
-    sim.run(until=spec.duration)
+    with obs.span("simulate"):
+        sim.run(until=spec.duration)
 
-    flows = [
-        FlowResult.from_app(app, algorithm=flow_spec.cc,
-                            duration=sim.now - app.start_time)
-        for (app, _sink), flow_spec in zip(scenario.flows, scn.flows)
-    ]
-    endpoints = [(app.host.name, sink.host.name) for app, sink in scenario.flows]
-    records, summary = _population_outcomes(
-        flows, endpoints, completion_order, horizon=spec.duration)
-    goodputs = [f.goodput_bps for f in flows]
-    aggregate = float(sum(goodputs))
-    if len(scenario.routers) == 2:
-        # the declared bottleneck link's rate, which a hand-written spec may
-        # set independently of config.bottleneck_rate_bps
-        drops = scenario.bottleneck_interface().queue.stats.dropped
-        marks = scenario.bottleneck_interface().queue.stats.marked
-        capacity = scenario.bottleneck_interface().rate_bps
-    else:
-        # multi-bottleneck graphs: count drops over every core queue and
-        # normalise the aggregate by the total core capacity so the
-        # reported utilisation stays in [0, 1]; router-less toy graphs fall
-        # back to the total forward link capacity
-        drops = core_drops(scenario.topology)
-        marks = core_marks(scenario.topology)
-        capacity = (core_capacity_bps(scenario.topology)
-                    or float(sum(l.rate_bps for l in scenario.topology.links)))
-    return MultiFlowResult(
-        config=cfg,
-        duration=sim.now,
-        seed=spec.seed,
-        flows=flows,
-        aggregate_goodput_bps=aggregate,
-        jain_index=jain_fairness_index(goodputs),
-        link_utilization=utilization(aggregate, capacity),
-        bottleneck_drops=drops,
-        bottleneck_marks=marks,
-        total_send_stalls=sum(f.send_stalls for f in flows),
-        records=records,
-        summary=summary,
-    )
+    with obs.span("summarize"):
+        flows = [
+            FlowResult.from_app(app, algorithm=flow_spec.cc,
+                                duration=sim.now - app.start_time)
+            for (app, _sink), flow_spec in zip(scenario.flows, scn.flows)
+        ]
+        endpoints = [(app.host.name, sink.host.name) for app, sink in scenario.flows]
+        records, summary = _population_outcomes(
+            flows, endpoints, completion_order, horizon=spec.duration)
+        goodputs = [f.goodput_bps for f in flows]
+        aggregate = float(sum(goodputs))
+        if len(scenario.routers) == 2:
+            # the declared bottleneck link's rate, which a hand-written spec may
+            # set independently of config.bottleneck_rate_bps
+            drops = scenario.bottleneck_interface().queue.stats.dropped
+            marks = scenario.bottleneck_interface().queue.stats.marked
+            capacity = scenario.bottleneck_interface().rate_bps
+        else:
+            # multi-bottleneck graphs: count drops over every core queue and
+            # normalise the aggregate by the total core capacity so the
+            # reported utilisation stays in [0, 1]; router-less toy graphs fall
+            # back to the total forward link capacity
+            drops = core_drops(scenario.topology)
+            marks = core_marks(scenario.topology)
+            capacity = (core_capacity_bps(scenario.topology)
+                        or float(sum(l.rate_bps for l in scenario.topology.links)))
+        result = MultiFlowResult(
+            config=cfg,
+            duration=sim.now,
+            seed=spec.seed,
+            flows=flows,
+            aggregate_goodput_bps=aggregate,
+            jain_index=jain_fairness_index(goodputs),
+            link_utilization=utilization(aggregate, capacity),
+            bottleneck_drops=drops,
+            bottleneck_marks=marks,
+            total_send_stalls=sum(f.send_stalls for f in flows),
+            records=records,
+            summary=summary,
+        )
+        _report_packet_counters(sim, scenario, flows)
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Sequence
 from ..analysis.tables import Table
 from ..core.config import RestrictedSlowStartConfig
 from ..errors import ExperimentError
+from ..obs.telemetry import aggregate
 from ..spec import MultiFlowSpec, RunSpec, SweepSpec, execute
 from ..units import MB, Mbps, format_rate
 from ..workloads.scenarios import PathConfig
@@ -152,6 +153,9 @@ def execute_sweep_spec(spec: SweepSpec, *, max_workers: int | None = None,
     for value, by_algo in points:
         results = {algo: next(runs) for algo in by_algo}
         result.rows.append(_sweep_row(spec, value, results))
+    # the fold discards the per-point results; their telemetry survives as
+    # one roll-up (child RunTelemetry objects pickle back from workers)
+    result.telemetry = aggregate(executed)
     return result
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.config import RestrictedSlowStartConfig
 from ..errors import ExperimentError
+from ..obs import telemetry as obs
 from ..spec import RunSpec, execute
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
@@ -82,76 +83,84 @@ def execute_fluid_run(spec: RunSpec):
             "resample the returned per-RTT series",
             UserWarning, stacklevel=3)
 
-    cfg = spec.config
-    options = cfg.tcp_options()
-    if spec.local_congestion_policy is not None:
-        options = options.replace(local_congestion_policy=spec.local_congestion_policy)
+    with obs.span("compile"):
+        cfg = spec.config
+        options = cfg.tcp_options()
+        if spec.local_congestion_policy is not None:
+            options = options.replace(
+                local_congestion_policy=spec.local_congestion_policy)
 
-    # the scenario's first flow places the transfer; its declared start
-    # (delayed app launch) and duration (stop hook) are honoured exactly
-    # like the packet backend does
-    start_time = (spec.scenario.flows[0].start_time
-                  if spec.scenario is not None else 0.0)
-    stop_time = (spec.scenario.flows[0].stop_time
-                 if spec.scenario is not None else None)
-    rule = fluid_growth_rule(spec.cc, cfg, cc_kwargs=spec.cc_kwargs or None,
-                             rss_config=spec.rss_config)
-    model = FluidFlowModel(cfg, rule, options=options, seed=spec.seed,
-                           total_bytes=spec.total_bytes,
-                           start_time=start_time, stop_time=stop_time)
-    raw: FluidRunResult = model.run(
-        spec.duration,
-        run_past_duration_until_complete=spec.run_past_duration_until_complete)
+        # the scenario's first flow places the transfer; its declared start
+        # (delayed app launch) and duration (stop hook) are honoured exactly
+        # like the packet backend does
+        start_time = (spec.scenario.flows[0].start_time
+                      if spec.scenario is not None else 0.0)
+        stop_time = (spec.scenario.flows[0].stop_time
+                     if spec.scenario is not None else None)
+        rule = fluid_growth_rule(spec.cc, cfg, cc_kwargs=spec.cc_kwargs or None,
+                                 rss_config=spec.rss_config)
+        model = FluidFlowModel(cfg, rule, options=options, seed=spec.seed,
+                               total_bytes=spec.total_bytes,
+                               start_time=start_time, stop_time=stop_time)
+    with obs.span("simulate"):
+        raw: FluidRunResult = model.run(
+            spec.duration,
+            run_past_duration_until_complete=spec.run_past_duration_until_complete)
+    obs.add_counter("events", raw.steps)
+    obs.add_counter("fluid_steps", raw.steps)
+    obs.add_counter("send_stalls", raw.send_stalls)
 
-    flow = FlowResult(
-        name="flow0",
-        algorithm=spec.cc,
-        duration=raw.duration,
-        bytes_acked=raw.bytes_acked,
-        goodput_bps=raw.goodput_bps,
-        send_stalls=raw.send_stalls,
-        stall_times=list(raw.stall_times),
-        congestion_signals=raw.congestion_signals,
-        timeouts=0,
-        fast_retransmits=raw.fast_retransmits,
-        pkts_retrans=raw.pkts_retrans,
-        other_reductions=raw.other_reductions,
-        max_cwnd_bytes=int(raw.max_cwnd * cfg.mss),
-        final_cwnd_segments=raw.final_cwnd,
-        final_ssthresh_segments=raw.final_ssthresh,
-        smoothed_rtt=cfg.rtt,
-        min_rtt=cfg.rtt,
-        completion_time=raw.completion_time,
-        web100={
-            "backend": FLUID_BACKEND,
-            "ThruBytesAcked": raw.bytes_acked,
-            "SendStall": raw.send_stalls,
-            "OtherReductions": raw.other_reductions,
-            "CongestionSignals": raw.congestion_signals,
-            "FastRetran": raw.fast_retransmits,
-            "MaxCwnd": int(raw.max_cwnd * cfg.mss),
-        },
-    )
-    return SingleFlowResult(
-        config=cfg,
-        duration=raw.duration,
-        seed=spec.seed,
-        flow=flow,
-        ifq_times=np.asarray(raw.times, dtype=float),
-        ifq_occupancy=np.asarray(raw.ifq_occupancy, dtype=float),
-        ifq_peak=int(round(raw.ifq_peak)),
-        # each modelled stall is (at least) one rejected enqueue; reporting
-        # it here keeps fluid sweep rows from reading as "no drops" at
-        # operating points where the packet engine rejects packets
-        ifq_drops=raw.send_stalls,
-        bottleneck_drops=raw.pkts_retrans,
-        cwnd_times=np.asarray(raw.times, dtype=float),
-        cwnd_segments=np.asarray(raw.cwnd_segments, dtype=float),
-        acked_times=np.asarray(raw.times, dtype=float),
-        acked_bytes=np.asarray(raw.acked_bytes, dtype=float),
-        events_processed=raw.steps,
-        backend=FLUID_BACKEND,
-    )
+    with obs.span("summarize"):
+        flow = FlowResult(
+            name="flow0",
+            algorithm=spec.cc,
+            duration=raw.duration,
+            bytes_acked=raw.bytes_acked,
+            goodput_bps=raw.goodput_bps,
+            send_stalls=raw.send_stalls,
+            stall_times=list(raw.stall_times),
+            congestion_signals=raw.congestion_signals,
+            timeouts=0,
+            fast_retransmits=raw.fast_retransmits,
+            pkts_retrans=raw.pkts_retrans,
+            other_reductions=raw.other_reductions,
+            max_cwnd_bytes=int(raw.max_cwnd * cfg.mss),
+            final_cwnd_segments=raw.final_cwnd,
+            final_ssthresh_segments=raw.final_ssthresh,
+            smoothed_rtt=cfg.rtt,
+            min_rtt=cfg.rtt,
+            completion_time=raw.completion_time,
+            web100={
+                "backend": FLUID_BACKEND,
+                "ThruBytesAcked": raw.bytes_acked,
+                "SendStall": raw.send_stalls,
+                "OtherReductions": raw.other_reductions,
+                "CongestionSignals": raw.congestion_signals,
+                "FastRetran": raw.fast_retransmits,
+                "MaxCwnd": int(raw.max_cwnd * cfg.mss),
+            },
+        )
+        result = SingleFlowResult(
+            config=cfg,
+            duration=raw.duration,
+            seed=spec.seed,
+            flow=flow,
+            ifq_times=np.asarray(raw.times, dtype=float),
+            ifq_occupancy=np.asarray(raw.ifq_occupancy, dtype=float),
+            ifq_peak=int(round(raw.ifq_peak)),
+            # each modelled stall is (at least) one rejected enqueue; reporting
+            # it here keeps fluid sweep rows from reading as "no drops" at
+            # operating points where the packet engine rejects packets
+            ifq_drops=raw.send_stalls,
+            bottleneck_drops=raw.pkts_retrans,
+            cwnd_times=np.asarray(raw.times, dtype=float),
+            cwnd_segments=np.asarray(raw.cwnd_segments, dtype=float),
+            acked_times=np.asarray(raw.times, dtype=float),
+            acked_bytes=np.asarray(raw.acked_bytes, dtype=float),
+            events_processed=raw.steps,
+            backend=FLUID_BACKEND,
+        )
+    return result
 
 
 def run_single_flow_fluid(
@@ -268,112 +277,119 @@ def execute_fluid_multi_flow(spec, engine: str | None = None):
         from_bulk_flows,
     )
 
-    scenario = spec.scenario
-    if scenario is None:
-        scenario = from_bulk_flows(spec.flows, config=spec.config,
-                                   shared_paths=spec.shared_paths)
-    ensure_fluid_multiflow_scenario(scenario)
+    with obs.span("compile"):
+        scenario = spec.scenario
+        if scenario is None:
+            scenario = from_bulk_flows(spec.flows, config=spec.config,
+                                       shared_paths=spec.shared_paths)
+        ensure_fluid_multiflow_scenario(scenario)
 
-    cfg = scenario.config
-    inputs = []
-    pairs = []
-    for i, flow in enumerate(scenario.flows):
-        pair = _dumbbell_pair_index(flow)
-        pairs.append(pair)
-        inputs.append(FluidFlowInput(
-            name=f"flow{i}:{flow.cc}",
-            cc=flow.cc,
-            rule=_multiflow_rule(flow, cfg),
-            ifq=pair,
-            start_time=flow.start_time,
-            stop_time=flow.stop_time,
-            total_bytes=flow.total_bytes,
-        ))
+        cfg = scenario.config
+        inputs = []
+        pairs = []
+        for i, flow in enumerate(scenario.flows):
+            pair = _dumbbell_pair_index(flow)
+            pairs.append(pair)
+            inputs.append(FluidFlowInput(
+                name=f"flow{i}:{flow.cc}",
+                cc=flow.cc,
+                rule=_multiflow_rule(flow, cfg),
+                ifq=pair,
+                start_time=flow.start_time,
+                stop_time=flow.stop_time,
+                total_bytes=flow.total_bytes,
+            ))
 
-    churn = getattr(spec, "churn", None)
-    if churn is not None:
-        inputs.extend(_churn_inputs(churn, cfg, spec.duration, spec.seed,
-                                    n_pairs=max(pairs) + 1))
+        churn = getattr(spec, "churn", None)
+        if churn is not None:
+            inputs.extend(_churn_inputs(churn, cfg, spec.duration, spec.seed,
+                                        n_pairs=max(pairs) + 1))
 
-    if engine is None:
-        engine = ("vector" if churn is not None
-                  or len(inputs) > VECTOR_FLOW_THRESHOLD else "scalar")
-    if engine == "vector":
-        from .vector import FluidPopulationModel
+        if engine is None:
+            engine = ("vector" if churn is not None
+                      or len(inputs) > VECTOR_FLOW_THRESHOLD else "scalar")
+        if engine == "vector":
+            from .vector import FluidPopulationModel
 
-        # Churned populations stream: each churned flow folds into the
-        # summary accumulator when it departs instead of materialising a
-        # per-flow outcome object, so memory stays bounded however many
-        # flows arrive.  Declared flows always materialise.
-        model = FluidPopulationModel(cfg, inputs, seed=spec.seed,
-                                     stream_churned=churn is not None)
-    elif engine == "scalar":
-        model = FluidMultiFlowModel(cfg, inputs, seed=spec.seed)
-    else:
-        raise ExperimentError(
-            f"unknown fluid multi-flow engine {engine!r}; "
-            "use 'scalar', 'vector' or None (auto)")
-    raw = model.run(spec.duration)
+            # Churned populations stream: each churned flow folds into the
+            # summary accumulator when it departs instead of materialising a
+            # per-flow outcome object, so memory stays bounded however many
+            # flows arrive.  Declared flows always materialise.
+            model = FluidPopulationModel(cfg, inputs, seed=spec.seed,
+                                         stream_churned=churn is not None)
+        elif engine == "scalar":
+            model = FluidMultiFlowModel(cfg, inputs, seed=spec.seed)
+        else:
+            raise ExperimentError(
+                f"unknown fluid multi-flow engine {engine!r}; "
+                "use 'scalar', 'vector' or None (auto)")
+    with obs.span("simulate"):
+        raw = model.run(spec.duration)
+    obs.add_counter("events", raw.steps)
+    obs.add_counter("fluid_steps", raw.steps)
+    obs.add_counter("send_stalls", raw.total_send_stalls)
 
-    flows = []
-    for outcome in raw.flows:
-        flows.append(FlowResult(
-            name=outcome.name,
-            algorithm=outcome.algorithm,
-            duration=outcome.duration,
-            start_time=outcome.start_time,
-            bytes_acked=outcome.bytes_acked,
-            goodput_bps=outcome.goodput_bps,
-            send_stalls=outcome.send_stalls,
-            stall_times=list(outcome.stall_times),
-            congestion_signals=outcome.congestion_signals,
-            timeouts=0,
-            fast_retransmits=outcome.fast_retransmits,
-            pkts_retrans=outcome.pkts_retrans,
-            other_reductions=outcome.other_reductions,
-            max_cwnd_bytes=int(outcome.max_cwnd * cfg.mss),
-            final_cwnd_segments=outcome.final_cwnd,
-            final_ssthresh_segments=outcome.final_ssthresh,
-            smoothed_rtt=cfg.rtt,
-            min_rtt=cfg.rtt,
-            completion_time=outcome.completion_time,
-            web100={
-                "backend": FLUID_BACKEND,
-                "ThruBytesAcked": outcome.bytes_acked,
-                "SendStall": outcome.send_stalls,
-                "OtherReductions": outcome.other_reductions,
-                "CongestionSignals": outcome.congestion_signals,
-                "FastRetran": outcome.fast_retransmits,
-                "MaxCwnd": int(outcome.max_cwnd * cfg.mss),
-            },
-        ))
-    summary = raw.summary
-    if churn is not None and summary is not None:
-        # Streamed churn: the materialised flows cover declared flows only,
-        # so the population-wide figures come from the summary (which saw
-        # every flow, streamed or not).
-        aggregate = summary.aggregate_goodput_bps
-        jain = summary.jain_index if summary.jain_index is not None else 1.0
-        drops = summary.total_retransmits
-    else:
-        goodputs = [f.goodput_bps for f in flows]
-        aggregate = float(sum(goodputs))
-        jain = jain_fairness_index(goodputs)
-        drops = sum(f.pkts_retrans for f in flows)
-    return MultiFlowResult(
-        config=cfg,
-        duration=raw.duration,
-        seed=spec.seed,
-        flows=flows,
-        aggregate_goodput_bps=aggregate,
-        jain_index=jain,
-        link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
-        # each synchronized overflow episode rejects (at least) one packet
-        # per reduced flow; reporting it keeps fluid rows from reading as
-        # "no drops" at operating points where the packet engine drops
-        bottleneck_drops=drops,
-        total_send_stalls=raw.total_send_stalls,
-        backend=FLUID_BACKEND,
-        records=raw.records,
-        summary=summary,
-    )
+    with obs.span("summarize"):
+        flows = []
+        for outcome in raw.flows:
+            flows.append(FlowResult(
+                name=outcome.name,
+                algorithm=outcome.algorithm,
+                duration=outcome.duration,
+                start_time=outcome.start_time,
+                bytes_acked=outcome.bytes_acked,
+                goodput_bps=outcome.goodput_bps,
+                send_stalls=outcome.send_stalls,
+                stall_times=list(outcome.stall_times),
+                congestion_signals=outcome.congestion_signals,
+                timeouts=0,
+                fast_retransmits=outcome.fast_retransmits,
+                pkts_retrans=outcome.pkts_retrans,
+                other_reductions=outcome.other_reductions,
+                max_cwnd_bytes=int(outcome.max_cwnd * cfg.mss),
+                final_cwnd_segments=outcome.final_cwnd,
+                final_ssthresh_segments=outcome.final_ssthresh,
+                smoothed_rtt=cfg.rtt,
+                min_rtt=cfg.rtt,
+                completion_time=outcome.completion_time,
+                web100={
+                    "backend": FLUID_BACKEND,
+                    "ThruBytesAcked": outcome.bytes_acked,
+                    "SendStall": outcome.send_stalls,
+                    "OtherReductions": outcome.other_reductions,
+                    "CongestionSignals": outcome.congestion_signals,
+                    "FastRetran": outcome.fast_retransmits,
+                    "MaxCwnd": int(outcome.max_cwnd * cfg.mss),
+                },
+            ))
+        summary = raw.summary
+        if churn is not None and summary is not None:
+            # Streamed churn: the materialised flows cover declared flows only,
+            # so the population-wide figures come from the summary (which saw
+            # every flow, streamed or not).
+            aggregate = summary.aggregate_goodput_bps
+            jain = summary.jain_index if summary.jain_index is not None else 1.0
+            drops = summary.total_retransmits
+        else:
+            goodputs = [f.goodput_bps for f in flows]
+            aggregate = float(sum(goodputs))
+            jain = jain_fairness_index(goodputs)
+            drops = sum(f.pkts_retrans for f in flows)
+        result = MultiFlowResult(
+            config=cfg,
+            duration=raw.duration,
+            seed=spec.seed,
+            flows=flows,
+            aggregate_goodput_bps=aggregate,
+            jain_index=jain,
+            link_utilization=utilization(aggregate, cfg.bottleneck_rate_bps),
+            # each synchronized overflow episode rejects (at least) one packet
+            # per reduced flow; reporting it keeps fluid rows from reading as
+            # "no drops" at operating points where the packet engine drops
+            bottleneck_drops=drops,
+            total_send_stalls=raw.total_send_stalls,
+            backend=FLUID_BACKEND,
+            records=raw.records,
+            summary=summary,
+        )
+    return result

@@ -57,6 +57,7 @@ from ..core.config import RestrictedSlowStartConfig
 from ..control.pid import PIDController
 from ..errors import ConfigurationError, ExperimentError
 from ..metrics import FlowRecord, PopulationSummary, SummaryAccumulator
+from ..obs.trace import active_trace_bus
 from ..tcp.options import TCPOptions
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
@@ -583,6 +584,7 @@ class FluidFlowModel:
         data_horizon = horizon
         if self.stop_time is not None:
             data_horizon = min(horizon, self.stop_time)
+        trace = active_trace_bus()
         now = min(start + rtt, data_horizon)
         while now < data_horizon - 1e-12:
             span = min(rtt, data_horizon - now)
@@ -592,6 +594,10 @@ class FluidFlowModel:
             cwnds.append(self.cwnd)
             queues.append(self.queue)
             acked.append(float(self.bytes_acked))
+            if trace is not None:
+                trace.record("fluid", "round", time=now, engine="scalar",
+                             cwnd=self.cwnd, queue=self.queue,
+                             acked_bytes=self.bytes_acked)
             if self.total_bytes is not None and self.completion_time is not None:
                 break
         if (self.stop_time is not None and self.completion_time is None
@@ -1049,6 +1055,7 @@ class FluidMultiFlowModel:
             raise ExperimentError("duration must be positive")
         rtt = self.config.rtt
         boundaries = self._boundaries(duration)
+        trace = active_trace_bus()
         starts = [st.data_start for st in self.flows]
         now = min(min(starts), duration)
         while now < duration - 1e-12:
@@ -1059,6 +1066,9 @@ class FluidMultiFlowModel:
                     break
             self._run_round(now, rtt, fraction=span / rtt)
             now += span
+            if trace is not None:
+                trace.record("fluid", "round", time=now, engine="multi",
+                             active=sum(1 for st in self.flows if not st.done))
             for st in self.flows:
                 stop = st.spec.stop_time
                 if (stop is not None and not st.done and now >= stop - 1e-12):

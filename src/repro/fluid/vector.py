@@ -65,6 +65,7 @@ import numpy as np
 
 from ..errors import ExperimentError
 from ..metrics import FlowRecord, SummaryAccumulator, class_label_for
+from ..obs.trace import active_trace_bus
 from ..tcp.options import TCPOptions
 from ..tcp.state import LocalCongestionPolicy
 from ..workloads.scenarios import PathConfig
@@ -419,6 +420,10 @@ class FluidPopulationModel:
         sel = (self._pending_folds[0] if len(self._pending_folds) == 1
                else np.concatenate(self._pending_folds))
         self._pending_folds.clear()
+        bus = active_trace_bus()
+        if bus is not None:
+            bus.record("vector", "churn_flush", time=elapsed,
+                       flows=int(sel.size), groups=len(self._fold_groups))
         starts = self.start_time[sel]
         comp = self.completion[sel]
         end = np.where(np.isnan(comp), elapsed, comp)
@@ -737,6 +742,7 @@ class FluidPopulationModel:
         rtt = self.config.rtt
         boundaries = self._boundaries(duration)
         has_stop = np.isfinite(self.stop_time)
+        trace = active_trace_bus()
         now = min(float(self.data_start.min()), duration)
         while now < duration - 1e-12:
             span = min(rtt, duration - now)
@@ -745,6 +751,9 @@ class FluidPopulationModel:
                 span = float(boundaries[j]) - now
             self._run_round(now, rtt, fraction=span / rtt)
             now += span
+            if trace is not None:
+                trace.record("fluid", "round", time=now, engine="vector",
+                             active=int((~self.done).sum()))
             stopping = has_stop & ~self.done & (now >= self.stop_time - 1e-12)
             if stopping.any():
                 self.done[stopping] = True

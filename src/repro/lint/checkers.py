@@ -26,9 +26,10 @@ CHECKER_DOCS: dict[str, str] = {
     "REP000": "lint infrastructure: unparsable file, malformed or unused pragma",
     "REP001": "unseeded/global randomness outside repro.sim.randomness — "
               "randomness must flow through named sim.rng(...) streams",
-    "REP002": "wall-clock read (time.time/monotonic, datetime.now) — "
-              "simulation code is sim-time only and result paths must not "
-              "depend on the host clock",
+    "REP002": "wall-clock read (time.time/monotonic/perf_counter, "
+              "datetime.now) outside repro.obs.clock — simulation code is "
+              "sim-time only and result paths must not depend on the host "
+              "clock; telemetry timing goes through obs.clock.wall_clock",
     "REP003": "float == / != comparison in a sim/fluid/net/tcp hot path",
     "REP004": "mutable default argument",
     "REP005": "set iteration order escaping into an ordered construct "
@@ -48,14 +49,23 @@ SIM_SCOPE_SEGMENTS: tuple[str, ...] = (
 #: named, seeded streams are minted.
 RANDOMNESS_MODULE_SUFFIX = "sim/randomness.py"
 
+#: The one module allowed to read the wall clock: telemetry and campaign
+#: timing route through :func:`repro.obs.clock.wall_clock`, so the REP002
+#: exemption is this module rather than ``allow`` pragmas scattered over
+#: every timing site.
+CLOCK_MODULE_SUFFIX = "obs/clock.py"
+
 #: Dotted call names that read the wall clock (REP002).  ``perf_counter``
-#: is deliberately absent: it measures elapsed wall time for telemetry
-#: (campaign manifests) and cannot leak an absolute clock into results.
+#: is included even though it cannot leak an absolute clock into results:
+#: elapsed-time telemetry must flow through :mod:`repro.obs.clock` (the
+#: exempt module above) so every host-clock dependency has one home.
 WALL_CLOCK_CALLS: frozenset[str] = frozenset({
     "time.time",
     "time.time_ns",
     "time.monotonic",
     "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
     "time.clock_gettime",
     "time.clock_gettime_ns",
     "datetime.datetime.now",
@@ -90,6 +100,10 @@ class ModuleContext:
     @property
     def is_randomness_module(self) -> bool:
         return self.path.endswith(RANDOMNESS_MODULE_SUFFIX)
+
+    @property
+    def is_clock_module(self) -> bool:
+        return self.path.endswith(CLOCK_MODULE_SUFFIX)
 
 
 def check_module(path: str, source: str, tree: ast.Module,
@@ -193,7 +207,7 @@ class CheckVisitor(ast.NodeVisitor):
                            "(repro.sim.randomness) so the draw follows the "
                            "experiment seed")
                 return
-        if dotted in WALL_CLOCK_CALLS:
+        if dotted in WALL_CLOCK_CALLS and not self.context.is_clock_module:
             self._emit(node, "REP002",
                        f"wall-clock read ({dotted}): simulation state must "
                        "advance on sim.now only, and results must be a pure "

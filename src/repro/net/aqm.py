@@ -120,16 +120,24 @@ class CoDelQueue(PacketQueue):
         self.head_drops += 1
         self._count_drop(packet)
 
+    def _set_dropping(self, now: float, value: bool) -> None:
+        """Switch the control-law state, tracing actual transitions."""
+        if value != self._dropping and self.trace is not None:
+            self.trace.record("aqm", "codel_state", time=now,
+                              queue=self.name, dropping=value,
+                              count=self._count)
+        self._dropping = value
+
     def dequeue(self) -> Packet | None:
         now = self._clock()
         self.stats.observe(now, self.qlen)
         packet, ok_to_drop = self._pop_head(now)
         if packet is None:
-            self._dropping = False
+            self._set_dropping(now, False)
             return None
         if self._dropping:
             if not ok_to_drop:
-                self._dropping = False
+                self._set_dropping(now, False)
             else:
                 while self._dropping and now >= self._drop_next:
                     self._count += 1
@@ -141,10 +149,10 @@ class CoDelQueue(PacketQueue):
                     self._head_drop(packet)
                     packet, ok_to_drop = self._pop_head(now)
                     if packet is None:
-                        self._dropping = False
+                        self._set_dropping(now, False)
                         return None
                     if not ok_to_drop:
-                        self._dropping = False
+                        self._set_dropping(now, False)
                     else:
                         self._drop_next = self._control_law(self._drop_next)
         elif ok_to_drop:
@@ -152,7 +160,7 @@ class CoDelQueue(PacketQueue):
             if not marked:
                 self._head_drop(packet)
                 packet, _ = self._pop_head(now)
-            self._dropping = True
+            self._set_dropping(now, True)
             # start the next dropping episode faster if the last one was
             # recent and heavy (RFC 8289 count reuse)
             delta = self._count - self._lastcount
@@ -296,6 +304,9 @@ class DualPI2Queue(PacketQueue):
                         + self.beta * (qdelay - self._prev_qdelay))
             self._p = min(max(self._p, 0.0), 1.0)
             self._prev_qdelay = qdelay
+            if self.trace is not None:
+                self.trace.record("aqm", "pi_update", time=self._t_update,
+                                  queue=self.name, p=self._p, qdelay=qdelay)
             self._t_update += self.tupdate
 
     def _is_l4s(self, packet: Packet) -> bool:

@@ -109,6 +109,11 @@ class NetworkInterface:
         self._busy_since = 0.0
         #: Observers called as ``fn(interface, packet)`` when an enqueue fails.
         self.stall_listeners: list[Callable[["NetworkInterface", Packet], None]] = []
+        if sim.trace.enabled and queue.trace is None:
+            # Bind the run's recorder so the queue emits ``queue``/``aqm``
+            # records; left at None when tracing is off so the queue hot
+            # path stays a single ``is not None`` check.
+            queue.trace = sim.trace
         node.add_interface(self)
 
     # ------------------------------------------------------------------

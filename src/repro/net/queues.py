@@ -137,6 +137,11 @@ class PacketQueue:
         self.stats = QueueStats()
         #: Optional observers invoked as ``fn(queue, packet)`` on each drop.
         self.drop_listeners: list[Callable[["PacketQueue", Packet], None]] = []
+        #: Trace sink for ``queue`` category records.  ``None`` (the
+        #: default) keeps the hot path at a single ``is not None`` check;
+        #: :class:`repro.net.interface.NetworkInterface` binds the
+        #: simulator's recorder here only when tracing is enabled.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # properties
@@ -197,6 +202,10 @@ class PacketQueue:
         """Account one dropped packet and notify drop listeners."""
         self.stats.dropped += 1
         self.stats.bytes_dropped += packet.size_bytes
+        if self.trace is not None:
+            self.trace.record("queue", "drop", time=self._clock(),
+                              queue=self.name, uid=packet.uid,
+                              size=packet.size_bytes, qlen=self.qlen)
         for listener in self.drop_listeners:
             listener(self, packet)
 
@@ -208,11 +217,18 @@ class PacketQueue:
             self.stats.peak_packets = self.qlen
         if self._bytes > self.stats.peak_bytes:
             self.stats.peak_bytes = self._bytes
+        if self.trace is not None:
+            self.trace.record("queue", "enqueue", time=self._clock(),
+                              queue=self.name, uid=packet.uid,
+                              size=packet.size_bytes, qlen=self.qlen)
 
     def _count_dequeue(self, packet: Packet) -> None:
         """Account one dequeued packet (call after it physically left)."""
         self.stats.dequeued += 1
         self.stats.bytes_dequeued += packet.size_bytes
+        if self.trace is not None:
+            self.trace.record("queue", "dequeue", time=self._clock(),
+                              queue=self.name, uid=packet.uid, qlen=self.qlen)
 
     def _mark(self, packet: Packet) -> bool:
         """CE-mark ``packet`` if it is ECN-capable; returns True on mark.
@@ -225,6 +241,9 @@ class PacketQueue:
         packet.ecn = ECN_CE
         self.stats.marked += 1
         self.stats.bytes_marked += packet.size_bytes
+        if self.trace is not None:
+            self.trace.record("queue", "mark", time=self._clock(),
+                              queue=self.name, uid=packet.uid, qlen=self.qlen)
         return True
 
     # ------------------------------------------------------------------

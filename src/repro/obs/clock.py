@@ -1,0 +1,42 @@
+"""The single home for wall-clock reads in this repository.
+
+Simulation results must never depend on the host clock — that is the
+``REP002`` repro-lint rule (see :mod:`repro.lint.checkers`).  But the
+*harness around* a simulation legitimately measures wall time: campaign
+unit timing, phase profiling spans, and the ``benchmarks/`` suite all need
+a monotonic stopwatch.  Routing every one of those reads through this
+module keeps the lint exemption surface to exactly one file instead of
+scattering ``# repro: allow[REP002]`` pragmas across the tree.
+
+Rules of the road:
+
+* **Never** call :func:`wall_clock` (or :mod:`time` directly) from code
+  that computes a result payload — wall time must stay out of anything a
+  ``cache_key`` addresses.  Telemetry sidecars, manifests and benchmark
+  reports are the intended consumers.
+* Code outside this module that reads the host clock trips ``REP002``;
+  the only other sanctioned site is the documented pragma in
+  :meth:`repro.campaign.store.ResultStore.gc` (mtime age cutoffs are
+  wall-clock by nature).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_clock", "wall_clock_ns"]
+
+
+def wall_clock() -> float:
+    """Monotonic stopwatch reading in seconds (wraps ``time.perf_counter``).
+
+    Differences between two readings measure elapsed wall time; the
+    absolute value is meaningless.  This is the only sanctioned clock for
+    harness timing (telemetry spans, campaign unit walls, benchmarks).
+    """
+    return time.perf_counter()
+
+
+def wall_clock_ns() -> int:
+    """Integer-nanosecond variant of :func:`wall_clock`."""
+    return time.perf_counter_ns()

@@ -1,0 +1,247 @@
+"""Phase profiling for experiment runs.
+
+A :class:`RunTelemetry` carries two things for one executed spec:
+
+* **spans** — wall-clock durations of run phases (``compile`` /
+  ``simulate`` / ``summarize`` / ``persist``), measured with
+  :func:`repro.obs.clock.wall_clock`;
+* **counters** — engine-fed work counts (events processed, packets
+  forwarded, RTO timer fires, fluid steps, …).
+
+It is attached to results as ``result.telemetry`` — a plain attribute,
+*never* a dataclass field — and persisted as a top-level ``telemetry``
+sidecar in result documents.  Neither placement touches the payload or
+the spec, so ``cache_key`` values are bit-identical with or without
+telemetry: **telemetry is observability, not result**.
+
+Engines report into the ambient telemetry via :func:`telemetry_session` /
+:func:`active_telemetry` (mirroring the trace-bus session), so backend
+signatures stay unchanged and code paths without a session pay only a
+``None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tracemalloc
+from typing import Any, Iterator
+
+from .clock import wall_clock
+
+__all__ = [
+    "RunTelemetry",
+    "telemetry_session",
+    "active_telemetry",
+    "span",
+    "add_counter",
+    "aggregate",
+    "set_memory_tracking",
+    "memory_tracking_enabled",
+]
+
+#: Canonical phase order for rendering (unknown phases sort after these).
+PHASES = ("compile", "simulate", "summarize", "persist")
+
+
+class RunTelemetry:
+    """Spans + counters for one executed spec (see module docstring)."""
+
+    def __init__(self, track_memory: bool = False) -> None:
+        self.spans: dict[str, float] = {}
+        self.counters: dict[str, float] = {}
+        self.memory_peak_bytes: int | None = None
+        self._track_memory = bool(track_memory)
+        self._owns_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Accumulate wall time spent inside the block under ``name``."""
+        start = wall_clock()
+        try:
+            yield
+        finally:
+            self.spans[name] = self.spans.get(name, 0.0) + (wall_clock() - start)
+
+    def add_span(self, name: str, seconds: float) -> None:
+        """Accumulate an externally measured duration under ``name``."""
+        self.spans[name] = self.spans.get(name, 0.0) + float(seconds)
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the named counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set the named counter to an absolute value."""
+        self.counters[name] = value
+
+    # ------------------------------------------------------------------
+    # memory (opt-in)
+    # ------------------------------------------------------------------
+    def begin_memory_tracking(self) -> None:
+        """Start tracemalloc (if asked for and not already running)."""
+        if not self._track_memory:
+            return
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    def end_memory_tracking(self) -> None:
+        """Record the traced peak and stop tracemalloc if we started it."""
+        if not self._track_memory or not tracemalloc.is_tracing():
+            return
+        _current, peak = tracemalloc.get_traced_memory()
+        self.memory_peak_bytes = max(self.memory_peak_bytes or 0, peak)
+        if self._owns_tracemalloc:
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    # aggregation / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "RunTelemetry | None") -> None:
+        """Fold another telemetry (e.g. a child run's) into this one."""
+        if other is None:
+            return
+        for name, seconds in other.spans.items():
+            self.add_span(name, seconds)
+        for name, value in other.counters.items():
+            self.count(name, value)
+        if other.memory_peak_bytes is not None:
+            self.memory_peak_bytes = max(self.memory_peak_bytes or 0,
+                                         other.memory_peak_bytes)
+
+    def events_per_second(self) -> float | None:
+        """``events`` counter over the ``simulate`` span, when both exist."""
+        events = self.counters.get("events")
+        simulate = self.spans.get("simulate")
+        if not events or not simulate:
+            return None
+        return events / simulate
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "spans": {k: self.spans[k] for k in sorted(self.spans)},
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+        }
+        if self.memory_peak_bytes is not None:
+            out["memory_peak_bytes"] = self.memory_peak_bytes
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunTelemetry":
+        telemetry = cls()
+        telemetry.spans.update(data.get("spans", {}))
+        telemetry.counters.update(data.get("counters", {}))
+        telemetry.memory_peak_bytes = data.get("memory_peak_bytes")
+        return telemetry
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Phase/counter table for ``repro run --profile``."""
+        lines = ["phase                      wall_s"]
+        order = {name: index for index, name in enumerate(PHASES)}
+        for name in sorted(self.spans, key=lambda n: (order.get(n, len(order)), n)):
+            lines.append(f"  {name:<22} {self.spans[name]:>9.4f}")
+        total = sum(self.spans.values())
+        lines.append(f"  {'total':<22} {total:>9.4f}")
+        if self.counters:
+            lines.append("counter                     value")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                rendered = f"{value:,.0f}" if float(value).is_integer() else f"{value:,.2f}"
+                lines.append(f"  {name:<22} {rendered:>9}")
+        rate = self.events_per_second()
+        if rate is not None:
+            lines.append(f"  {'events/s':<22} {rate:>9,.0f}")
+        if self.memory_peak_bytes is not None:
+            lines.append(f"  {'memory peak':<22} {self.memory_peak_bytes / 1048576:>7.1f}MB")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RunTelemetry spans={len(self.spans)} "
+                f"counters={len(self.counters)}>")
+
+
+# ----------------------------------------------------------------------
+# ambient session (mirrors repro.obs.trace.trace_session)
+# ----------------------------------------------------------------------
+_ACTIVE: RunTelemetry | None = None
+
+
+def active_telemetry() -> RunTelemetry | None:
+    """The telemetry installed by :func:`telemetry_session`, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def telemetry_session(telemetry: RunTelemetry) -> Iterator[RunTelemetry]:
+    """Install ``telemetry`` as the ambient sink for engine reports.
+
+    Nests like :func:`repro.obs.trace.trace_session`; per process only.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous
+
+
+@contextlib.contextmanager
+def span(name: str) -> Iterator[None]:
+    """Span on the ambient telemetry; a plain no-op block without one."""
+    telemetry = _ACTIVE
+    if telemetry is None:
+        yield
+        return
+    with telemetry.span(name):
+        yield
+
+
+def add_counter(name: str, amount: float) -> None:
+    """Count on the ambient telemetry; no-op without one."""
+    if _ACTIVE is not None and amount:
+        _ACTIVE.count(name, amount)
+
+
+def aggregate(results: Any) -> RunTelemetry | None:
+    """Merge the ``telemetry`` attributes of child results, if any carry one.
+
+    Composite results (comparisons, sweeps) use this to present one
+    roll-up; returns ``None`` when no child was instrumented so untouched
+    paths stay telemetry-free.
+    """
+    merged = RunTelemetry()
+    found = False
+    for item in results:
+        child = getattr(item, "telemetry", None)
+        if child is not None:
+            merged.merge(child)
+            found = True
+    return merged if found else None
+
+
+# ----------------------------------------------------------------------
+# opt-in memory tracking (the CLI's --profile-memory switch)
+# ----------------------------------------------------------------------
+_MEMORY_TRACKING = False
+
+
+def set_memory_tracking(enabled: bool) -> None:
+    """Turn tracemalloc peak capture on/off for subsequently created runs."""
+    global _MEMORY_TRACKING
+    _MEMORY_TRACKING = bool(enabled)
+
+
+def memory_tracking_enabled() -> bool:
+    """Whether new :class:`RunTelemetry` objects should track memory."""
+    return _MEMORY_TRACKING

@@ -1,0 +1,240 @@
+"""Engine-wide structured trace bus.
+
+:class:`repro.sim.tracing.TraceRecorder` started life as a test aid: a
+per-simulator list of ``(time, category, message, fields)`` records.  This
+module promotes it to a run-wide *bus* that every execution path — the
+packet engine, both fluid engines, queues/AQM, and the TCP stack — can
+emit onto, with:
+
+* **typed categories** — :data:`TRACE_CATEGORIES` names every category an
+  engine emits together with a one-line contract (the README table is
+  generated from the same source of truth);
+* **bounded memory** — the in-memory buffer holds at most
+  ``buffer_limit`` records; with a ``spill_path`` the buffer is appended
+  to a JSONL file and cleared whenever it fills, so multi-million-event
+  runs trace in O(buffer) memory;
+* **a process-wide session** — :func:`trace_session` installs a bus that
+  :class:`repro.sim.Simulator` and the fluid engines pick up without any
+  signature changes (:func:`active_trace_bus`), which is how
+  ``repro run --trace`` reaches code deep inside a backend.
+
+The zero-cost-when-off contract: components either hold ``trace = None``
+and guard emits with one ``is not None`` check (queues), or call
+``sim.trace.record(...)`` where the disabled recorder returns after a
+single ``enabled`` check.  ``benchmarks/bench_telemetry_overhead.py``
+gates this in CI.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+from typing import IO, Any, Iterable, Iterator
+
+from ..sim.tracing import TraceRecord, TraceRecorder
+
+__all__ = [
+    "TRACE_CATEGORIES",
+    "TraceBus",
+    "trace_session",
+    "active_trace_bus",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Every category the engines emit, with its contract.  Keep this table in
+#: sync with the README "Observability" section (the docs quote it).
+TRACE_CATEGORIES: dict[str, str] = {
+    "queue": "packet queue accounting: enqueue / dequeue / drop / mark (all disciplines)",
+    "aqm": "AQM control law: CoDel drop-state transitions, DualPI2 probability updates",
+    "ecn": "ECN plane: ECE echo reaching a sender's congestion response",
+    "rto": "retransmission timeouts firing on established connections",
+    "cc": "congestion-control state-machine transitions (open/disorder/cwr/recovery/loss)",
+    "tcp": "legacy per-connection events: send stalls, connection teardown",
+    "link": "link-level events: packets lost in flight on a lossy link",
+    "sim": "TCP stack demux anomalies: segments dropped with no matching connection",
+    "fluid": "scalar fluid engines: one record per simulated RTT round",
+    "vector": "vector population engine: churn fold flushes (departed-flow batches)",
+}
+
+_DEFAULT_BUFFER_LIMIT = 65536
+
+
+class TraceBus(TraceRecorder):
+    """A :class:`TraceRecorder` with bounded memory and JSONL spill.
+
+    Parameters
+    ----------
+    categories:
+        Optional whitelist of category names (see :data:`TRACE_CATEGORIES`).
+    spill_path:
+        When given, the in-memory buffer is appended to this JSONL file and
+        cleared every time it reaches ``buffer_limit`` records (and on
+        :meth:`close`), keeping memory bounded on long runs.  Without it the
+        bus behaves like a plain recorder honouring ``max_records``.
+    buffer_limit:
+        In-memory buffer size before a spill (default 65536 records).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        categories: Iterable[str] | None = None,
+        max_records: int | None = None,
+        spill_path: str | pathlib.Path | None = None,
+        buffer_limit: int = _DEFAULT_BUFFER_LIMIT,
+    ) -> None:
+        super().__init__(enabled=enabled, categories=categories,
+                         max_records=max_records)
+        self.spill_path = pathlib.Path(spill_path) if spill_path is not None else None
+        self.buffer_limit = max(1, int(buffer_limit))
+        self.total_records = 0
+        self.spilled_records = 0
+        self.category_counts: dict[str, int] = {}
+        self._sink: IO[str] | None = None
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        category: str,
+        message: str,
+        time: float | None = None,
+        **fields: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if (self.spill_path is None and self.max_records is not None
+                and len(self.records) >= self.max_records):
+            self.overflowed = True
+            return
+        if time is None:
+            time = self._clock.now if self._clock is not None else 0.0
+        self.records.append(TraceRecord(time, category, message, fields))
+        self.total_records += 1
+        self.category_counts[category] = self.category_counts.get(category, 0) + 1
+        if self.spill_path is not None and len(self.records) >= self.buffer_limit:
+            self.spill()
+
+    # ------------------------------------------------------------------
+    def spill(self) -> int:
+        """Append the in-memory buffer to ``spill_path`` and clear it.
+
+        Returns the number of records written.  A no-op (returning 0) when
+        no ``spill_path`` is configured.
+        """
+        if self.spill_path is None or not self.records:
+            return 0
+        if self._sink is None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = self.spill_path.open("a")
+        written = len(self.records)
+        for rec in self.records:
+            self._sink.write(json.dumps(rec.as_dict()) + "\n")
+        self._sink.flush()
+        self.spilled_records += written
+        self.records.clear()
+        return written
+
+    def close(self) -> None:
+        """Flush any buffered records to the spill file and close it."""
+        self.spill()
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "TraceBus":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str | pathlib.Path) -> int:
+        """Write the in-memory records to ``path`` as JSONL; returns count."""
+        return write_jsonl(self.records, path)
+
+    def summary(self) -> dict[str, Any]:
+        """Record counts by category, plus spill totals — for CLI reporting."""
+        return {
+            "total_records": self.total_records,
+            "spilled_records": self.spilled_records,
+            "buffered_records": len(self.records),
+            "categories": dict(sorted(self.category_counts.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip helpers
+# ----------------------------------------------------------------------
+def write_jsonl(records: Iterable[TraceRecord], path: str | pathlib.Path) -> int:
+    """Write trace records to ``path``, one JSON object per line."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as sink:
+        for rec in records:
+            sink.write(json.dumps(rec.as_dict()) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of flat dictionaries.
+
+    Every line must be a JSON object carrying at least ``time``,
+    ``category`` and ``message`` (the :meth:`TraceRecord.as_dict` shape);
+    anything else raises ``ValueError`` so CI smoke checks fail loudly.
+    """
+    out: list[dict[str, Any]] = []
+    with pathlib.Path(path).open() as source:
+        for lineno, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if not isinstance(entry, dict):
+                raise ValueError(f"{path}:{lineno}: trace line is not an object")
+            missing = {"time", "category", "message"} - entry.keys()
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: trace line missing {sorted(missing)}")
+            out.append(entry)
+    return out
+
+
+# ----------------------------------------------------------------------
+# process-wide trace session
+# ----------------------------------------------------------------------
+_ACTIVE_BUS: TraceBus | None = None
+
+
+def active_trace_bus() -> TraceBus | None:
+    """The trace bus installed by :func:`trace_session`, if any.
+
+    :class:`repro.sim.Simulator` consults this when constructed without an
+    explicit recorder, and the fluid engines consult it at the top of each
+    run — that is how ``repro run --trace`` reaches engines created deep
+    inside a backend without threading a parameter through every layer.
+    """
+    return _ACTIVE_BUS
+
+
+@contextlib.contextmanager
+def trace_session(bus: TraceBus) -> Iterator[TraceBus]:
+    """Install ``bus`` as the process-wide trace bus for the duration.
+
+    Sessions nest: the previous bus (usually ``None``) is restored on
+    exit, even on error.  Note the session is *per process* — it does not
+    propagate into ``ProcessPoolExecutor`` workers, which is why the CLI
+    forces serial execution while ``--trace`` is active.
+    """
+    global _ACTIVE_BUS
+    previous = _ACTIVE_BUS
+    _ACTIVE_BUS = bus
+    try:
+        yield bus
+    finally:
+        _ACTIVE_BUS = previous

@@ -42,9 +42,12 @@ class Simulator:
         Master seed for the simulation's named random streams
         (see :class:`repro.sim.randomness.RandomStreams`).
     trace:
-        Optional :class:`~repro.sim.tracing.TraceRecorder`; when omitted a
-        disabled recorder is created so components can call
-        ``sim.trace.record(...)`` unconditionally.
+        Optional :class:`~repro.sim.tracing.TraceRecorder`.  When omitted,
+        the ambient bus installed by
+        :func:`repro.obs.trace.trace_session` is adopted if one is active
+        (that is how ``repro run --trace`` reaches simulators built deep
+        inside a backend); otherwise a disabled recorder is created so
+        components can call ``sim.trace.record(...)`` unconditionally.
     """
 
     def __init__(self, seed: int = 1, trace: TraceRecorder | None = None) -> None:
@@ -57,6 +60,14 @@ class Simulator:
         self.events_scheduled: int = 0
         self.events_cancelled: int = 0
         self.streams = RandomStreams(seed)
+        if trace is None:
+            # Imported lazily: repro.obs.trace builds on sim.tracing, so a
+            # module-level import here would be circular.
+            from ..obs.trace import active_trace_bus
+
+            trace = active_trace_bus()
+            if trace is not None:
+                trace.bind_clock(self)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
 
     # ------------------------------------------------------------------

@@ -10,9 +10,16 @@ build on.
 
 from __future__ import annotations
 
+import contextlib
 from typing import TYPE_CHECKING, Any
 
 from ..errors import ExperimentError
+from ..obs.telemetry import (
+    RunTelemetry,
+    aggregate,
+    memory_tracking_enabled,
+    telemetry_session,
+)
 from .backends import backend_runner
 from .scenario import ScenarioSpec
 from .specs import ComparisonSpec, MultiFlowSpec, RunSpec, SpecBase, SweepSpec
@@ -52,15 +59,17 @@ def execute(spec: SpecBase, *, max_workers: int | None = None,
     if isinstance(spec, ComparisonSpec):
         return _execute_comparison(spec, max_workers=max_workers, store=store)
     if isinstance(spec, MultiFlowSpec):
-        if spec.backend == "fluid":
-            from ..fluid.backend import execute_fluid_multi_flow
+        with _instrumented() as telemetry:
+            if spec.backend == "fluid":
+                from ..fluid.backend import execute_fluid_multi_flow
 
-            result = execute_fluid_multi_flow(spec)
-        else:
-            from ..experiments.runner import execute_multi_flow_spec
+                result = execute_fluid_multi_flow(spec)
+            else:
+                from ..experiments.runner import execute_multi_flow_spec
 
-            result = execute_multi_flow_spec(spec)
+                result = execute_multi_flow_spec(spec)
         result.spec = spec
+        result.telemetry = telemetry
         return _stored(store, result)
     if isinstance(spec, SweepSpec):
         from ..experiments.sweeps import execute_sweep_spec
@@ -75,13 +84,40 @@ def execute(spec: SpecBase, *, max_workers: int | None = None,
 
 def _stored(store: "ResultStore | None", result: Any) -> Any:
     if store is not None:
-        store.put(result)
+        telemetry = getattr(result, "telemetry", None)
+        if telemetry is not None:
+            # The persist span lands on the live result only: the stored
+            # document is serialized *inside* the span, so it cannot carry
+            # its own persistence cost.
+            with telemetry.span("persist"):
+                store.put(result)
+        else:
+            store.put(result)
     return result
 
 
+@contextlib.contextmanager
+def _instrumented():
+    """Run a backend under a fresh :class:`RunTelemetry` session.
+
+    Yields the telemetry; the engines report spans (compile / simulate /
+    summarize) and counters into it via the ambient-session helpers in
+    :mod:`repro.obs.telemetry`, so no backend signature changes.
+    """
+    telemetry = RunTelemetry(track_memory=memory_tracking_enabled())
+    telemetry.begin_memory_tracking()
+    try:
+        with telemetry_session(telemetry):
+            yield telemetry
+    finally:
+        telemetry.end_memory_tracking()
+
+
 def _execute_run(spec: RunSpec) -> Any:
-    result = backend_runner(spec.backend)(spec)
+    with _instrumented() as telemetry:
+        result = backend_runner(spec.backend)(spec)
     result.spec = spec
+    result.telemetry = telemetry
     return result
 
 
@@ -103,4 +139,5 @@ def _execute_comparison(spec: ComparisonSpec, *,
             store.put(child)
     result = ComparisonResult(baseline=spec.baseline, runs=runs)
     result.spec = spec
+    result.telemetry = aggregate(runs.values())
     return _stored(store, result)

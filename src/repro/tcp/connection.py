@@ -393,6 +393,9 @@ class TCPConnection:
             return  # nothing in flight to reduce for
         now = self.sim.now
         self.cc.on_ecn_echo(self.bytes_in_flight)
+        self.sim.trace.record("ecn", "echo", time=now, conn=self.name,
+                              cwnd=self.cc.cwnd_bytes,
+                              in_flight=self.bytes_in_flight)
         self.cwr_high_seq = self.snd_nxt
         self._set_cong_state(CongState.CWR)
         self._cwr_pending = True
@@ -431,6 +434,9 @@ class TCPConnection:
             return
         if self.snd_una >= self.snd_nxt:
             return  # nothing outstanding
+        self.sim.trace.record("rto", "fire", time=now, conn=self.name,
+                              rto=self.rto_estimator.rto,
+                              in_flight=self.bytes_in_flight)
         self.stats.record_signal("Timeouts", now)
         self.stats.record_signal("CongestionSignals", now)
         self.recover = self.snd_nxt
@@ -661,6 +667,11 @@ class TCPConnection:
             return
         self.sim.trace.record("tcp", "cong_state", conn=self.name,
                               old=self.cong_state.value, new=new_state.value)
+        # same transition on the typed "cc" channel, with window context
+        self.sim.trace.record("cc", "state", conn=self.name,
+                              old=self.cong_state.value, new=new_state.value,
+                              cwnd=self.cc.cwnd_bytes,
+                              ssthresh=self.cc.ssthresh_bytes)
         self.cong_state = new_state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

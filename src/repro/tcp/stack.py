@@ -125,6 +125,9 @@ class TCPStack:
         self.segments_received += 1
         if seg.flow is None:
             self.segments_dropped_no_connection += 1
+            self.sim.trace.record("sim", "demux_drop",
+                                  host=getattr(self.host, "name", "?"),
+                                  reason="no_flow")
             return
         key = seg.flow.reversed()
         conn = self.connections.get(key)
@@ -151,6 +154,9 @@ class TCPStack:
                 conn.accept_syn(seg)
                 return
         self.segments_dropped_no_connection += 1
+        self.sim.trace.record("sim", "demux_drop",
+                              host=getattr(self.host, "name", "?"),
+                              reason="no_connection", flow=str(seg.flow))
 
     # ------------------------------------------------------------------
     def all_connections(self) -> list[TCPConnection]:

@@ -1,0 +1,70 @@
+"""Campaign observability: per-unit walls/telemetry, progress, parity.
+
+The load-bearing regression here is serial/pool parity: the pool path of
+``_compute_documents`` used to discard per-unit wall seconds on its
+store-write loop, so manifests depended on how the campaign happened to be
+scheduled.  Both paths must now report identically.
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign.run import campaign_status
+from repro.spec import RunSpec
+from repro.testing import SMALL_PATH
+
+
+def two_unit_campaign() -> CampaignSpec:
+    return CampaignSpec(name="obs", units=tuple(
+        RunSpec(config=SMALL_PATH, duration=0.5, seed=seed) for seed in (1, 2)))
+
+
+def test_serial_and_pool_paths_report_identically(tmp_path):
+    spec = two_unit_campaign()
+    serial = run_campaign(spec, ResultStore(tmp_path / "serial"), max_workers=0)
+    pooled = run_campaign(spec, ResultStore(tmp_path / "pool"), max_workers=2)
+    for manifest in (serial, pooled):
+        assert [u.status for u in manifest.units] == ["computed", "computed"]
+        # the parity pin: every computed unit records its wall seconds and
+        # its telemetry sidecar, regardless of execution path
+        assert all(u.wall_s > 0 for u in manifest.units)
+        assert all(u.telemetry is not None for u in manifest.units)
+        assert all(u.events_per_s > 0 for u in manifest.units)
+    # same units in the same (input) order
+    assert ([u.cache_key for u in serial.units]
+            == [u.cache_key for u in pooled.units])
+
+
+def test_progress_fires_per_miss_with_wall_and_telemetry(tmp_path):
+    beats = []
+    run_campaign(two_unit_campaign(), ResultStore(tmp_path), max_workers=0,
+                 progress=lambda report, done, total:
+                 beats.append((done, total, report.status, report.wall_s)))
+    assert [(done, total, status) for done, total, status, _ in beats] \
+        == [(1, 2, "computed"), (2, 2, "computed")]
+    assert all(wall > 0 for *_, wall in beats)
+
+
+def test_hits_recover_telemetry_from_stored_documents(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = two_unit_campaign()
+    run_campaign(spec, store, max_workers=0)
+    rerun = run_campaign(spec, store, max_workers=0)
+    assert [u.status for u in rerun.units] == ["hit", "hit"]
+    assert all(u.telemetry is not None for u in rerun.units)
+    # ... so a pure status inspection still aggregates what the campaign cost
+    status = campaign_status(spec, store)
+    merged = status.aggregate_telemetry()
+    assert merged is not None and merged.counters["events"] > 0
+    assert "simulate" in merged.spans
+
+
+def test_manifest_document_carries_unit_and_aggregate_telemetry(tmp_path):
+    manifest = run_campaign(two_unit_campaign(), ResultStore(tmp_path),
+                            max_workers=0)
+    document = manifest.to_dict()
+    assert all("telemetry" in unit for unit in document["units"])
+    assert document["telemetry"]["counters"]["events"] > 0
+    rendered = manifest.render_telemetry()
+    assert "2/2 units instrumented" in rendered
+    assert "ev/s" in manifest.render()

@@ -96,11 +96,21 @@ class TestRep002WallClock:
             t = time.time()
         """, path=ANALYSIS_PATH) == ["REP002"]
 
-    def test_perf_counter_is_exempt(self):
+    def test_perf_counter_flagged_outside_clock_module(self):
+        # elapsed-time reads must route through repro.obs.clock
         assert codes("""
             import time
             t0 = time.perf_counter()
-        """) == []
+        """) == ["REP002"]
+
+    def test_clock_module_is_exempt(self):
+        source = """
+            import time
+            t0 = time.perf_counter()
+            t1 = time.monotonic()
+        """
+        assert codes(source, path="src/repro/obs/clock.py") == []
+        assert codes(source, path=SIM_PATH) == ["REP002", "REP002"]
 
 
 class TestRep003FloatEquality:

@@ -1,0 +1,26 @@
+"""The sanctioned wall-clock module."""
+
+from __future__ import annotations
+
+from repro.obs.clock import wall_clock, wall_clock_ns
+
+
+def test_wall_clock_is_monotonic_nondecreasing():
+    readings = [wall_clock() for _ in range(100)]
+    assert all(b >= a for a, b in zip(readings, readings[1:]))
+
+
+def test_wall_clock_ns_is_integer_nanoseconds():
+    t0 = wall_clock_ns()
+    t1 = wall_clock_ns()
+    assert isinstance(t0, int)
+    assert t1 >= t0
+
+
+def test_clock_module_is_the_rep002_exemption():
+    # the lint exemption is by module suffix, not by pragma — pin the path
+    # the checker matches against so a rename cannot silently widen it
+    from repro.lint.checkers import CLOCK_MODULE_SUFFIX
+    from repro.obs import clock
+
+    assert clock.__file__.replace("\\", "/").endswith(CLOCK_MODULE_SUFFIX)

@@ -1,0 +1,112 @@
+"""The telemetry plane wired through real runs.
+
+Pins the two load-bearing invariants of the observability tentpole:
+
+* every spec-backed execution path attaches ``result.telemetry`` with the
+  canonical phases and engine counters, persisted as a top-level document
+  sidecar;
+* telemetry never perturbs ``cache_key`` or the payload — documents with
+  and without it are byte-identical outside the sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.results_io import result_document
+from repro.obs import TraceBus, trace_session
+from repro.spec import MultiFlowSpec, RunSpec, dumbbell, execute
+from repro.testing import SMALL_PATH
+
+
+def small_run(backend: str = "packet") -> RunSpec:
+    return RunSpec(config=SMALL_PATH, duration=1.0, seed=1, backend=backend)
+
+
+class TestResultTelemetry:
+    def test_packet_run_carries_phases_and_counters(self):
+        result = execute(small_run())
+        telemetry = result.telemetry
+        assert {"compile", "simulate", "summarize"} <= set(telemetry.spans)
+        assert telemetry.counters["events"] > 0
+        assert telemetry.counters["packets_forwarded"] > 0
+        assert telemetry.events_per_second() > 0
+
+    def test_fluid_run_carries_phases_and_counters(self):
+        result = execute(small_run(backend="fluid"))
+        telemetry = result.telemetry
+        assert {"compile", "simulate", "summarize"} <= set(telemetry.spans)
+        assert telemetry.counters["events"] > 0
+        assert telemetry.counters["fluid_steps"] == telemetry.counters["events"]
+
+    def test_multi_flow_and_sweep_results_aggregate(self):
+        from repro.experiments.sweeps import ifq_sweep_spec
+
+        multi = execute(MultiFlowSpec(scenario=dumbbell(SMALL_PATH, 2),
+                                      duration=1.0, seed=1))
+        assert multi.telemetry.counters["events"] > 0
+        sweep = execute(ifq_sweep_spec(sizes=(25, 50), duration=0.5),
+                        max_workers=0)
+        # four runs (2 points x 2 algorithms) folded into one roll-up
+        assert sweep.telemetry.counters["events"] > 0
+        assert sweep.telemetry.spans["simulate"] > 0
+
+    def test_store_write_adds_persist_span(self, tmp_path):
+        from repro.campaign import ResultStore
+
+        result = execute(small_run(), store=ResultStore(tmp_path))
+        assert "persist" in result.telemetry.spans
+
+
+class TestDocumentSidecar:
+    def test_document_carries_top_level_telemetry(self):
+        document = result_document(execute(small_run()))
+        assert set(document["telemetry"]) == {"spans", "counters"}
+        assert "telemetry" not in document["payload"]
+        assert json.dumps(document)  # sidecar is plain JSON data
+
+    def test_telemetry_never_perturbs_cache_key_or_payload(self):
+        with_telemetry = result_document(execute(small_run()))
+        stripped_result = execute(small_run())
+        del stripped_result.__dict__["telemetry"]
+        without = result_document(stripped_result)
+        assert "telemetry" not in without
+        assert without["cache_key"] == with_telemetry["cache_key"]
+        assert (json.dumps(without["payload"], sort_keys=True)
+                == json.dumps(with_telemetry["payload"], sort_keys=True))
+
+    def test_validate_document_accepts_the_sidecar(self):
+        from repro.experiments.results_io import validate_document
+
+        document = result_document(execute(small_run()))
+        assert validate_document(document) is document
+
+
+class TestTraceThroughEngines:
+    def test_packet_run_emits_queue_categories(self):
+        bus = TraceBus()
+        with trace_session(bus):
+            execute(small_run())
+        assert bus.category_counts.get("queue", 0) > 0
+        messages = {r.message for r in bus.records if r.category == "queue"}
+        assert {"enqueue", "dequeue"} <= messages
+
+    def test_fluid_run_emits_fluid_rounds(self):
+        bus = TraceBus()
+        with trace_session(bus):
+            execute(small_run(backend="fluid"))
+        assert bus.category_counts.get("fluid", 0) > 0
+        engines = {r.fields.get("engine") for r in bus.records
+                   if r.category == "fluid"}
+        assert engines == {"scalar"}
+
+    def test_category_filter_reaches_the_engines(self):
+        bus = TraceBus(categories=("cc",))
+        with trace_session(bus):
+            execute(small_run())
+        assert set(bus.category_counts) <= {"cc"}
+
+    def test_runs_without_a_session_stay_silent(self):
+        # no ambient bus: results must be identical and nothing recorded
+        result = execute(small_run())
+        assert result.flow.goodput_bps > 0

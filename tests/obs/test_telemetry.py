@@ -1,0 +1,114 @@
+"""RunTelemetry: spans, counters, merging, serialization, ambient session."""
+
+from __future__ import annotations
+
+from repro.obs.telemetry import (
+    RunTelemetry,
+    active_telemetry,
+    add_counter,
+    aggregate,
+    span,
+    telemetry_session,
+)
+
+
+class TestSpansAndCounters:
+    def test_span_accumulates(self):
+        telemetry = RunTelemetry()
+        with telemetry.span("simulate"):
+            pass
+        first = telemetry.spans["simulate"]
+        with telemetry.span("simulate"):
+            pass
+        assert telemetry.spans["simulate"] >= first
+
+    def test_count_accumulates_and_set_overwrites(self):
+        telemetry = RunTelemetry()
+        telemetry.count("events", 10)
+        telemetry.count("events", 5)
+        assert telemetry.counters["events"] == 15
+        telemetry.set_counter("events", 3)
+        assert telemetry.counters["events"] == 3
+
+    def test_events_per_second(self):
+        telemetry = RunTelemetry()
+        assert telemetry.events_per_second() is None
+        telemetry.count("events", 1000)
+        telemetry.add_span("simulate", 2.0)
+        assert telemetry.events_per_second() == 500.0
+
+
+class TestMergeAndSerialize:
+    def test_merge_sums_spans_and_counters(self):
+        a = RunTelemetry()
+        a.add_span("simulate", 1.0)
+        a.count("events", 10)
+        b = RunTelemetry()
+        b.add_span("simulate", 2.0)
+        b.add_span("compile", 0.5)
+        b.count("events", 5)
+        b.memory_peak_bytes = 1024
+        a.merge(b)
+        a.merge(None)  # tolerated: uninstrumented children
+        assert a.spans == {"simulate": 3.0, "compile": 0.5}
+        assert a.counters == {"events": 15}
+        assert a.memory_peak_bytes == 1024
+
+    def test_dict_round_trip(self):
+        telemetry = RunTelemetry()
+        telemetry.add_span("simulate", 1.25)
+        telemetry.count("events", 7)
+        loaded = RunTelemetry.from_dict(telemetry.to_dict())
+        assert loaded.spans == telemetry.spans
+        assert loaded.counters == telemetry.counters
+        assert loaded.memory_peak_bytes is None
+        assert "memory_peak_bytes" not in telemetry.to_dict()
+
+    def test_render_lists_phases_and_counters(self):
+        telemetry = RunTelemetry()
+        telemetry.add_span("summarize", 0.01)
+        telemetry.add_span("compile", 0.02)
+        telemetry.add_span("simulate", 1.0)
+        telemetry.count("events", 120000)
+        text = telemetry.render()
+        # canonical phase order, not alphabetical
+        assert text.index("compile") < text.index("simulate") < text.index("summarize")
+        assert "events" in text and "120,000" in text
+        assert "events/s" in text
+
+    def test_aggregate_skips_uninstrumented(self):
+        class Result:
+            pass
+
+        with_telemetry = Result()
+        with_telemetry.telemetry = RunTelemetry()
+        with_telemetry.telemetry.count("events", 1)
+        bare = Result()
+        merged = aggregate([bare, with_telemetry])
+        assert merged.counters == {"events": 1}
+        assert aggregate([bare]) is None
+
+
+class TestAmbientSession:
+    def test_session_installs_and_restores(self):
+        assert active_telemetry() is None
+        telemetry = RunTelemetry()
+        with telemetry_session(telemetry):
+            assert active_telemetry() is telemetry
+        assert active_telemetry() is None
+
+    def test_module_helpers_without_session_are_noops(self):
+        add_counter("events", 5)
+        with span("simulate"):
+            pass
+        assert active_telemetry() is None
+
+    def test_module_helpers_feed_the_session(self):
+        telemetry = RunTelemetry()
+        with telemetry_session(telemetry):
+            add_counter("events", 5)
+            add_counter("events", 0)  # zero amounts are dropped
+            with span("simulate"):
+                pass
+        assert telemetry.counters == {"events": 5}
+        assert "simulate" in telemetry.spans

@@ -475,3 +475,71 @@ class TestCampaignGcMaxBytes:
         args = build_parser().parse_args(
             ["campaign", "gc", "--max-bytes", "1048576"])
         assert args.max_bytes == 1048576
+
+
+class TestRunObservability:
+    def test_profile_prints_phase_and_counter_table(self, capsys):
+        assert main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "run", "E2", "--duration", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "simulate" in out
+        assert "events" in out and "events/s" in out
+
+    def test_profile_memory_reports_peak(self, capsys):
+        assert main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "run", "E2", "--duration", "1", "--profile-memory"]) == 0
+        assert "memory peak" in capsys.readouterr().out
+
+    def test_profile_rejected_for_legacy_runner_experiments(self, capsys):
+        assert main(["run", "E7", "--profile"]) == 2
+        assert "no telemetry" in capsys.readouterr().err
+
+    def test_trace_writes_parseable_jsonl(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "run", "E2", "--duration", "1",
+                     "--trace", str(path)]) == 0
+        assert "trace:" in capsys.readouterr().out
+        entries = read_jsonl(path)
+        assert entries and {"queue"} <= {e["category"] for e in entries}
+
+    def test_trace_categories_filter(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["--bandwidth-mbps", "20", "--rtt-ms", "40", "--ifq", "20",
+                     "run", "E2", "--duration", "1", "--trace", str(path),
+                     "--trace-categories", "cc"]) == 0
+        assert {e["category"] for e in read_jsonl(path)} <= {"cc"}
+
+    def test_trace_unknown_category_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run", "E2", "--trace", str(tmp_path / "t.jsonl"),
+                     "--trace-categories", "nonsense"]) == 2
+        assert "unknown trace categories" in capsys.readouterr().err
+
+    def test_trace_categories_require_trace(self, capsys):
+        assert main(["run", "E2", "--trace-categories", "cc"]) == 2
+        assert "requires --trace" in capsys.readouterr().err
+
+
+class TestCampaignObservability:
+    def test_campaign_run_telemetry_and_progress(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "E2F", "--store", store,
+                     "--progress", "--telemetry"]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry —" in captured.out
+        assert "ev/s" in captured.out
+        assert "[1/" in captured.err  # heartbeat goes to stderr
+
+    def test_campaign_status_telemetry_aggregates_hits(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "E2F", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "E2F", "--store", store,
+                     "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "units instrumented" in out
+        assert "simulate" in out and "events" in out
